@@ -1,0 +1,263 @@
+package infat
+
+// The benchmark harness: one benchmark per table and figure of the
+// paper's evaluation (§5), plus the design-choice ablations. Each
+// benchmark executes the experiment that regenerates its artifact and
+// reports the headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the evaluation end to end. `go run ./cmd/ifp-bench` prints
+// the full tables; EXPERIMENTS.md records paper-versus-measured values.
+
+import (
+	"testing"
+
+	"infat/internal/baseline"
+	"infat/internal/exp"
+	"infat/internal/hwcost"
+	"infat/internal/juliet"
+	"infat/internal/rt"
+	"infat/internal/stats"
+	"infat/internal/workloads"
+)
+
+// benchSubset keeps per-iteration cost low while covering the evaluation's
+// extremes: allocation-dominated (treeadd), cache-thrashing lists (health,
+// ft), compute-bound (power), opaque allocation (coremark), and legacy-
+// heavy (anagram).
+var benchSubset = []string{"treeadd", "health", "ft", "power", "coremark", "anagram"}
+
+// BenchmarkJulietSuite regenerates the §5.1 functional evaluation: the
+// detection rate is asserted, the case count reported.
+func BenchmarkJulietSuite(b *testing.B) {
+	cases := juliet.Generate()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, mode := range []rt.Mode{rt.Subheap, rt.Wrapped} {
+			s := juliet.Run(cases, mode)
+			if s.Detected != s.BadCases || s.FalsePositives != 0 {
+				b.Fatalf("%v: %s", mode, s.Report())
+			}
+		}
+	}
+	b.ReportMetric(float64(2*len(cases)), "cases/op")
+}
+
+// BenchmarkTable4 regenerates the dynamic-event-count rows: the metric is
+// each workload's dynamic instruction ratio (instrumented / baseline).
+func BenchmarkTable4(b *testing.B) {
+	for _, name := range benchSubset {
+		w, _ := workloads.ByName(name)
+		b.Run(name, func(b *testing.B) {
+			var res exp.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = exp.Run(w, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(stats.Ratio(res.Subheap.Counters.Instrs, res.Baseline.Counters.Instrs), "subheap-instr-x")
+			b.ReportMetric(stats.Ratio(res.Wrapped.Counters.Instrs, res.Baseline.Counters.Instrs), "wrapped-instr-x")
+			b.ReportMetric(100*stats.Ratio(res.Subheap.Counters.PromoteValid, res.Subheap.Counters.Promote), "valid-promote-%")
+		})
+	}
+}
+
+// BenchmarkFig10 regenerates the runtime-overhead figure (cycles vs
+// baseline) for the subset.
+func BenchmarkFig10(b *testing.B) {
+	for _, name := range benchSubset {
+		w, _ := workloads.ByName(name)
+		b.Run(name, func(b *testing.B) {
+			var res exp.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = exp.Run(w, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			base := res.Baseline.Counters.Cycles
+			b.ReportMetric(stats.Overhead(stats.Ratio(res.Subheap.Counters.Cycles, base)), "subheap-ovh-%")
+			b.ReportMetric(stats.Overhead(stats.Ratio(res.Wrapped.Counters.Cycles, base)), "wrapped-ovh-%")
+			b.ReportMetric(stats.Overhead(stats.Ratio(res.SubheapNP.Counters.Cycles, base)), "subheap-nopromote-%")
+		})
+	}
+}
+
+// BenchmarkFig11 regenerates the IFP instruction-mix figure.
+func BenchmarkFig11(b *testing.B) {
+	for _, name := range benchSubset {
+		w, _ := workloads.ByName(name)
+		b.Run(name, func(b *testing.B) {
+			var res exp.Result
+			var err error
+			for i := 0; i < b.N; i++ {
+				res, err = exp.Run(w, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			base := float64(res.Baseline.Counters.Instrs)
+			c := res.Subheap.Counters
+			b.ReportMetric(100*float64(c.Promote)/base, "promote-%")
+			b.ReportMetric(100*float64(c.IfpArith())/base, "arith-%")
+			b.ReportMetric(100*float64(c.IfpBoundsMem())/base, "bounds-ldst-%")
+		})
+	}
+}
+
+// BenchmarkFig12 regenerates the memory-overhead figure for a
+// representative pair: the allocator win (treeadd) and the per-object-
+// metadata cost (health under the wrapped allocator).
+func BenchmarkFig12(b *testing.B) {
+	for _, name := range []string{"treeadd", "health", "em3d"} {
+		w, _ := workloads.ByName(name)
+		b.Run(name, func(b *testing.B) {
+			var m exp.MemResult
+			var err error
+			for i := 0; i < b.N; i++ {
+				m, err = exp.RunMem(w, 2)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(stats.Overhead(stats.Ratio(m.Subheap, m.Baseline)), "subheap-mem-%")
+			b.ReportMetric(stats.Overhead(stats.Ratio(m.Wrapped, m.Baseline)), "wrapped-mem-%")
+		})
+	}
+}
+
+// BenchmarkFig13 regenerates the hardware-area decomposition; the metric
+// is the modelled LUT growth.
+func BenchmarkFig13(b *testing.B) {
+	var van, mod int
+	for i := 0; i < b.N; i++ {
+		van, mod = hwcost.Totals(hwcost.Model(hwcost.Default))
+	}
+	b.ReportMetric(float64(mod-van), "LUT-growth")
+	b.ReportMetric(100*float64(mod-van)/float64(van), "LUT-growth-%")
+}
+
+// BenchmarkRelatedWork regenerates the §2/Table-1 mechanism comparison.
+func BenchmarkRelatedWork(b *testing.B) {
+	var ifpC, sbC, noneC uint64
+	for i := 0; i < b.N; i++ {
+		for _, s := range []baseline.Scheme{baseline.None, baseline.SoftBound, baseline.MPX, baseline.ASan, baseline.InFat} {
+			res, err := baseline.Run(s, 800)
+			if err != nil {
+				b.Fatal(err)
+			}
+			switch s {
+			case baseline.None:
+				noneC = res.Cycles
+			case baseline.SoftBound:
+				sbC = res.Cycles
+			case baseline.InFat:
+				ifpC = res.Cycles
+			}
+		}
+	}
+	b.ReportMetric(stats.Overhead(stats.Ratio(ifpC, noneC)), "infat-ovh-%")
+	b.ReportMetric(stats.Overhead(stats.Ratio(sbC, noneC)), "softbound-ovh-%")
+}
+
+// BenchmarkSchemes measures the three metadata schemes' promote costs in
+// isolation (Table 2's efficiency dimension).
+func BenchmarkSchemes(b *testing.B) {
+	type prep func(*System) (uint64, error)
+	cases := []struct {
+		name string
+		prep prep
+	}{
+		{"local-offset", func(s *System) (uint64, error) {
+			o, err := s.Malloc(Long, 8) // wrapped-local path
+			return o.P, err
+		}},
+		{"global-table", func(s *System) (uint64, error) {
+			o, err := s.Malloc(Long, 4096)
+			return o.P, err
+		}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			sys := NewSystem(Wrapped)
+			p, err := c.prep(sys)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys.Promote(p)
+			}
+		})
+	}
+	b.Run("subheap", func(b *testing.B) {
+		sys := NewSystem(Subheap)
+		o, err := sys.Malloc(Long, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sys.Promote(o.P)
+		}
+	})
+}
+
+// BenchmarkInstructions measures the single-cycle IFP instruction
+// implementations (Table 3).
+func BenchmarkInstructions(b *testing.B) {
+	sys := NewSystem(Subheap)
+	o, err := sys.Malloc(Long, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("ifpadd", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys.M.IfpAdd(o.P, 8, o.B)
+		}
+	})
+	b.Run("ifpidx", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys.M.IfpIdx(o.P, 1)
+		}
+	})
+	b.Run("ifpchk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys.M.IfpChk(o.P, 8, o.B)
+		}
+	})
+	b.Run("ifpbnd", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys.M.IfpBnd(o.P, 64)
+		}
+	})
+	b.Run("ifpmac", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys.M.IfpMac(o.Base(), 64, 0)
+		}
+	})
+}
+
+// BenchmarkASICSweep regenerates the §5.2.4 extrapolation discussion.
+func BenchmarkASICSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.ASICSweep(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblations regenerates the DESIGN.md design-choice ablations.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Ablations(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

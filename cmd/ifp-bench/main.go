@@ -1,0 +1,123 @@
+// Command ifp-bench regenerates the paper's application evaluation (§5.2):
+// Table 4 and Figures 10, 11, 12. It runs all 18 workloads in five
+// configurations on the simulated machine and prints the corresponding
+// table or series.
+//
+// Usage:
+//
+//	ifp-bench [-scale N] [-table4] [-fig10] [-fig11] [-fig12] [-bench name]
+//
+// With no selection flags, everything is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"infat/internal/baseline"
+	"infat/internal/exp"
+	"infat/internal/workloads"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "workload scale factor (1 = standard run)")
+	memScale := flag.Int("memscale", exp.MemScale, "scale multiplier for the memory experiment (Figure 12)")
+	table4 := flag.Bool("table4", false, "print Table 4 only")
+	fig10 := flag.Bool("fig10", false, "print Figure 10 only")
+	fig11 := flag.Bool("fig11", false, "print Figure 11 only")
+	fig12 := flag.Bool("fig12", false, "print Figure 12 only")
+	bench := flag.String("bench", "", "run a single named workload")
+	ablations := flag.Bool("ablations", false, "print the design-choice ablations and tag-layout trade-off")
+	hybrid := flag.Bool("hybrid", false, "print the hybrid (dynamic allocator selection) comparison")
+	asic := flag.Bool("asic", false, "print the §5.2.4 ASIC extrapolation sweep")
+	related := flag.Bool("related", false, "print the related-work comparison")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "ifp-bench:", err)
+		os.Exit(1)
+	}
+
+	selected := workloads.All
+	if *bench != "" {
+		w, ok := workloads.ByName(*bench)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ifp-bench: unknown workload %q\n", *bench)
+			os.Exit(2)
+		}
+		selected = []workloads.Workload{w}
+	}
+
+	if *ablations {
+		out, err := exp.Ablations(*scale)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(out)
+		fmt.Println(exp.TagLayouts())
+		return
+	}
+	if *hybrid {
+		out, err := exp.HybridReport(*scale)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(out)
+		return
+	}
+	if *asic {
+		out, err := exp.ASICSweep(*scale)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(out)
+		return
+	}
+	if *related {
+		out, err := baseline.Compare(1500)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(out)
+		return
+	}
+
+	any := *table4 || *fig10 || *fig11 || *fig12
+	needPerf := !any || *table4 || *fig10 || *fig11
+	needMem := !any || *fig12
+
+	var results []exp.Result
+	if needPerf {
+		for _, w := range selected {
+			r, err := exp.Run(w, *scale)
+			if err != nil {
+				fail(err)
+			}
+			results = append(results, r)
+		}
+	}
+	var mem []exp.MemResult
+	if needMem {
+		for _, w := range selected {
+			m, err := exp.RunMem(w, *scale**memScale)
+			if err != nil {
+				fail(err)
+			}
+			mem = append(mem, m)
+		}
+	}
+
+	if !any || *table4 {
+		fmt.Println(exp.Table4(results))
+	}
+	if !any || *fig10 {
+		fmt.Println(exp.Fig10(results))
+	}
+	if !any || *fig11 {
+		fmt.Println(exp.Fig11(results))
+	}
+	if !any || *fig12 {
+		fmt.Println(exp.Fig12(mem))
+	}
+}

@@ -1,0 +1,37 @@
+// Command ifp-hwcost prints the Figure-13 hardware area decomposition and
+// the §5.3 ablation table from the calibrated LUT model.
+//
+// Usage:
+//
+//	ifp-hwcost [-no-walker] [-no-mac] [-bounds-regs N]
+//
+// Flags modify the configuration so design-space points other than the
+// paper's prototype can be inspected.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"infat/internal/hwcost"
+)
+
+func main() {
+	noWalker := flag.Bool("no-walker", false, "drop the layout-table walker")
+	noMAC := flag.Bool("no-mac", false, "drop the metadata MAC unit")
+	boundsRegs := flag.Int("bounds-regs", 32, "number of bounds registers")
+	flag.Parse()
+
+	cfg := hwcost.Default
+	cfg.LayoutWalk = !*noWalker
+	cfg.MAC = !*noMAC
+	cfg.BoundsRegs = *boundsRegs
+	if *boundsRegs == 0 {
+		cfg.ImplicitChk = false
+	}
+
+	fmt.Println(hwcost.Fig13(cfg))
+	if cfg == hwcost.Default {
+		fmt.Println(hwcost.Ablations())
+	}
+}

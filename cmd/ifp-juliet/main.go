@@ -1,0 +1,75 @@
+// Command ifp-juliet runs the Juliet-style functional evaluation (§5.1):
+// it generates MiniC test programs for the selected CWE families (stack/
+// heap buffer overflow, underwrite, over-read, under-read, plus intra-
+// object variants), runs good and bad versions under both allocator
+// configurations, and reports detection results.
+//
+// Usage:
+//
+//	ifp-juliet [-mode subheap|wrapped|both] [-v] [-case name]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"infat/internal/juliet"
+	"infat/internal/rt"
+)
+
+func main() {
+	modeFlag := flag.String("mode", "both", "allocator configuration: subheap, wrapped, or both")
+	verbose := flag.Bool("v", false, "list every case outcome")
+	caseName := flag.String("case", "", "run (and print) a single named case")
+	flag.Parse()
+
+	cases := juliet.Generate()
+
+	if *caseName != "" {
+		for _, c := range cases {
+			if c.Name == *caseName {
+				fmt.Printf("--- %s (CWE %s, bad=%v)\n%s\n", c.Name, c.CWE, c.Bad, c.Src)
+				o := juliet.RunCase(c, rt.Subheap)
+				fmt.Printf("subheap: %v %s\n", o.Verdict, o.Detail)
+				o = juliet.RunCase(c, rt.Wrapped)
+				fmt.Printf("wrapped: %v %s\n", o.Verdict, o.Detail)
+				return
+			}
+		}
+		fmt.Fprintf(os.Stderr, "ifp-juliet: no case named %q\n", *caseName)
+		os.Exit(2)
+	}
+
+	var modes []rt.Mode
+	switch *modeFlag {
+	case "subheap":
+		modes = []rt.Mode{rt.Subheap}
+	case "wrapped":
+		modes = []rt.Mode{rt.Wrapped}
+	case "both":
+		modes = []rt.Mode{rt.Subheap, rt.Wrapped}
+	default:
+		fmt.Fprintf(os.Stderr, "ifp-juliet: unknown mode %q\n", *modeFlag)
+		os.Exit(2)
+	}
+
+	exit := 0
+	for _, mode := range modes {
+		s := juliet.Run(cases, mode)
+		fmt.Printf("=== %v allocator ===\n%s", mode, s.Report())
+		if *verbose {
+			for _, o := range s.Outcomes {
+				fmt.Printf("  %-40s %v\n", o.Case.Name, o.Verdict)
+			}
+		}
+		if s.Missed > 0 || s.FalsePositives > 0 || s.Errors > 0 {
+			exit = 1
+			for _, f := range s.Failures() {
+				fmt.Printf("  FAIL %-40s %v %s\n", f.Case.Name, f.Verdict, f.Detail)
+			}
+		}
+		fmt.Println()
+	}
+	os.Exit(exit)
+}

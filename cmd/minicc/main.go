@@ -1,0 +1,88 @@
+// Command minicc compiles and runs a MiniC source file on the simulated
+// In-Fat Pointer machine — a drop-in way to test custom programs against
+// the defense, like the paper's wrapper scripts around the modified Clang
+// (§A.4). A spatial error terminates the run with the trap that caught it.
+//
+// Usage:
+//
+//	minicc [-mode baseline|subheap|wrapped] [-stats] file.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"infat/internal/minic"
+	"infat/internal/rt"
+)
+
+func main() {
+	modeFlag := flag.String("mode", "subheap", "baseline, subheap, wrapped, or hybrid")
+	stats := flag.Bool("stats", false, "print dynamic instruction statistics after the run")
+	dumpIR := flag.Bool("S", false, "print the instrumented IR listing instead of running")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: minicc [-mode m] [-stats] file.c")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "minicc:", err)
+		os.Exit(1)
+	}
+
+	var mode rt.Mode
+	switch *modeFlag {
+	case "baseline":
+		mode = rt.Baseline
+	case "subheap":
+		mode = rt.Subheap
+	case "wrapped":
+		mode = rt.Wrapped
+	case "hybrid":
+		mode = rt.Hybrid
+	default:
+		fmt.Fprintf(os.Stderr, "minicc: unknown mode %q\n", *modeFlag)
+		os.Exit(2)
+	}
+
+	prog, err := minic.Parse(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	comp, err := minic.Compile(prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *dumpIR {
+		fmt.Print(minic.Disassemble(comp))
+		return
+	}
+	r := rt.New(mode)
+	vm, err := minic.NewVM(comp, r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	exit, err := vm.Run()
+	for _, v := range vm.Out {
+		fmt.Println(v)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "minicc:", err)
+		os.Exit(1)
+	}
+	if *stats {
+		c := r.M.C
+		fmt.Fprintf(os.Stderr, "instructions: %d  cycles: %d\n", c.Instrs, c.Cycles)
+		fmt.Fprintf(os.Stderr, "promote: %d (valid %d, null %d, legacy %d)\n",
+			c.Promote, c.PromoteValid, c.PromoteNull, c.PromoteLegacy)
+		fmt.Fprintf(os.Stderr, "ifp arithmetic: %d  bounds ld/st: %d  checks: %d\n",
+			c.IfpArith(), c.IfpBoundsMem(), c.Checks)
+	}
+	os.Exit(int(exit) & 0xFF)
+}

@@ -1,0 +1,91 @@
+// Intra-object overflow: Listing 1 of the paper. A struct holds a
+// vulnerable buffer next to a sensitive one; an overflow that never
+// leaves the struct is invisible to object-granularity defenses, but
+// In-Fat Pointer's layout tables narrow the derived pointer's bounds to
+// the subobject and catch the first byte of corruption.
+//
+// The same program runs both as direct API calls and as MiniC source
+// through the instrumented compiler.
+//
+// Run with: go run ./examples/intraobject
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"infat"
+)
+
+func main() {
+	// struct S { char vulnerable[12]; char sensitive[12]; };
+	structS := infat.StructOf("S",
+		infat.Field("vulnerable", infat.ArrayOf(infat.Char, 12)),
+		infat.Field("sensitive", infat.ArrayOf(infat.Char, 12)),
+	)
+
+	sys := infat.NewSystem(infat.Subheap)
+	obj, err := sys.Malloc(structS, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Derive char *p = s->vulnerable: pointer arithmetic plus an ifpidx
+	// tag update with the member's layout-table index.
+	idx, err := sys.SubobjIndexOf(structS, "vulnerable")
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := sys.SetSub(obj.P, idx)
+
+	// Store the derived pointer to memory and reload it: promote walks
+	// the layout table and narrows the bounds to vulnerable[12] only.
+	cell, err := sys.MallocBytes(8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.StorePtr(cell.P, cell.B, p, obj.B); err != nil {
+		log.Fatal(err)
+	}
+	p, pb, err := sys.LoadPtr(cell.P, cell.B)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("narrowed bounds after promote: %v (span %d bytes)\n", pb.B, pb.B.Span())
+
+	for i := int64(0); i < 12; i++ {
+		if err := sys.Store(sys.GEP(p, i, pb), 'A', 1, pb); err != nil {
+			log.Fatalf("in-bounds write %d failed: %v", i, err)
+		}
+	}
+	err = sys.Store(sys.GEP(p, 12, pb), 'A', 1, pb)
+	if infat.IsSpatialTrap(err) {
+		fmt.Printf("intra-object overflow detected at byte 12: %v\n", err)
+	} else {
+		log.Fatalf("intra-object overflow NOT detected (err=%v)", err)
+	}
+
+	// The same scenario as C source through the MiniC pipeline.
+	src := `
+struct S { char vulnerable[12]; char sensitive[12]; };
+char *gv;
+int main() {
+	struct S *s = (struct S*)malloc(sizeof(struct S));
+	gv = s->vulnerable;
+	char *p = gv;
+	int i;
+	for (i = 0; i <= 12; i = i + 1) { p[i] = 'A'; }
+	return 0;
+}`
+	_, _, err = infat.RunC(src, infat.Wrapped)
+	if err == nil {
+		log.Fatal("compiled program: overflow NOT detected")
+	}
+	var unwrapped interface{ Unwrap() error }
+	if errors.As(err, &unwrapped) && infat.IsSpatialTrap(unwrapped.Unwrap()) {
+		fmt.Printf("compiled program trapped too: %v\n", err)
+	} else {
+		log.Fatalf("compiled program failed for the wrong reason: %v", err)
+	}
+}

@@ -1,0 +1,95 @@
+// Legacy interop: In-Fat Pointer's compatibility story (§3, §4.1.2).
+// Uninstrumented ("legacy") code keeps working: its pointers carry no
+// tags, promote bypasses them, and checks are skipped — while
+// instrumented objects stay protected. Implicit bounds clearing prevents
+// an instrumented caller from picking up stale bounds around a legacy
+// call.
+//
+// Run with: go run ./examples/legacy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"infat"
+)
+
+func main() {
+	sys := infat.NewSystem(infat.Subheap)
+
+	// An allocation made by uninstrumented library code: untagged, no
+	// metadata.
+	legacyBuf, err := sys.MallocLegacy(64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("legacy buffer at %#x (tag-free)\n", legacyBuf.P)
+
+	// Legacy pointers dereference without checks — even out of bounds.
+	// This is the compatibility trade-off: no guarantees for legacy
+	// objects (§3 protection scope).
+	oob := sys.GEP(legacyBuf.P, 64, legacyBuf.B)
+	if err := sys.Store(oob, 1, 8, legacyBuf.B); err != nil {
+		log.Fatalf("legacy overflow unexpectedly trapped: %v", err)
+	}
+	fmt.Println("legacy out-of-bounds store passed (unchecked, as on real hardware)")
+
+	// Promote bypasses legacy and NULL pointers without touching memory
+	// (Figure 5's fast path, >20% of promotes in the paper's Table 4).
+	sys.Promote(legacyBuf.P)
+	sys.Promote(0)
+	c := sys.Counters()
+	fmt.Printf("promote bypasses so far: %d legacy, %d NULL\n", c.PromoteLegacy, c.PromoteNull)
+
+	// Instrumented objects remain protected even when their pointers mix
+	// with legacy ones in the same data structure.
+	protected, err := sys.Malloc(infat.Long, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table, err := sys.MallocBytes(16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Slot 0: protected pointer; slot 1: legacy pointer.
+	if err := sys.StorePtr(table.P, table.B, protected.P, protected.B); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.StorePtr(sys.GEP(table.P, 8, table.B), table.B, legacyBuf.P, legacyBuf.B); err != nil {
+		log.Fatal(err)
+	}
+
+	p0, b0, err := sys.LoadPtr(table.P, table.B)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p1, b1, err := sys.LoadPtr(sys.GEP(table.P, 8, table.B), table.B)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reloaded slot 0: bounds valid=%v (protected)\n", b0.Valid)
+	fmt.Printf("reloaded slot 1: bounds valid=%v (legacy, unchecked)\n", b1.Valid)
+
+	// Overflow through the protected pointer traps; through the legacy
+	// pointer it does not.
+	err = sys.Store(sys.GEP(p0, 32, b0), 7, 8, b0)
+	if !infat.IsSpatialTrap(err) {
+		log.Fatalf("protected overflow missed: %v", err)
+	}
+	fmt.Printf("protected overflow detected: %v\n", err)
+	if err := sys.Store(sys.GEP(p1, 64, b1), 7, 8, b1); err != nil {
+		log.Fatalf("legacy store trapped: %v", err)
+	}
+	fmt.Println("legacy store passed")
+
+	// Implicit bounds clearing (§4.1.2): when a legacy callee produces a
+	// pointer return value through an existing instruction, the paired
+	// bounds register is cleared by hardware, so the instrumented caller
+	// never checks against stale bounds.
+	stale := protected.B
+	_ = legacyBuf.P // the value written by "legacy code" flows through untouched
+	cleared := sys.M.ClearBounds()
+	fmt.Printf("after legacy call: stale bounds dropped (valid=%v -> %v)\n",
+		stale.Valid, cleared.Valid)
+}

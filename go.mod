@@ -1,0 +1,3 @@
+module infat
+
+go 1.22

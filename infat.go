@@ -1,0 +1,149 @@
+// Package infat is the public API of the In-Fat Pointer reproduction: a
+// hardware-assisted tagged-pointer spatial memory safety defense with
+// subobject-granularity protection (Xu, Huang & Lie, ASPLOS 2021),
+// implemented as a from-scratch architectural simulation.
+//
+// The three layers a user typically touches:
+//
+//   - System — a simulated machine plus the In-Fat Pointer runtime. Guest
+//     objects are allocated and registered through it, pointers are tagged
+//     64-bit values, and every access runs the paper's checking pipeline
+//     (poison bits, implicit bounds checks, promote-based bounds
+//     retrieval with layout-table narrowing).
+//
+//   - RunC — compile and execute a MiniC (C subset) program under
+//     instrumentation; spatial errors surface as traps. This is the path
+//     the Juliet-style functional evaluation uses.
+//
+//   - The experiment drivers re-exported from internal packages:
+//     Experiments (Table 4, Figures 10-12), JulietSuite (§5.1),
+//     HardwareCost (Figure 13), and RelatedWork (§2/Table 1).
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-versus-measured results.
+package infat
+
+import (
+	"infat/internal/baseline"
+	"infat/internal/exp"
+	"infat/internal/hwcost"
+	"infat/internal/juliet"
+	"infat/internal/layout"
+	"infat/internal/machine"
+	"infat/internal/minic"
+	"infat/internal/rt"
+	"infat/internal/workloads"
+)
+
+// Mode selects the run configuration (§5.2): Baseline is uninstrumented;
+// Subheap and Wrapped select the heap allocator used with full
+// instrumentation.
+type Mode = rt.Mode
+
+// Run modes.
+const (
+	// Baseline runs without any In-Fat Pointer instrumentation.
+	Baseline = rt.Baseline
+	// Subheap instruments with the pool-over-buddy subheap allocator.
+	Subheap = rt.Subheap
+	// Wrapped instruments with the wrapped glibc-style allocator.
+	Wrapped = rt.Wrapped
+)
+
+// System is a simulated machine with the In-Fat Pointer runtime attached.
+// It embeds the runtime, so allocation (Malloc, AllocLocal,
+// RegisterGlobal), accesses (Load, Store, LoadPtr, StorePtr), pointer
+// arithmetic (GEP, SetSub), and promotion (Promote) are all available
+// directly; see infat/internal/rt for the full method set.
+type System struct {
+	*rt.Runtime
+}
+
+// NewSystem creates a fresh guest environment in the given mode.
+func NewSystem(mode Mode) *System { return &System{rt.New(mode)} }
+
+// Counters returns the machine's dynamic event counters (instructions,
+// cycles, promote statistics, check counts — the quantities Table 4 and
+// Figure 11 report).
+func (s *System) Counters() machine.Counters { return s.M.C }
+
+// Obj is a registered guest object handle.
+type Obj = rt.Obj
+
+// BoundsReg is a bounds register (the 96-bit half of an IFPR).
+type BoundsReg = machine.BoundsReg
+
+// Type constructors for describing guest objects (layout tables are
+// generated per type, §3.4).
+var (
+	// Char is the 1-byte scalar type.
+	Char = layout.Char
+	// Int is the 4-byte scalar type.
+	Int = layout.Int
+	// Long is the 8-byte scalar type.
+	Long = layout.Long
+)
+
+// Type is a guest object type.
+type Type = layout.Type
+
+// StructOf builds a struct type with C layout rules.
+func StructOf(name string, fields ...layout.Field) *Type { return layout.StructOf(name, fields...) }
+
+// Field builds a struct member for StructOf.
+func Field(name string, t *Type) layout.Field { return layout.F(name, t) }
+
+// ArrayOf builds a fixed-size array type.
+func ArrayOf(elem *Type, n uint64) *Type { return layout.ArrayOf(elem, n) }
+
+// PointerTo builds a 64-bit pointer type.
+func PointerTo(t *Type) *Type { return layout.PointerTo(t) }
+
+// IsSpatialTrap reports whether err is an In-Fat Pointer detection — a
+// poisoned-pointer dereference or a failed bounds check.
+func IsSpatialTrap(err error) bool {
+	return machine.IsTrap(err, machine.TrapPoison) || machine.IsTrap(err, machine.TrapBounds)
+}
+
+// RunC compiles and executes a MiniC source program in the given mode,
+// returning the values it print()ed and main's exit code. Spatial memory
+// errors surface as *minic.RunError wrapping a machine trap (test with
+// IsSpatialTrap via errors.As / Unwrap).
+func RunC(src string, mode Mode) (out []int64, exit int64, err error) {
+	return minic.Execute(src, mode)
+}
+
+// Experiments runs the §5.2 application evaluation at the given scale and
+// returns the rendered Table 4 and Figures 10-12. Scale 1 is the standard
+// run (tens of seconds); the memory experiment runs at scale*4 (§5.2.3
+// needs multi-page footprints).
+func Experiments(scale int) (string, error) {
+	results, err := exp.RunAll(scale)
+	if err != nil {
+		return "", err
+	}
+	mem, err := exp.RunAllMem(scale * exp.MemScale)
+	if err != nil {
+		return "", err
+	}
+	return exp.Report(results, mem), nil
+}
+
+// JulietSuite runs the §5.1 functional evaluation in the given mode and
+// returns its summary.
+func JulietSuite(mode Mode) juliet.Summary {
+	return juliet.Run(juliet.Generate(), mode)
+}
+
+// HardwareCost renders the Figure 13 area decomposition and the §5.3
+// ablation table.
+func HardwareCost() string {
+	return hwcost.Fig13(hwcost.Default) + "\n" + hwcost.Ablations()
+}
+
+// RelatedWork renders the §2/Table-1 comparison of defense mechanisms on
+// a shared pointer-chase kernel.
+func RelatedWork(nNodes int) (string, error) { return baseline.Compare(nNodes) }
+
+// Workloads lists the 18 benchmark programs of §5.2.
+func Workloads() []workloads.Workload { return workloads.All }

@@ -1,0 +1,87 @@
+package infat
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSystemEndToEnd(t *testing.T) {
+	sys := NewSystem(Subheap)
+	s := StructOf("S",
+		Field("vulnerable", ArrayOf(Char, 12)),
+		Field("sensitive", ArrayOf(Char, 12)))
+	obj, err := sys.Malloc(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := sys.SubobjIndexOf(s, "vulnerable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sys.SetSub(obj.P, idx)
+	p, pb := sys.Promote(p)
+	if !pb.Valid || pb.B.Span() != 12 {
+		t.Fatalf("narrowed bounds = %+v", pb)
+	}
+	if err := sys.Store(sys.GEP(p, 11, pb), 'A', 1, pb); err != nil {
+		t.Fatalf("in-bounds write: %v", err)
+	}
+	err = sys.Store(sys.GEP(p, 12, pb), 'A', 1, pb)
+	if !IsSpatialTrap(err) {
+		t.Fatalf("intra-object overflow missed: %v", err)
+	}
+	if c := sys.Counters(); c.Promote == 0 || c.Checks == 0 {
+		t.Error("no instrumentation activity recorded")
+	}
+}
+
+func TestRunCDetects(t *testing.T) {
+	src := `
+int main() {
+	int buf[4];
+	buf[4] = 1;
+	return 0;
+}`
+	if _, _, err := RunC(src, Baseline); err != nil {
+		t.Fatalf("baseline trapped: %v", err)
+	}
+	if _, _, err := RunC(src, Wrapped); err == nil {
+		t.Fatal("instrumented run missed the overflow")
+	}
+	out, exit, err := RunC(`int main() { print(7); return 3; }`, Subheap)
+	if err != nil || exit != 3 || len(out) != 1 || out[0] != 7 {
+		t.Fatalf("run = (%v, %d, %v)", out, exit, err)
+	}
+}
+
+func TestJulietSuiteAPI(t *testing.T) {
+	s := JulietSuite(Subheap)
+	if s.Detected != s.BadCases || s.FalsePositives != 0 || s.Errors != 0 {
+		t.Fatalf("suite result: %+v", s.Report())
+	}
+}
+
+func TestHardwareCostAPI(t *testing.T) {
+	out := HardwareCost()
+	for _, want := range []string{"Figure 13", "IFP Unit", "Ablation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestRelatedWorkAPI(t *testing.T) {
+	out, err := RelatedWork(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "in-fat-pointer") {
+		t.Error("missing our row")
+	}
+}
+
+func TestWorkloadsListed(t *testing.T) {
+	if len(Workloads()) != 18 {
+		t.Errorf("workloads = %d, want 18", len(Workloads()))
+	}
+}

@@ -1,0 +1,104 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOverheadOrdering(t *testing.T) {
+	const n = 1500
+	res := map[Scheme]Result{}
+	for _, s := range []Scheme{None, SoftBound, MPX, ASan, InFat} {
+		r, err := Run(s, n)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		res[s] = r
+	}
+	base := res[None].Cycles
+	if base == 0 {
+		t.Fatal("no baseline cycles")
+	}
+	// Every defense costs something.
+	for _, s := range []Scheme{SoftBound, MPX, ASan, InFat} {
+		if res[s].Cycles <= base {
+			t.Errorf("%v cycles %d <= baseline %d", s, res[s].Cycles, base)
+		}
+	}
+	// The paper's comparison shape: In-Fat Pointer is cheaper than the
+	// shadow-bounds schemes on pointer-intensive code (§5.2.2: lower
+	// than FRAMER's 223%% and MPX's 50%%), and MPX's directory walk is
+	// the costliest.
+	if res[InFat].Cycles >= res[SoftBound].Cycles {
+		t.Errorf("in-fat %d >= softbound-like %d cycles", res[InFat].Cycles, res[SoftBound].Cycles)
+	}
+	if res[InFat].Cycles >= res[MPX].Cycles {
+		t.Errorf("in-fat %d >= mpx-like %d cycles", res[InFat].Cycles, res[MPX].Cycles)
+	}
+	// Per-pointer shadow schemes pay big memory overheads; IFP's
+	// metadata is per-object/per-block and far smaller.
+	baseMem := res[None].Footprint
+	if res[MPX].Footprint <= baseMem || res[SoftBound].Footprint <= baseMem {
+		t.Error("shadow schemes show no memory overhead")
+	}
+	ifpMem := float64(res[InFat].Footprint) / float64(baseMem)
+	mpxMem := float64(res[MPX].Footprint) / float64(baseMem)
+	if ifpMem >= mpxMem {
+		t.Errorf("in-fat memory ratio %.2f >= mpx-like %.2f", ifpMem, mpxMem)
+	}
+}
+
+func TestGranularityTable(t *testing.T) {
+	// Table 1's granularity column.
+	want := map[Scheme]string{
+		None: "none", SoftBound: "subobject", MPX: "subobject",
+		ASan: "partial", InFat: "subobject",
+	}
+	for s, g := range want {
+		if s.Granularity() != g {
+			t.Errorf("%v granularity = %s, want %s", s, s.Granularity(), g)
+		}
+		if s.String() == "" {
+			t.Error("empty scheme name")
+		}
+	}
+	if Scheme(99).String() == "" || Scheme(99).Granularity() != "none" {
+		t.Error("unknown scheme formatting")
+	}
+}
+
+func TestCompareRenders(t *testing.T) {
+	out, err := Compare(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"softbound-like", "mpx-like", "asan-like", "in-fat-pointer", "subobject", "partial"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison missing %q", want)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(InFat, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(InFat, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Instrs != b.Instrs {
+		t.Error("non-deterministic measurement")
+	}
+}
+
+func BenchmarkRelatedWork(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, s := range []Scheme{None, SoftBound, MPX, ASan, InFat} {
+			if _, err := Run(s, 400); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

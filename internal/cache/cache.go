@@ -1,0 +1,169 @@
+// Package cache models the L1 data cache of the simulated core. The
+// paper's Figure-10 analysis attributes the worst wrapped-allocator
+// overheads (health, ft) to L1D thrashing caused by per-object metadata,
+// and the subheap scheme's win to metadata sharing within blocks; a
+// standard set-associative write-back model with LRU replacement is enough
+// to reproduce that mechanism.
+//
+// The model is purely for timing: data always comes from mem.Memory; the
+// cache only decides whether an access is a hit or a miss and counts both.
+package cache
+
+import "fmt"
+
+// Config describes a cache geometry.
+type Config struct {
+	SizeBytes int // total capacity
+	LineBytes int // line size (power of two)
+	Ways      int // associativity
+}
+
+// CVA6L1D is the default geometry, matching the CVA6 FPGA configuration the
+// paper synthesizes (32 KiB, 8-way, 16-byte lines on the Genesys-2 build;
+// "relatively small caches" per §5.2.4).
+var CVA6L1D = Config{SizeBytes: 32 << 10, LineBytes: 16, Ways: 8}
+
+// Stats accumulates access counts.
+type Stats struct {
+	Accesses   uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// MissRate returns misses/accesses, or 0 for an idle cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("accesses=%d misses=%d (%.2f%%) writebacks=%d",
+		s.Accesses, s.Misses, 100*s.MissRate(), s.Writebacks)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // last-touch tick
+}
+
+// Cache is a set-associative write-back, write-allocate cache model.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	setMask  uint64
+	lineBits uint
+	tick     uint64
+	stats    Stats
+}
+
+// New builds a cache; it panics on a non-power-of-two geometry since that
+// is a programming error in experiment setup.
+func New(cfg Config) *Cache {
+	if cfg.LineBytes <= 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic("cache: line size must be a power of two")
+	}
+	if cfg.Ways <= 0 || cfg.SizeBytes%(cfg.LineBytes*cfg.Ways) != 0 {
+		panic("cache: size must be a multiple of line*ways")
+	}
+	nsets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	if nsets&(nsets-1) != 0 {
+		panic("cache: set count must be a power of two")
+	}
+	c := &Cache{cfg: cfg, setMask: uint64(nsets - 1)}
+	for b := cfg.LineBytes; b > 1; b >>= 1 {
+		c.lineBits++
+	}
+	c.sets = make([][]line, nsets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns the accumulated counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears counters but keeps cache contents (used between the
+// warm-up and measured phases of an experiment).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Access simulates one access of size bytes at addr (write if store is
+// true) and returns the number of line misses it caused. Accesses that
+// straddle line boundaries touch each line once, like the CVA6 LSU which
+// splits misaligned accesses.
+func (c *Cache) Access(addr uint64, size int, store bool) (misses int) {
+	if size <= 0 {
+		size = 1
+	}
+	first := addr >> c.lineBits
+	last := (addr + uint64(size) - 1) >> c.lineBits
+	for ln := first; ln <= last; ln++ {
+		c.tick++
+		c.stats.Accesses++
+		if !c.touch(ln, store) {
+			c.stats.Misses++
+			misses++
+		}
+	}
+	return misses
+}
+
+// touch looks up line number ln, filling on miss; reports hit.
+func (c *Cache) touch(ln uint64, store bool) bool {
+	set := c.sets[ln&c.setMask]
+	tagv := ln >> uint(len64(c.setMask))
+	for i := range set {
+		if set[i].valid && set[i].tag == tagv {
+			set[i].lru = c.tick
+			if store {
+				set[i].dirty = true
+			}
+			return true
+		}
+	}
+	// Miss: evict LRU way.
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if set[victim].valid && set[victim].dirty {
+		c.stats.Writebacks++
+	}
+	set[victim] = line{tag: tagv, valid: true, dirty: store, lru: c.tick}
+	return false
+}
+
+// Flush invalidates all lines (counting writebacks of dirty lines); used
+// between benchmark runs so each mode starts cold.
+func (c *Cache) Flush() {
+	for _, set := range c.sets {
+		for i := range set {
+			if set[i].valid && set[i].dirty {
+				c.stats.Writebacks++
+			}
+			set[i] = line{}
+		}
+	}
+}
+
+func len64(mask uint64) int {
+	n := 0
+	for mask != 0 {
+		mask >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,253 @@
+// Package exp is the evaluation harness: it runs every §5.2 workload in
+// the five configurations the paper compares (baseline; subheap and
+// wrapped allocators; each with and without promote) and renders Table 4
+// and Figures 10, 11, and 12 from the collected machine counters.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"infat/internal/machine"
+	"infat/internal/rt"
+	"infat/internal/stats"
+	"infat/internal/workloads"
+)
+
+// ModeResult captures one run's observables.
+type ModeResult struct {
+	Counters  machine.Counters
+	Stats     rt.Stats
+	Footprint uint64
+	Checksum  uint64
+	L1DMisses uint64
+}
+
+// Result holds all five configurations of one workload.
+type Result struct {
+	Name     string
+	Suite    string
+	Baseline ModeResult
+	Subheap  ModeResult
+	Wrapped  ModeResult
+	// No-promote variants isolate the promote instruction's cost (§5.2).
+	SubheapNP ModeResult
+	WrappedNP ModeResult
+}
+
+// runOne executes a workload in one configuration.
+func runOne(w workloads.Workload, mode rt.Mode, noPromote bool, scale int) (ModeResult, error) {
+	r := rt.New(mode)
+	r.M.NoPromote = noPromote
+	sum, err := w.Run(r, scale)
+	if err != nil {
+		return ModeResult{}, fmt.Errorf("%s/%v(np=%v): %w", w.Name, mode, noPromote, err)
+	}
+	return ModeResult{
+		Counters:  r.M.C,
+		Stats:     r.Stats,
+		Footprint: r.Footprint(),
+		Checksum:  sum,
+		L1DMisses: r.M.L1D.Stats().Misses,
+	}, nil
+}
+
+// Run executes all five configurations of one workload and verifies the
+// checksums agree across modes.
+func Run(w workloads.Workload, scale int) (Result, error) {
+	res := Result{Name: w.Name, Suite: w.Suite}
+	var err error
+	if res.Baseline, err = runOne(w, rt.Baseline, false, scale); err != nil {
+		return res, err
+	}
+	if res.Subheap, err = runOne(w, rt.Subheap, false, scale); err != nil {
+		return res, err
+	}
+	if res.Wrapped, err = runOne(w, rt.Wrapped, false, scale); err != nil {
+		return res, err
+	}
+	if res.SubheapNP, err = runOne(w, rt.Subheap, true, scale); err != nil {
+		return res, err
+	}
+	if res.WrappedNP, err = runOne(w, rt.Wrapped, true, scale); err != nil {
+		return res, err
+	}
+	for _, m := range []ModeResult{res.Subheap, res.Wrapped, res.SubheapNP, res.WrappedNP} {
+		if m.Checksum != res.Baseline.Checksum {
+			return res, fmt.Errorf("%s: checksum mismatch across modes", w.Name)
+		}
+	}
+	return res, nil
+}
+
+// RunAll executes the full suite.
+func RunAll(scale int) ([]Result, error) {
+	out := make([]Result, 0, len(workloads.All))
+	for _, w := range workloads.All {
+		r, err := Run(w, scale)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Table4 renders the dynamic-event-count table: object instrumentation
+// per category (with layout-table share), valid promotes, and the dynamic
+// instruction increase of both allocator versions.
+func Table4(results []Result) string {
+	var t stats.Table
+	t.Add("Benchmark", "Glob#", "%LT", "Loc#", "%LT", "Heap#", "%LT",
+		"ValidPromote", "%Total", "BaseInstr", "Subheap", "Wrapped")
+	for _, r := range results {
+		s := r.Subheap.Stats // LT/subobject stats come from the subheap version (§5.2.1)
+		c := r.Subheap.Counters
+		t.Add(r.Name,
+			fmt.Sprint(s.GlobalObjects), stats.Pct(s.GlobalWithLT, s.GlobalObjects),
+			stats.SI(s.LocalObjects), stats.Pct(s.LocalWithLT, s.LocalObjects),
+			stats.SI(s.HeapObjects), stats.Pct(s.HeapWithLT, s.HeapObjects),
+			stats.SI(c.PromoteValid), stats.Pct(c.PromoteValid, c.Promote),
+			stats.SI(r.Baseline.Counters.Instrs),
+			fmt.Sprintf("%.2fx", stats.Ratio(r.Subheap.Counters.Instrs, r.Baseline.Counters.Instrs)),
+			fmt.Sprintf("%.2fx", stats.Ratio(r.Wrapped.Counters.Instrs, r.Baseline.Counters.Instrs)))
+	}
+	var subR, wrapR []float64
+	for _, r := range results {
+		subR = append(subR, stats.Ratio(r.Subheap.Counters.Instrs, r.Baseline.Counters.Instrs))
+		wrapR = append(wrapR, stats.Ratio(r.Wrapped.Counters.Instrs, r.Baseline.Counters.Instrs))
+	}
+	return "Table 4: Dynamic Event Counts on Object Instrumentation, Promotion, and Instructions Executed\n" +
+		t.String() +
+		fmt.Sprintf("geo-mean dynamic instruction increase: subheap %.2fx, wrapped %.2fx\n",
+			stats.Geomean(subR), stats.Geomean(wrapR))
+}
+
+// Fig10 renders the runtime-overhead figure: cycles of each instrumented
+// configuration normalized to baseline.
+func Fig10(results []Result) string {
+	var t stats.Table
+	t.Add("Benchmark", "Subheap", "Wrapped", "Subheap(NoPromote)", "Wrapped(NoPromote)")
+	var sr, wr []float64
+	for _, r := range results {
+		base := r.Baseline.Counters.Cycles
+		ratio := func(m ModeResult) float64 { return stats.Ratio(m.Counters.Cycles, base) }
+		sr = append(sr, ratio(r.Subheap))
+		wr = append(wr, ratio(r.Wrapped))
+		t.Add(r.Name,
+			pctCell(ratio(r.Subheap)), pctCell(ratio(r.Wrapped)),
+			pctCell(ratio(r.SubheapNP)), pctCell(ratio(r.WrappedNP)))
+	}
+	return "Figure 10: Performance Overhead of All Benchmarks (cycles vs baseline)\n" +
+		t.String() +
+		fmt.Sprintf("geo-mean overhead: subheap %+.1f%%, wrapped %+.1f%%\n",
+			stats.Overhead(stats.Geomean(sr)), stats.Overhead(stats.Geomean(wr)))
+}
+
+func pctCell(ratio float64) string { return fmt.Sprintf("%+.1f%%", stats.Overhead(ratio)) }
+
+// Fig11 renders the IFP dynamic-instruction-mix figure: promote,
+// arithmetic, and bounds load/store instructions as a share of the
+// baseline instruction count (the paper normalizes to baseline counts).
+func Fig11(results []Result) string {
+	var t stats.Table
+	t.Add("Benchmark", "Promote", "Arithmetic", "BoundsLd/St", "Total")
+	for _, r := range results {
+		for _, v := range []struct {
+			label string
+			m     ModeResult
+		}{{"subheap", r.Subheap}, {"wrapped", r.Wrapped}} {
+			base := float64(r.Baseline.Counters.Instrs)
+			c := v.m.Counters
+			pct := func(n uint64) string { return fmt.Sprintf("%.1f%%", 100*float64(n)/base) }
+			t.Add(r.Name+"/"+v.label,
+				pct(c.Promote), pct(c.IfpArith()), pct(c.IfpBoundsMem()),
+				pct(c.IfpTotal()))
+		}
+	}
+	return "Figure 11: Dynamic Instruction Counts for Instructions from In-Fat Pointer (normalized to baseline)\n" +
+		t.String()
+}
+
+// MemResult carries the footprints of the three configurations that
+// matter for memory (§5.2: "no-promote has no difference in memory
+// overhead").
+type MemResult struct {
+	Name                       string
+	Baseline, Subheap, Wrapped uint64
+}
+
+// MemScale is the default scale multiplier for the memory experiment: the
+// paper measures maximum resident size of multi-MB runs, so footprints
+// must be large enough that page granularity does not dominate.
+const MemScale = 4
+
+// RunMem measures footprints at the given (already multiplied) scale.
+func RunMem(w workloads.Workload, scale int) (MemResult, error) {
+	res := MemResult{Name: w.Name}
+	for _, cfg := range []struct {
+		mode rt.Mode
+		dst  *uint64
+	}{
+		{rt.Baseline, &res.Baseline},
+		{rt.Subheap, &res.Subheap},
+		{rt.Wrapped, &res.Wrapped},
+	} {
+		m, err := runOne(w, cfg.mode, false, scale)
+		if err != nil {
+			return res, err
+		}
+		*cfg.dst = m.Footprint
+	}
+	return res, nil
+}
+
+// RunAllMem measures every workload's footprint.
+func RunAllMem(scale int) ([]MemResult, error) {
+	out := make([]MemResult, 0, len(workloads.All))
+	for _, w := range workloads.All {
+		r, err := RunMem(w, scale)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Fig12 renders the memory-overhead figure. The paper excludes programs
+// whose footprint is too small for `time -v` to resolve (ks, yacr2,
+// coremark); we exclude the same three for fidelity.
+func Fig12(results []MemResult) string {
+	excluded := map[string]bool{"ks": true, "yacr2": true, "coremark": true}
+	var t stats.Table
+	t.Add("Benchmark", "Subheap", "Wrapped")
+	var sr, wr []float64
+	for _, r := range results {
+		if excluded[r.Name] {
+			continue
+		}
+		s := stats.Ratio(r.Subheap, r.Baseline)
+		w := stats.Ratio(r.Wrapped, r.Baseline)
+		sr = append(sr, s)
+		wr = append(wr, w)
+		t.Add(r.Name, pctCell(s), pctCell(w))
+	}
+	return "Figure 12: Memory Overhead of Applicable Benchmarks (resident pages vs baseline)\n" +
+		t.String() +
+		fmt.Sprintf("geo-mean overhead: subheap %+.1f%%, wrapped %+.1f%%\n",
+			stats.Overhead(stats.Geomean(sr)), stats.Overhead(stats.Geomean(wr)))
+}
+
+// Report renders everything.
+func Report(results []Result, mem []MemResult) string {
+	var b strings.Builder
+	b.WriteString(Table4(results))
+	b.WriteString("\n")
+	b.WriteString(Fig10(results))
+	b.WriteString("\n")
+	b.WriteString(Fig11(results))
+	b.WriteString("\n")
+	b.WriteString(Fig12(mem))
+	return b.String()
+}

@@ -1,0 +1,219 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"infat/internal/rt"
+	"infat/internal/workloads"
+)
+
+// small runs a cheap subset so the tests stay fast.
+var small = []string{"treeadd", "coremark", "voronoi"}
+
+func subset(t *testing.T) []Result {
+	t.Helper()
+	var out []Result
+	for _, name := range small {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			t.Fatalf("no workload %s", name)
+		}
+		r, err := Run(w, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func TestRunCollectsAllConfigs(t *testing.T) {
+	res := subset(t)[0]
+	if res.Name != "treeadd" {
+		t.Errorf("name = %s", res.Name)
+	}
+	if res.Baseline.Counters.Instrs == 0 || res.Subheap.Counters.Instrs == 0 ||
+		res.Wrapped.Counters.Instrs == 0 || res.SubheapNP.Counters.Instrs == 0 ||
+		res.WrappedNP.Counters.Instrs == 0 {
+		t.Error("missing configuration data")
+	}
+	if res.Baseline.Counters.IfpTotal() != 0 {
+		t.Error("baseline ran IFP instructions")
+	}
+	// No-promote variants execute the same promotes but never fetch
+	// metadata.
+	if res.SubheapNP.Counters.MetaFetches != 0 {
+		t.Error("no-promote fetched metadata")
+	}
+	if res.SubheapNP.Counters.Promote != res.Subheap.Counters.Promote {
+		t.Error("no-promote changed promote count")
+	}
+}
+
+func TestRenderersContainRows(t *testing.T) {
+	res := subset(t)
+	for name, out := range map[string]string{
+		"table4": Table4(res),
+		"fig10":  Fig10(res),
+		"fig11":  Fig11(res),
+	} {
+		for _, w := range small {
+			if !strings.Contains(out, w) {
+				t.Errorf("%s missing row for %s", name, w)
+			}
+		}
+		if !strings.Contains(out, "geo-mean") && name != "fig11" {
+			t.Errorf("%s missing geo-mean", name)
+		}
+	}
+}
+
+func TestRunMem(t *testing.T) {
+	w, _ := workloads.ByName("treeadd")
+	m, err := RunMem(w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Baseline == 0 || m.Subheap == 0 || m.Wrapped == 0 {
+		t.Errorf("zero footprints: %+v", m)
+	}
+	// treeadd: subheap packs tighter than baseline; wrapped pays
+	// per-object metadata (§5.2.3's sign pattern).
+	if m.Subheap >= m.Baseline {
+		t.Errorf("treeadd subheap footprint %d >= baseline %d", m.Subheap, m.Baseline)
+	}
+	if m.Wrapped <= m.Baseline {
+		t.Errorf("treeadd wrapped footprint %d <= baseline %d", m.Wrapped, m.Baseline)
+	}
+	out := Fig12([]MemResult{m})
+	if !strings.Contains(out, "treeadd") {
+		t.Error("fig12 missing row")
+	}
+	// The excluded trio never appears as a row.
+	out = Fig12([]MemResult{{Name: "ks", Baseline: 1, Subheap: 1, Wrapped: 1}})
+	if strings.Contains(out, "\nks ") {
+		t.Error("fig12 included an excluded program")
+	}
+}
+
+func TestAblationsRender(t *testing.T) {
+	out, err := Ablations(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"no-walker", "global-only", "explicit-chk", "standard"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablations missing %q", want)
+		}
+	}
+	// The explicit-check ablation must cost instructions vs standard on
+	// a check-heavy workload: extract the ft rows and compare.
+	std, err := runConfigured("ft", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := runConfigured("ft", 1, func(r *rt.Runtime) { r.ExplicitChecks = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Counters.Instrs <= std.Counters.Instrs {
+		t.Errorf("explicit checks did not add instructions: %d vs %d",
+			exp.Counters.Instrs, std.Counters.Instrs)
+	}
+	if exp.Counters.IfpChk == 0 {
+		t.Error("explicit-check run issued no ifpchk")
+	}
+	// The no-walker ablation must coarsen health's narrowing.
+	stdH, err := runConfigured("health", 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := runConfigured("health", 1, func(r *rt.Runtime) { r.M.NoNarrow = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdH.Counters.NarrowSuccess == 0 {
+		t.Error("health performed no successful narrowing")
+	}
+	if nw.Counters.NarrowSuccess != 0 {
+		t.Error("no-walker still narrowed")
+	}
+	if nw.Counters.NarrowCoarse == 0 {
+		t.Error("no-walker recorded no coarsening")
+	}
+}
+
+func TestForceGlobalTableAblation(t *testing.T) {
+	m, err := runConfigured("treeadd", 1, func(r *rt.Runtime) { r.ForceGlobalTable = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters.NarrowSuccess != 0 {
+		t.Error("global-table-only narrowed")
+	}
+	// 2047 concurrent rows fit; a larger scale exhausts the 4096-row
+	// table — the capacity constraint the multi-scheme design avoids.
+	if _, err := runConfigured("treeadd", 4, func(r *rt.Runtime) { r.ForceGlobalTable = true }); err == nil {
+		t.Error("global table never filled at scale 4 (expected capacity failure)")
+	}
+}
+
+func TestTagLayouts(t *testing.T) {
+	out := TagLayouts()
+	for _, want := range []string{"1008 B", "<- paper", "64"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tag layout table missing %q", want)
+		}
+	}
+}
+
+func TestASICSweep(t *testing.T) {
+	out, err := ASICSweep(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "FPGA prototype") || !strings.Contains(out, "Geo-mean") {
+		t.Error("sweep output malformed")
+	}
+}
+
+func TestReportComposes(t *testing.T) {
+	res := subset(t)
+	w, _ := workloads.ByName("treeadd")
+	m, err := RunMem(w, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Report(res, []MemResult{m})
+	for _, want := range []string{"Table 4", "Figure 10", "Figure 11", "Figure 12"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestHybridMode(t *testing.T) {
+	// Hybrid runs every workload correctly and lands between (or below)
+	// the static choices on the representative pair.
+	for _, name := range []string{"treeadd", "yacr2"} {
+		w, _ := workloads.ByName(name)
+		base, err := runOne(w, rt.Baseline, false, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hyb, err := runOne(w, rt.Hybrid, false, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hyb.Checksum != base.Checksum {
+			t.Fatalf("%s: hybrid checksum diverged", name)
+		}
+		if name == "treeadd" && hyb.Stats.HeapPool == 0 {
+			t.Error("treeadd hybrid: hot signature never graduated to a pool")
+		}
+		if name == "yacr2" && hyb.Stats.HeapPool != 0 {
+			t.Error("yacr2 hybrid: one-off allocations graduated to pools")
+		}
+	}
+}

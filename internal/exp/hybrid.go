@@ -1,0 +1,55 @@
+package exp
+
+import (
+	"fmt"
+
+	"infat/internal/rt"
+	"infat/internal/stats"
+	"infat/internal/workloads"
+)
+
+// HybridReport runs every workload under the dynamic allocator-selection
+// mode (§4.2.1's future-work exploration, implemented here) and compares
+// it against the paper's two static choices. The hypothesis the paper
+// sketches: hybrid should track subheap on pool-friendly programs and
+// avoid subheap's losses where metadata fits the cache anyway.
+func HybridReport(scale int) (string, error) {
+	var t stats.Table
+	t.Add("Benchmark", "Subheap", "Wrapped", "Hybrid", "Hybrid heap split (pool/wrapped)")
+	var sr, wr, hr []float64
+	for _, w := range workloads.All {
+		base, err := runOne(w, rt.Baseline, false, scale)
+		if err != nil {
+			return "", err
+		}
+		sub, err := runOne(w, rt.Subheap, false, scale)
+		if err != nil {
+			return "", err
+		}
+		wrap, err := runOne(w, rt.Wrapped, false, scale)
+		if err != nil {
+			return "", err
+		}
+		hyb, err := runOne(w, rt.Hybrid, false, scale)
+		if err != nil {
+			return "", err
+		}
+		if hyb.Checksum != base.Checksum {
+			return "", fmt.Errorf("exp: %s hybrid checksum diverged", w.Name)
+		}
+		rs := stats.Ratio(sub.Counters.Cycles, base.Counters.Cycles)
+		rw := stats.Ratio(wrap.Counters.Cycles, base.Counters.Cycles)
+		rh := stats.Ratio(hyb.Counters.Cycles, base.Counters.Cycles)
+		sr, wr, hr = append(sr, rs), append(wr, rw), append(hr, rh)
+		t.Add(w.Name, pctCell(rs), pctCell(rw), pctCell(rh),
+			fmt.Sprintf("%d pool / %d other of %d objects",
+				hyb.Stats.HeapPool, hyb.Stats.HeapObjects-hyb.Stats.HeapPool,
+				hyb.Stats.HeapObjects))
+	}
+	return "Hybrid allocator (dynamic scheme selection, §4.2.1 future work)\n" +
+			t.String() +
+			fmt.Sprintf("geo-mean overhead: subheap %+.1f%%, wrapped %+.1f%%, hybrid %+.1f%%\n",
+				stats.Overhead(stats.Geomean(sr)), stats.Overhead(stats.Geomean(wr)),
+				stats.Overhead(stats.Geomean(hr))),
+		nil
+}

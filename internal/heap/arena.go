@@ -1,0 +1,75 @@
+// Package heap provides the guest-memory allocators underneath the In-Fat
+// Pointer runtime (§4.2.1): a bump arena, a glibc-style free-list malloc
+// (the substrate of the *wrapped* allocator), and a buddy allocator (the
+// substrate of the *subheap* pool allocator). Allocator bookkeeping that
+// the real implementations keep in memory (chunk headers) is written into
+// guest memory so the Figure-12 footprint comparison is honest; search
+// structures are host-side for simulation speed, with the instruction cost
+// of allocator work charged through the machine's Tick.
+package heap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOutOfMemory is returned when an arena or allocator is exhausted.
+var ErrOutOfMemory = errors.New("heap: out of memory")
+
+// Arena is a bump region of guest address space.
+type Arena struct {
+	base  uint64
+	brk   uint64
+	limit uint64
+}
+
+// NewArena creates an arena over [base, base+size).
+func NewArena(base, size uint64) *Arena {
+	return &Arena{base: base, brk: base, limit: base + size}
+}
+
+// Sbrk advances the break by n bytes (rounded to 16) and returns the old
+// break.
+func (a *Arena) Sbrk(n uint64) (uint64, error) {
+	n = (n + 15) &^ 15
+	if a.brk+n > a.limit || a.brk+n < a.brk {
+		return 0, fmt.Errorf("%w: arena %#x..%#x brk %#x request %d",
+			ErrOutOfMemory, a.base, a.limit, a.brk, n)
+	}
+	p := a.brk
+	a.brk += n
+	return p, nil
+}
+
+// AlignBrk rounds the break up to the given power-of-two alignment and
+// returns the aligned break.
+func (a *Arena) AlignBrk(align uint64) (uint64, error) {
+	aligned := (a.brk + align - 1) &^ (align - 1)
+	if aligned > a.limit {
+		return 0, ErrOutOfMemory
+	}
+	a.brk = aligned
+	return a.brk, nil
+}
+
+// Used reports bytes consumed from the arena (its footprint contribution).
+func (a *Arena) Used() uint64 { return a.brk - a.base }
+
+// Mark snapshots the current break for a later Release (LIFO regions such
+// as the guest stack).
+func (a *Arena) Mark() uint64 { return a.brk }
+
+// Release moves the break back to a previous Mark. It panics on a mark
+// outside the arena's life range, which is a programming error.
+func (a *Arena) Release(mark uint64) {
+	if mark < a.base || mark > a.brk {
+		panic(fmt.Sprintf("heap: release to %#x outside [%#x,%#x]", mark, a.base, a.brk))
+	}
+	a.brk = mark
+}
+
+// Base returns the arena's start address.
+func (a *Arena) Base() uint64 { return a.base }
+
+// Limit returns the arena's end address.
+func (a *Arena) Limit() uint64 { return a.limit }

@@ -1,0 +1,127 @@
+package heap
+
+import "fmt"
+
+// Buddy is a binary buddy allocator handing out power-of-two sized,
+// naturally aligned blocks — exactly the blocks the subheap scheme needs
+// (§3.3.2: "power-of-2-sized and aligned memory blocks"). The subheap pool
+// allocator is built on top of it (§4.2.1: "a pool allocator on top of a
+// buddy allocator").
+type Buddy struct {
+	base     uint64
+	minOrder uint
+	maxOrder uint
+	free     map[uint]map[uint64]struct{} // order -> set of free block addrs
+	alloc    map[uint64]uint              // allocated block -> order
+
+	used uint64 // bytes in allocated blocks
+	hwm  uint64
+}
+
+// NewBuddy builds a buddy allocator over [base, base+2^regionLog2), with
+// blocks from 2^minLog2 up to 2^regionLog2 bytes. base must be aligned to
+// the region size.
+func NewBuddy(base uint64, regionLog2, minLog2 uint) *Buddy {
+	if minLog2 > regionLog2 {
+		panic("heap: buddy min order exceeds region")
+	}
+	if base&(uint64(1)<<regionLog2-1) != 0 {
+		panic("heap: buddy base not aligned to region size")
+	}
+	b := &Buddy{
+		base:     base,
+		minOrder: minLog2,
+		maxOrder: regionLog2,
+		free:     make(map[uint]map[uint64]struct{}),
+		alloc:    make(map[uint64]uint),
+	}
+	for o := minLog2; o <= regionLog2; o++ {
+		b.free[o] = make(map[uint64]struct{})
+	}
+	b.free[regionLog2][base] = struct{}{}
+	return b
+}
+
+// OrderFor returns the smallest order whose block fits size bytes.
+func (b *Buddy) OrderFor(size uint64) uint {
+	o := b.minOrder
+	for uint64(1)<<o < size {
+		o++
+	}
+	return o
+}
+
+// Alloc returns a free block of 2^order bytes, splitting larger blocks as
+// needed.
+func (b *Buddy) Alloc(order uint) (uint64, error) {
+	if order < b.minOrder {
+		order = b.minOrder
+	}
+	if order > b.maxOrder {
+		return 0, fmt.Errorf("%w: order %d exceeds region order %d", ErrOutOfMemory, order, b.maxOrder)
+	}
+	// Find the smallest order with a free block.
+	o := order
+	for o <= b.maxOrder && len(b.free[o]) == 0 {
+		o++
+	}
+	if o > b.maxOrder {
+		return 0, fmt.Errorf("%w: no block of order %d", ErrOutOfMemory, order)
+	}
+	// Pick the lowest-address free block: deterministic placement keeps
+	// every simulation run bit-reproducible (map iteration order is not),
+	// and dense placement is what a real buddy allocator converges to.
+	var addr uint64
+	first := true
+	for a := range b.free[o] {
+		if first || a < addr {
+			addr = a
+			first = false
+		}
+	}
+	delete(b.free[o], addr)
+	// Split down to the requested order, freeing the upper halves.
+	for o > order {
+		o--
+		b.free[o][addr+uint64(1)<<o] = struct{}{}
+	}
+	b.alloc[addr] = order
+	b.used += uint64(1) << order
+	if b.used > b.hwm {
+		b.hwm = b.used
+	}
+	return addr, nil
+}
+
+// Free returns a block and coalesces with its buddy recursively.
+func (b *Buddy) Free(addr uint64) error {
+	order, ok := b.alloc[addr]
+	if !ok {
+		return fmt.Errorf("heap: buddy free of unallocated block %#x", addr)
+	}
+	delete(b.alloc, addr)
+	b.used -= uint64(1) << order
+	for order < b.maxOrder {
+		buddy := b.base + ((addr - b.base) ^ uint64(1)<<order)
+		if _, free := b.free[order][buddy]; !free {
+			break
+		}
+		delete(b.free[order], buddy)
+		if buddy < addr {
+			addr = buddy
+		}
+		order++
+	}
+	b.free[order][addr] = struct{}{}
+	return nil
+}
+
+// Used reports bytes currently held in allocated blocks.
+func (b *Buddy) Used() uint64 { return b.used }
+
+// HighWater reports the peak of Used.
+func (b *Buddy) HighWater() uint64 { return b.hwm }
+
+// FreeBlocks reports the number of free blocks at the given order (test
+// hook for coalescing behaviour).
+func (b *Buddy) FreeBlocks(order uint) int { return len(b.free[order]) }

@@ -1,0 +1,152 @@
+package juliet
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"infat/internal/machine"
+	"infat/internal/minic"
+	"infat/internal/rt"
+)
+
+// Verdict is the outcome of one case in one mode.
+type Verdict int
+
+// Verdicts.
+const (
+	// Pass: a good case ran clean, or a bad case trapped spatially.
+	Pass Verdict = iota
+	// Missed: a bad case ran to completion undetected.
+	Missed
+	// FalsePositive: a good case trapped.
+	FalsePositive
+	// Errored: compile error or non-spatial runtime failure.
+	Errored
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Pass:
+		return "pass"
+	case Missed:
+		return "missed"
+	case FalsePositive:
+		return "false-positive"
+	case Errored:
+		return "error"
+	}
+	return fmt.Sprintf("verdict(%d)", int(v))
+}
+
+// Outcome records one case's result.
+type Outcome struct {
+	Case    Case
+	Mode    rt.Mode
+	Verdict Verdict
+	Detail  string
+}
+
+// Summary aggregates a run.
+type Summary struct {
+	Total          int
+	BadCases       int
+	Detected       int
+	Missed         int
+	FalsePositives int
+	Errors         int
+	Outcomes       []Outcome
+}
+
+// RunCase executes one case in one mode and classifies the result.
+func RunCase(c Case, mode rt.Mode) Outcome {
+	_, _, err := minic.Execute(c.Src, mode)
+	o := Outcome{Case: c, Mode: mode}
+	spatial := false
+	if err != nil {
+		var re *minic.RunError
+		if errors.As(err, &re) &&
+			(machine.IsTrap(re.Err, machine.TrapPoison) || machine.IsTrap(re.Err, machine.TrapBounds)) {
+			spatial = true
+		}
+	}
+	switch {
+	case err == nil && !c.Bad:
+		o.Verdict = Pass
+	case err == nil && c.Bad:
+		o.Verdict = Missed
+	case spatial && c.Bad:
+		o.Verdict = Pass
+		o.Detail = err.Error()
+	case spatial && !c.Bad:
+		o.Verdict = FalsePositive
+		o.Detail = err.Error()
+	default:
+		o.Verdict = Errored
+		o.Detail = err.Error()
+	}
+	return o
+}
+
+// Run executes the whole suite in one mode.
+func Run(cases []Case, mode rt.Mode) Summary {
+	var s Summary
+	for _, c := range cases {
+		o := RunCase(c, mode)
+		s.Total++
+		if c.Bad {
+			s.BadCases++
+			if o.Verdict == Pass {
+				s.Detected++
+			}
+		}
+		switch o.Verdict {
+		case Missed:
+			s.Missed++
+		case FalsePositive:
+			s.FalsePositives++
+		case Errored:
+			s.Errors++
+		}
+		s.Outcomes = append(s.Outcomes, o)
+	}
+	return s
+}
+
+// Report renders a §5.1-style summary.
+func (s Summary) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cases: %d (%d vulnerable, %d non-vulnerable)\n",
+		s.Total, s.BadCases, s.Total-s.BadCases)
+	fmt.Fprintf(&b, "detected: %d/%d vulnerable\n", s.Detected, s.BadCases)
+	fmt.Fprintf(&b, "missed: %d   false positives: %d   errors: %d\n",
+		s.Missed, s.FalsePositives, s.Errors)
+	byCWE := map[string][2]int{}
+	for _, o := range s.Outcomes {
+		v := byCWE[o.Case.CWE]
+		if o.Case.Bad {
+			v[1]++
+			if o.Verdict == Pass {
+				v[0]++
+			}
+		}
+		byCWE[o.Case.CWE] = v
+	}
+	for _, cwe := range []string{"CWE121", "CWE122", "CWE124", "CWE126", "CWE127", "INTRA"} {
+		if v, ok := byCWE[cwe]; ok {
+			fmt.Fprintf(&b, "  %-7s %d/%d detected\n", cwe, v[0], v[1])
+		}
+	}
+	return b.String()
+}
+
+// Failures lists non-pass outcomes for debugging.
+func (s Summary) Failures() []Outcome {
+	var out []Outcome
+	for _, o := range s.Outcomes {
+		if o.Verdict != Pass {
+			out = append(out, o)
+		}
+	}
+	return out
+}

@@ -1,0 +1,341 @@
+// Package juliet generates and runs a Juliet-style functional evaluation
+// (§5.1): MiniC test programs in the CWE families the paper selects —
+// stack-based buffer overflow (CWE-121), heap-based buffer overflow
+// (CWE-122), buffer underwrite (CWE-124), buffer over-read (CWE-126), and
+// buffer under-read (CWE-127) — plus the intra-object-overflow variants
+// the paper's compiler optimized away (ours are not, so they are part of
+// the run). Each test case has a good (in-bounds) and a bad (out-of-
+// bounds) version, mirroring the Juliet structure where main() exercises
+// the good code and then the vulnerable code.
+package juliet
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Case is one generated test program.
+type Case struct {
+	Name string
+	CWE  string
+	Bad  bool // true if the program contains a triggered spatial error
+	Src  string
+}
+
+// site describes where the buffer lives.
+type site struct {
+	name  string
+	decl  func(size int) string // declares `buf` (and helpers)
+	extra string                // trailing cleanup code
+}
+
+var sites = []site{
+	{
+		name: "stack",
+		decl: func(size int) string {
+			return fmt.Sprintf("\tchar buf[%d];\n\tmemset(buf, 'A', %d);", size, size)
+		},
+	},
+	{
+		name: "heap",
+		decl: func(size int) string {
+			return fmt.Sprintf("\tchar *buf = (char*)malloc(%d);\n\tmemset(buf, 'A', %d);", size, size)
+		},
+		extra: "\tfree(buf);",
+	},
+	{
+		name: "heap_long",
+		decl: func(size int) string {
+			return fmt.Sprintf("\tlong *lbuf = (long*)malloc(%d * sizeof(long));\n"+
+				"\tchar *buf = (char*)lbuf;\n\tmemset(buf, 'A', %d * 8);", size/8, size/8)
+		},
+		extra: "\tfree(lbuf);",
+	},
+	{
+		name: "global",
+		decl: func(size int) string {
+			return fmt.Sprintf("\tchar *buf = gbuf;\n\tmemset(buf, 'A', %d);", size)
+		},
+	},
+}
+
+// flow describes how the out-of-bounds access is reached. idx is the byte
+// offset accessed (negative = underflow); kind is "write" or "read".
+type flow struct {
+	name string
+	gen  func(idx int, kind string) string
+}
+
+var flows = []flow{
+	{
+		name: "direct",
+		gen: func(idx int, kind string) string {
+			if kind == "write" {
+				return fmt.Sprintf("\tbuf[%d] = 'X';", idx)
+			}
+			return fmt.Sprintf("\tsink = sink + buf[%d];", idx)
+		},
+	},
+	{
+		name: "loop",
+		gen: func(idx int, kind string) string {
+			if idx < 0 {
+				// Loop down past the base.
+				body := "buf[i] = 'X';"
+				if kind == "read" {
+					body = "sink = sink + buf[i];"
+				}
+				return fmt.Sprintf("\tfor (i = 4; i >= %d; i = i - 1) { %s }", idx, body)
+			}
+			body := "buf[i] = 'X';"
+			if kind == "read" {
+				body = "sink = sink + buf[i];"
+			}
+			return fmt.Sprintf("\tfor (i = 0; i <= %d; i = i + 1) { %s }", idx, body)
+		},
+	},
+	{
+		name: "ptr_arith",
+		gen: func(idx int, kind string) string {
+			if kind == "write" {
+				return fmt.Sprintf("\tchar *p = buf + %d;\n\t*p = 'X';", idx)
+			}
+			return fmt.Sprintf("\tchar *p = buf + %d;\n\tsink = sink + *p;", idx)
+		},
+	},
+	{
+		name: "callee",
+		gen: func(idx int, kind string) string {
+			if kind == "write" {
+				return fmt.Sprintf("\tpoke(buf, %d);", idx)
+			}
+			return fmt.Sprintf("\tsink = sink + peek(buf, %d);", idx)
+		},
+	},
+	{
+		name: "global_ptr",
+		gen: func(idx int, kind string) string {
+			if kind == "write" {
+				return fmt.Sprintf("\tgp = buf;\n\tgp[%d] = 'X';", idx)
+			}
+			return fmt.Sprintf("\tgp = buf;\n\tsink = sink + gp[%d];", idx)
+		},
+	},
+	{
+		name: "do_loop",
+		gen: func(idx int, kind string) string {
+			body := "buf[i] = 'X';"
+			if kind == "read" {
+				body = "sink = sink + buf[i];"
+			}
+			if idx < 0 {
+				return fmt.Sprintf("\ti = 4;\n\tdo { %s i = i - 1; } while (i >= %d);", body, idx)
+			}
+			return fmt.Sprintf("\ti = 0;\n\tdo { %s i = i + 1; } while (i <= %d);", body, idx)
+		},
+	},
+	{
+		name: "switch_dispatch",
+		gen: func(idx int, kind string) string {
+			acc := fmt.Sprintf("buf[%d] = 'X';", idx)
+			if kind == "read" {
+				acc = fmt.Sprintf("sink = sink + buf[%d];", idx)
+			}
+			return fmt.Sprintf(`	switch (mode) {
+	case 0:
+		sink = sink + 1;
+		break;
+	case 1:
+		%s
+		break;
+	default:
+		sink = sink - 1;
+	}`, acc)
+		},
+	},
+	{
+		name: "memcpy",
+		gen: func(idx int, kind string) string {
+			n := idx + 1
+			if idx < 0 {
+				return fmt.Sprintf("\tmemcpy(buf - %d, src, 4);", -idx)
+			}
+			if kind == "read" {
+				return fmt.Sprintf("\tmemcpy(dst, buf, %d);", n)
+			}
+			return fmt.Sprintf("\tmemcpy(buf, src, %d);", n)
+		},
+	},
+}
+
+const prologue = `char gbuf[%d];
+char *gp;
+char src[96];
+char dst[96];
+long sink = 0;
+void poke(char *b, int at) { b[at] = 'X'; }
+char peek(char *b, int at) { return b[at]; }
+int main() {
+	long i;
+	int mode = 1;
+`
+
+const epilogue = `	print(sink);
+	return 0;
+}`
+
+// buildCase assembles one program.
+func buildCase(cwe string, st site, fl flow, size, idx int, kind string, bad bool) Case {
+	var b strings.Builder
+	fmt.Fprintf(&b, prologue, size)
+	b.WriteString(st.decl(size))
+	b.WriteString("\n")
+	b.WriteString(fl.gen(idx, kind))
+	b.WriteString("\n")
+	if st.extra != "" {
+		b.WriteString(st.extra)
+		b.WriteString("\n")
+	}
+	b.WriteString(epilogue)
+	variant := "good"
+	if bad {
+		variant = "bad"
+	}
+	return Case{
+		Name: fmt.Sprintf("%s_%s_%s_%s", cwe, st.name, fl.name, variant),
+		CWE:  cwe,
+		Bad:  bad,
+		Src:  b.String(),
+	}
+}
+
+// Generate produces the full suite.
+func Generate() []Case {
+	var cases []Case
+	const size = 32
+
+	type family struct {
+		cwe     string
+		kind    string
+		badIdx  int
+		goodIdx int
+	}
+	families := []family{
+		{"CWE121", "write", size, size - 1},    // over-write (stack naming kept per family below)
+		{"CWE122", "write", size, size - 1},    // heap over-write
+		{"CWE124", "write", -4, 0},             // underwrite
+		{"CWE126", "read", size + 4, size - 1}, // over-read
+		{"CWE127", "read", -4, 0},              // under-read
+	}
+	for _, fam := range families {
+		for _, st := range sites {
+			// Keep the CWE/site pairing meaningful: 121 is stack-based,
+			// 122 heap-based; the pointer-centric families run on all
+			// sites.
+			if fam.cwe == "CWE121" && st.name != "stack" && st.name != "global" {
+				continue
+			}
+			if fam.cwe == "CWE122" && st.name != "heap" && st.name != "heap_long" {
+				continue
+			}
+			for _, fl := range flows {
+				// memcpy flows do not express under-accesses beyond one
+				// fixed shape; skip non-write under for it.
+				if fl.name == "memcpy" && fam.kind == "read" && fam.badIdx < 0 {
+					continue
+				}
+				cases = append(cases,
+					buildCase(fam.cwe, st, fl, size, fam.goodIdx, fam.kind, false),
+					buildCase(fam.cwe, st, fl, size, fam.badIdx, fam.kind, true),
+				)
+			}
+		}
+	}
+
+	cases = append(cases, intraObjectCases()...)
+	return cases
+}
+
+// intraObjectCases are the subobject-granularity tests: the overflow stays
+// inside the enclosing object, so object-granularity defenses miss them.
+func intraObjectCases() []Case {
+	mk := func(name string, bad bool, body string) Case {
+		src := `struct Pair { char vulnerable[12]; char sensitive[12]; };
+struct Outer { long tag; struct Pair pairs[3]; long tail; };
+char *gp;
+long sink = 0;
+int main() {
+	long i;
+	int mode = 1;
+` + body + `
+	print(sink);
+	return 0;
+}`
+		return Case{Name: name, CWE: "INTRA", Bad: bad, Src: src}
+	}
+	var cases []Case
+	// Stack struct, member overflow via derived pointer.
+	cases = append(cases,
+		mk("INTRA_stack_member_good", false, `
+	struct Pair s;
+	char *p = s.vulnerable;
+	for (i = 0; i < 12; i = i + 1) { p[i] = 'A'; }
+	sink = p[11];`),
+		mk("INTRA_stack_member_bad", true, `
+	struct Pair s;
+	char *p = s.vulnerable;
+	for (i = 0; i <= 12; i = i + 1) { p[i] = 'A'; }
+	sink = p[11];`),
+	)
+	// Heap struct, pointer stored to a global and reloaded (promote +
+	// layout-table narrowing path).
+	cases = append(cases,
+		mk("INTRA_heap_reload_good", false, `
+	struct Pair *s = (struct Pair*)malloc(sizeof(struct Pair));
+	gp = s->vulnerable;
+	char *p = gp;
+	for (i = 0; i < 12; i = i + 1) { p[i] = 'A'; }
+	sink = p[0];
+	free(s);`),
+		mk("INTRA_heap_reload_bad", true, `
+	struct Pair *s = (struct Pair*)malloc(sizeof(struct Pair));
+	gp = s->vulnerable;
+	char *p = gp;
+	for (i = 0; i <= 12; i = i + 1) { p[i] = 'A'; }
+	sink = p[0];
+	free(s);`),
+	)
+	// Array-of-struct nesting: overflow from pairs[1].vulnerable.
+	cases = append(cases,
+		mk("INTRA_nested_array_good", false, `
+	struct Outer *o = (struct Outer*)malloc(sizeof(struct Outer));
+	gp = o->pairs[1].vulnerable;
+	char *p = gp;
+	for (i = 0; i < 12; i = i + 1) { p[i] = 'A'; }
+	sink = p[3];
+	free(o);`),
+		mk("INTRA_nested_array_bad", true, `
+	struct Outer *o = (struct Outer*)malloc(sizeof(struct Outer));
+	gp = o->pairs[1].vulnerable;
+	char *p = gp;
+	for (i = 0; i <= 12; i = i + 1) { p[i] = 'A'; }
+	sink = p[3];
+	free(o);`),
+	)
+	// Member over-read.
+	cases = append(cases,
+		mk("INTRA_member_read_good", false, `
+	struct Pair s;
+	memset(s.vulnerable, 'v', 12);
+	memset(s.sensitive, 's', 12);
+	char *p = s.vulnerable;
+	for (i = 0; i < 12; i = i + 1) { sink = sink + p[i]; }`),
+		mk("INTRA_member_read_bad", true, `
+	struct Pair s;
+	memset(s.vulnerable, 'v', 12);
+	memset(s.sensitive, 's', 12);
+	char *p = s.vulnerable;
+	for (i = 0; i < 16; i = i + 1) { sink = sink + p[i]; }`),
+	)
+	return cases
+}

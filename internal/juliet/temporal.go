@@ -1,0 +1,109 @@
+package juliet
+
+// Temporal-error characterization (§3 protection scope): "In-Fat Pointer
+// cannot detect temporal memory errors (i.e., use-after-free) beyond those
+// that invalidate object metadata." This file makes that sentence
+// executable: a small suite of use-after-free and double-free programs,
+// each annotated with whether the defense is *expected* to catch it, so
+// the boundary of the guarantee is pinned by tests rather than prose.
+
+// TemporalCase is one temporal-error program with its expected outcome.
+type TemporalCase struct {
+	Name string
+	Src  string
+	// ExpectDetect: the run should fail (metadata invalidation catches
+	// it). When false, the program exercises a temporal error the design
+	// documents as out of scope — the run is expected to complete.
+	ExpectDetect bool
+	Why          string
+}
+
+// GenerateTemporal produces the characterization suite.
+func GenerateTemporal() []TemporalCase {
+	return []TemporalCase{
+		{
+			Name:         "uaf_reload_promote",
+			ExpectDetect: true,
+			Why: "the stale pointer is reloaded from memory, so promote " +
+				"re-fetches the (now cleared) object metadata and poisons it",
+			Src: `
+long *gv;
+int main() {
+	long *p = (long*)malloc(4 * sizeof(long));
+	gv = p;
+	free(p);
+	long *q = gv;
+	*q = 1;
+	return 0;
+}`,
+		},
+		{
+			Name:         "uaf_subheap_block_reuse",
+			ExpectDetect: true,
+			Why: "freeing the last object returns the block and zeroes its " +
+				"shared metadata, so the stale pointer's promote fails",
+			Src: `
+struct N { long a; long b; };
+struct N *gv;
+int main() {
+	struct N *p = (struct N*)malloc(sizeof(struct N));
+	gv = p;
+	free(p);
+	struct N *q = gv;
+	q->a = 1;
+	return 0;
+}`,
+		},
+		{
+			Name:         "uaf_immediate_reuse_of_variable",
+			ExpectDetect: true,
+			Why: "this VM spills every pointer variable to its stack slot " +
+				"and re-promotes on each use, so even the immediate reuse " +
+				"re-reads the cleared metadata; a register-allocating " +
+				"compiler would keep the bounds in an IFPR and miss this " +
+				"(the §3 documented gap — demonstrated at the API level in " +
+				"the juliet tests)",
+			Src: `
+int main() {
+	long *p = (long*)malloc(4 * sizeof(long));
+	p[0] = 7;
+	free(p);
+	p[1] = 8;
+	return 0;
+}`,
+		},
+		{
+			Name:         "uaf_slot_reused_same_type",
+			ExpectDetect: false,
+			Why: "the slot was reallocated to a same-type object, so the " +
+				"stale pointer's promote resolves live, matching metadata — " +
+				"type-safe reuse, the classic limit of invalidation-based " +
+				"temporal detection",
+			Src: `
+long *gv;
+int main() {
+	long *p = (long*)malloc(4 * sizeof(long));
+	gv = p;
+	free(p);
+	long *fresh = (long*)malloc(4 * sizeof(long));
+	fresh[0] = 1;
+	long *q = gv;
+	*q = 2;
+	free(fresh);
+	return 0;
+}`,
+		},
+		{
+			Name:         "double_free",
+			ExpectDetect: true,
+			Why:          "the allocator rejects the second free of the same chunk",
+			Src: `
+int main() {
+	long *p = (long*)malloc(2 * sizeof(long));
+	free(p);
+	free(p);
+	return 0;
+}`,
+		},
+	}
+}

@@ -1,0 +1,449 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// paperS builds Figure 9a's struct S and its table.
+func paperS(t *testing.T) (*Type, *Table) {
+	t.Helper()
+	nested := StructOf("NestedTy", F("v3", Int), F("v4", Int))
+	s := StructOf("S", F("v1", Int), F("array", ArrayOf(nested, 2)), F("v5", Int))
+	tb, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, tb
+}
+
+func TestBuildMatchesFigure9(t *testing.T) {
+	_, tb := paperS(t)
+	// Figure 9b: 6 entries with exactly these tuples.
+	want := []Entry{
+		{Parent: 0, Base: 0, Bound: 24, Size: 24}, // 0: S
+		{Parent: 0, Base: 0, Bound: 4, Size: 4},   // 1: S.v1
+		{Parent: 0, Base: 4, Bound: 20, Size: 8},  // 2: S.array
+		{Parent: 2, Base: 0, Bound: 4, Size: 4},   // 3: S.array[].v3
+		{Parent: 2, Base: 4, Bound: 8, Size: 4},   // 4: S.array[].v4
+		{Parent: 0, Base: 20, Bound: 24, Size: 4}, // 5: S.v5
+	}
+	if len(tb.Entries) != len(want) {
+		t.Fatalf("entries = %d, want %d: %+v", len(tb.Entries), len(want), tb.Entries)
+	}
+	for i, e := range tb.Entries {
+		if e != want[i] {
+			t.Errorf("entry %d = %+v, want %+v (%s)", i, e, want[i], tb.Paths[i])
+		}
+	}
+	// The element count of S.array is derivable: (bound-base)/size = 2.
+	e := tb.Entries[2]
+	if n := (e.Bound - e.Base) / e.Size; n != 2 {
+		t.Errorf("derived element count = %d, want 2", n)
+	}
+}
+
+func TestPathsAndIndexOf(t *testing.T) {
+	_, tb := paperS(t)
+	for path, want := range map[string]uint16{
+		"": 0, "v1": 1, "array": 2, "array[].v3": 3, "array[].v4": 4, "v5": 5,
+	} {
+		got, ok := tb.IndexOf(path)
+		if !ok || got != want {
+			t.Errorf("IndexOf(%q) = (%d,%v), want %d", path, got, ok, want)
+		}
+	}
+	if _, ok := tb.IndexOf("array[].nope"); ok {
+		t.Error("IndexOf found a ghost path")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	_, tb := paperS(t)
+	words := tb.Encode()
+	if len(words) != 2*len(tb.Entries) {
+		t.Fatalf("encoded words = %d", len(words))
+	}
+	for i, e := range tb.Entries {
+		if got := DecodeEntry(words[2*i], words[2*i+1]); got != e {
+			t.Errorf("entry %d decode = %+v, want %+v", i, got, e)
+		}
+	}
+}
+
+func TestNarrowSimpleFields(t *testing.T) {
+	// Bounds of S.v1 and S.v5 are plain offsets from the object base.
+	_, tb := paperS(t)
+	base := uint64(0x1000)
+	b, st, err := NarrowTable(tb, base, 24, base, 1) // &s.v1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Lower != base || b.Upper != base+4 {
+		t.Errorf("v1 bounds = %v", b)
+	}
+	if st.Divisions != 0 {
+		t.Errorf("v1 narrowing used %d divisions, want 0", st.Divisions)
+	}
+	b, _, err = NarrowTable(tb, base, 24, base+20, 5) // &s.v5
+	if err != nil || b.Lower != base+20 || b.Upper != base+24 {
+		t.Errorf("v5 bounds = %v (err %v)", b, err)
+	}
+}
+
+func TestNarrowIndexZeroIsObjectBounds(t *testing.T) {
+	_, tb := paperS(t)
+	b, st, err := NarrowTable(tb, 0x1000, 24, 0x1000, 0)
+	if err != nil || b.Lower != 0x1000 || b.Upper != 0x1018 {
+		t.Errorf("object bounds = %v (err %v)", b, err)
+	}
+	if st.Fetches != 0 {
+		t.Error("index 0 fetched entries")
+	}
+}
+
+func TestNarrowArrayOfStruct(t *testing.T) {
+	// §3.4 worked example: promote of a pointer to S.array[1].v3
+	// (element 3). The walk fetches elements 3 and 2, divides once, and
+	// produces the bounds of S.array[1].v3.
+	_, tb := paperS(t)
+	base := uint64(0x2000)
+	addr := base + 4 + 8 // S.array[1] starts at offset 12; .v3 at 12
+	b, st, err := NarrowTable(tb, base, 24, addr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Lower != base+12 || b.Upper != base+16 {
+		t.Errorf("array[1].v3 bounds = %v, want [%#x,%#x)", b, base+12, base+16)
+	}
+	if st.Fetches != 3 {
+		t.Errorf("fetches = %d, want 3 (element 3, parent 2, root)", st.Fetches)
+	}
+	if st.Divisions != 1 {
+		t.Errorf("divisions = %d, want 1", st.Divisions)
+	}
+
+	// And S.array[0].v4: element 4, address offset 4+4=8.
+	b, _, err = NarrowTable(tb, base, 24, base+8, 4)
+	if err != nil || b.Lower != base+8 || b.Upper != base+12 {
+		t.Errorf("array[0].v4 bounds = %v (err %v)", b, err)
+	}
+}
+
+func TestNarrowWholeArraySubobject(t *testing.T) {
+	// A pointer narrowed to S.array (element 2) may roam the whole array:
+	// no per-element bounds, so loops over it need no ifpidx updates.
+	_, tb := paperS(t)
+	base := uint64(0x3000)
+	for _, off := range []uint64{4, 8, 12, 16, 19} {
+		b, _, err := NarrowTable(tb, base, 24, base+off, 2)
+		if err != nil || b.Lower != base+4 || b.Upper != base+20 {
+			t.Errorf("array bounds at +%d = %v (err %v)", off, b, err)
+		}
+	}
+}
+
+func TestNarrowListing1(t *testing.T) {
+	// Listing 1: narrowing to `vulnerable` must exclude `sensitive`.
+	s := StructOf("S", F("vulnerable", ArrayOf(Char, 12)), F("sensitive", ArrayOf(Char, 12)))
+	tb, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vi, ok := tb.IndexOf("vulnerable")
+	if !ok {
+		t.Fatal("no index for vulnerable")
+	}
+	base := uint64(0x4000)
+	b, _, err := NarrowTable(tb, base, s.Size(), base, vi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Contains(base+11, 1) {
+		t.Error("last byte of vulnerable rejected")
+	}
+	if b.Contains(base+12, 1) {
+		t.Error("first byte of sensitive accepted: intra-object overflow undetected")
+	}
+}
+
+func TestNarrowDeepNesting(t *testing.T) {
+	// struct Outer { struct Mid { struct In { int a; int b; } ins[3]; int
+	// tail; } mids[2]; } — two array-of-struct levels -> two divisions.
+	in := StructOf("In", F("a", Int), F("b", Int))
+	mid := StructOf("Mid", F("ins", ArrayOf(in, 3)), F("tail", Int))
+	outer := StructOf("Outer", F("mids", ArrayOf(mid, 2)))
+	tb, err := Build(outer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi, ok := tb.IndexOf("mids[].ins[].b")
+	if !ok {
+		t.Fatalf("paths = %v", tb.Paths)
+	}
+	base := uint64(0x5000)
+	// mids[1].ins[2].b: mid size 28, in size 8 -> offset 28 + 16 + 4 = 48.
+	addr := base + 48
+	b, st, err := NarrowTable(tb, base, outer.Size(), addr, bi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Lower != addr || b.Upper != addr+4 {
+		t.Errorf("bounds = %v, want [%#x,%#x)", b, addr, addr+4)
+	}
+	if st.Divisions != 2 {
+		t.Errorf("divisions = %d, want 2", st.Divisions)
+	}
+	if st.Depth < 3 {
+		t.Errorf("depth = %d, want >=3", st.Depth)
+	}
+}
+
+func TestNarrowArrayOfArray(t *testing.T) {
+	// int grid[4][6] wrapped in a struct: inner rows get their own entry.
+	grid := StructOf("G", F("g", ArrayOf(ArrayOf(Int, 6), 4)))
+	tb, err := Build(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, ok := tb.IndexOf("g[]")
+	if !ok {
+		t.Fatalf("paths = %v", tb.Paths)
+	}
+	base := uint64(0x6000)
+	// Address in row 2: bounds should be exactly row 2 (24 bytes).
+	addr := base + 2*24 + 8
+	b, _, err := NarrowTable(tb, base, grid.Size(), addr, ri)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Lower != base+48 || b.Upper != base+72 {
+		t.Errorf("row bounds = %v, want [%#x,%#x)", b, base+48, base+72)
+	}
+}
+
+func TestNarrowBadIndex(t *testing.T) {
+	_, tb := paperS(t)
+	if _, _, err := NarrowTable(tb, 0x1000, 24, 0x1000, 99); err != ErrBadIndex {
+		t.Errorf("err = %v, want ErrBadIndex", err)
+	}
+}
+
+func TestNarrowMalformedTableDetected(t *testing.T) {
+	// A corrupt entry whose parent >= index must be rejected (hardware
+	// defense against tampered tables; the MAC protects object metadata
+	// but the table pointer could point anywhere).
+	words := []uint64{
+		// entry 0 (unused by walks)
+		0, 0,
+		// entry 1: parent = 1 (self-loop)
+		1 | 0<<16 | 8<<40, 8,
+	}
+	fetch := func(a uint64) (uint64, uint64, error) {
+		i := int(a / EntryBytes)
+		return words[2*i], words[2*i+1], nil
+	}
+	if _, _, err := Narrow(fetch, 0, 0x1000, 24, 0x1000, 1); err != ErrBadTable {
+		t.Errorf("err = %v, want ErrBadTable", err)
+	}
+
+	// Zero element size is also malformed (division guard).
+	words[2] = 0 | 0<<16 | 8<<40
+	words[3] = 0
+	if _, _, err := Narrow(fetch, 0, 0x1000, 24, 0x1000, 1); err != ErrBadTable {
+		t.Errorf("zero-size err = %v, want ErrBadTable", err)
+	}
+
+	// A malformed root entry (zero size) is rejected too.
+	words[0], words[1] = 0, 0
+	words[2], words[3] = 0|0<<16|8<<40, 8
+	if _, _, err := Narrow(fetch, 0, 0x1000, 24, 0x1000, 1); err != ErrBadTable {
+		t.Errorf("bad root err = %v, want ErrBadTable", err)
+	}
+
+	// A child bound exceeding the parent span coarsens to object bounds:
+	// the table describes a type that does not fit the object.
+	words[0], words[1] = 0|0<<16|24<<40, 24 // valid root
+	words[2], words[3] = 0|0<<16|4096<<40, 4096
+	b, _, err := Narrow(fetch, 0, 0x1000, 24, 0x1000, 1)
+	if err != ErrOutsideSub {
+		t.Errorf("oversize child err = %v, want ErrOutsideSub", err)
+	}
+	if b.Lower != 0x1000 || b.Upper != 0x1018 {
+		t.Errorf("coarsened bounds = %v", b)
+	}
+}
+
+func TestNarrowHeapArraySharedTable(t *testing.T) {
+	// A heap allocation of 5 structs shares the element type's table: the
+	// object size exceeds the root entry's size, so the walker locates
+	// the element with a root-level division before descending.
+	s := StructOf("Node", F("key", Long), F("pad", ArrayOf(Char, 8)), F("val", Int))
+	tb, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vi, ok := tb.IndexOf("val")
+	if !ok {
+		t.Fatal("no val entry")
+	}
+	base := uint64(0x9000)
+	objSize := 5 * s.Size()
+	// Pointer to element 3's val field.
+	addr := base + 3*s.Size() + 16
+	b, st, err := NarrowTable(tb, base, objSize, addr, vi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Lower != addr || b.Upper != addr+4 {
+		t.Errorf("bounds = %v, want [%#x,%#x)", b, addr, addr+4)
+	}
+	if st.Divisions != 1 {
+		t.Errorf("divisions = %d, want 1 (root element locate)", st.Divisions)
+	}
+	// Element-to-element overflow is now detectable: the bounds exclude
+	// the neighbouring element's val.
+	if b.Contains(addr+s.Size(), 1) {
+		t.Error("bounds leak into the next array element")
+	}
+}
+
+func TestNarrowOutsideArrayElement(t *testing.T) {
+	// Promote of a pointer whose address is outside the indexed
+	// array-nested subobject: the element cannot be identified, so the
+	// walk reports ErrOutsideSub and returns object bounds (the paper's
+	// coarsening guarantee under incorrect types, §3).
+	_, tb := paperS(t)
+	base := uint64(0x7000)
+	b, _, err := NarrowTable(tb, base, 24, base+30, 3) // past the object
+	if err != ErrOutsideSub {
+		t.Fatalf("err = %v, want ErrOutsideSub", err)
+	}
+	if b.Lower != base || b.Upper != base+24 {
+		t.Errorf("coarsened bounds = %v, want object bounds", b)
+	}
+}
+
+func TestNarrowOutsideScalarFieldStillResolves(t *testing.T) {
+	// A pointer one-past-the-end of a non-array field still resolves that
+	// field's bounds (needed for legal off-by-one pointers).
+	_, tb := paperS(t)
+	base := uint64(0x8000)
+	b, _, err := NarrowTable(tb, base, 24, base+4, 1) // one past v1
+	if err != nil || b.Lower != base || b.Upper != base+4 {
+		t.Errorf("bounds = %v (err %v)", b, err)
+	}
+}
+
+func TestBuildTooLargeRejected(t *testing.T) {
+	big := StructOf("Big", F("pad", ArrayOf(Char, 1<<25)), F("x", Int))
+	if _, err := Build(big); err == nil {
+		t.Error("oversized offsets accepted")
+	}
+}
+
+func TestBoundsContains(t *testing.T) {
+	b := Bounds{Lower: 0x100, Upper: 0x110}
+	if !b.Contains(0x100, 16) || !b.Contains(0x10f, 1) {
+		t.Error("in-bounds access rejected")
+	}
+	if b.Contains(0x0ff, 1) || b.Contains(0x110, 1) || b.Contains(0x10f, 2) {
+		t.Error("out-of-bounds access accepted")
+	}
+	if b.Contains(^uint64(0), 2) {
+		t.Error("wrapping access accepted")
+	}
+	if b.Span() != 16 || b.String() == "" {
+		t.Error("span/string")
+	}
+}
+
+// Property: for every field path in a random struct, narrowing at an
+// address inside the subobject yields bounds that (a) contain the address,
+// (b) lie within the object, and (c) match the field's static extent.
+func TestQuickNarrowSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	scalars := []*Type{Char, Short, Int, Long}
+	f := func(n1, n2, pick uint8) bool {
+		inner := StructOf("I",
+			F("a", scalars[int(n1)%len(scalars)]),
+			F("b", ArrayOf(scalars[int(n2)%len(scalars)], 1+uint64(n1%5))),
+		)
+		outer := StructOf("O",
+			F("x", scalars[int(pick)%len(scalars)]),
+			F("arr", ArrayOf(inner, 1+uint64(n2%4))),
+			F("y", Long),
+		)
+		tb, err := Build(outer)
+		if err != nil {
+			return false
+		}
+		base := uint64(0x10000)
+		for idx := 1; idx < len(tb.Entries); idx++ {
+			// Pick an address inside the subobject's first element.
+			e := tb.Entries[idx]
+			// Resolve the absolute lower bound via narrowing at the
+			// statically known first-element position.
+			addr := absoluteLower(tb, uint16(idx), base)
+			b, _, err := NarrowTable(tb, base, outer.Size(), addr, uint16(idx))
+			if err != nil {
+				return false
+			}
+			if !b.Contains(addr, 1) {
+				return false
+			}
+			if b.Lower < base || b.Upper > base+outer.Size() {
+				return false
+			}
+			if b.Span() != e.Bound-e.Base {
+				return false
+			}
+		}
+		_ = rng
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// absoluteLower computes the first-element absolute offset of entry idx by
+// walking parents statically.
+func absoluteLower(tb *Table, idx uint16, base uint64) uint64 {
+	if idx == 0 {
+		return base
+	}
+	e := tb.Entries[idx]
+	return absoluteLower(tb, e.Parent, base) + e.Base
+}
+
+func BenchmarkNarrowFlat(b *testing.B) {
+	nested := StructOf("NestedTy", F("v3", Int), F("v4", Int))
+	s := StructOf("S", F("v1", Int), F("array", ArrayOf(nested, 2)), F("v5", Int))
+	tb, _ := Build(s)
+	words := tb.Encode()
+	fetch := func(a uint64) (uint64, uint64, error) {
+		i := int(a / EntryBytes)
+		return words[2*i], words[2*i+1], nil
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = Narrow(fetch, 0, 0x1000, 24, 0x1000, 1)
+	}
+}
+
+func BenchmarkNarrowArrayOfStruct(b *testing.B) {
+	nested := StructOf("NestedTy", F("v3", Int), F("v4", Int))
+	s := StructOf("S", F("v1", Int), F("array", ArrayOf(nested, 2)), F("v5", Int))
+	tb, _ := Build(s)
+	words := tb.Encode()
+	fetch := func(a uint64) (uint64, uint64, error) {
+		i := int(a / EntryBytes)
+		return words[2*i], words[2*i+1], nil
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = Narrow(fetch, 0, 0x1000, 24, 0x100c, 3)
+	}
+}

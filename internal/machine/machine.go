@@ -1,0 +1,263 @@
+// Package machine simulates the modified CVA6 core of §4: the IFP unit,
+// bounds registers (IFPRs), subheap/global-table control registers, the
+// Table-3 instruction set, implicit checking, and a cycle model calibrated
+// to a single-issue in-order pipeline with an L1 data cache.
+//
+// The machine is an architectural simulator, not an RTL model: it executes
+// the *semantics* of each instruction bit-exactly (tags, metadata,
+// narrowing, poison) and charges cycles according to a small cost model so
+// that relative overheads — the quantities the paper's Figures 10-12
+// report — are meaningful.
+package machine
+
+import (
+	"fmt"
+
+	"infat/internal/cache"
+	"infat/internal/layout"
+	"infat/internal/mac"
+	"infat/internal/mem"
+	"infat/internal/metadata"
+	"infat/internal/tag"
+)
+
+// BoundsReg is the 96-bit bounds register paired with a GPR to form a
+// logical IFPR (§3.1). Valid=false models "bounds cleared": the pointer is
+// not subject to checking (legacy pointers, or after implicit clearing).
+type BoundsReg struct {
+	B     layout.Bounds
+	Valid bool
+}
+
+// Cleared is the bounds-cleared register value.
+var Cleared = BoundsReg{}
+
+// CostModel holds the cycle costs of the simulated pipeline. Defaults are
+// calibrated to the paper's 50 MHz FPGA system: most instructions are
+// single-cycle (§4.1: "implemented in the integer ALU and take a single
+// cycle"); promote pays an un-pipelined IFP-unit cost plus its metadata
+// memory traffic; the layout walker pays a multi-cycle division per
+// array-of-struct level (§5.3).
+type CostModel struct {
+	MissPenalty   uint64 // extra cycles per L1D miss
+	PromoteBase   uint64 // fixed IFP-unit occupancy per metadata-fetching promote
+	DivCycles     uint64 // layout-walker division (unconstrained divisor, §5.3)
+	SlotDivCycles uint64 // subheap slot division (divisor constrained cheap, §3.3.2)
+	MacCycles     uint64 // MAC verify/generate latency
+}
+
+// DefaultCost is the standard calibration.
+var DefaultCost = CostModel{MissPenalty: 20, PromoteBase: 2, DivCycles: 12, SlotDivCycles: 2, MacCycles: 2}
+
+// Counters accumulates the dynamic event counts the evaluation reports
+// (Table 4, Figure 11) plus cycle and cache-side statistics.
+type Counters struct {
+	Instrs uint64 // all dynamic instructions, baseline + IFP
+	Cycles uint64
+	Loads  uint64
+	Stores uint64
+
+	Promote       uint64 // promote instructions executed
+	PromoteNull   uint64 // bypassed: NULL operand
+	PromoteLegacy uint64 // bypassed: non-null legacy operand
+	PromotePoison uint64 // bypassed: invalid-poisoned operand
+	PromoteValid  uint64 // performed an object-metadata lookup
+	PromoteFailed uint64 // metadata fetched but invalid -> output poisoned
+
+	NarrowAttempts uint64 // valid promotes with a non-zero subobject index
+	NarrowSuccess  uint64 // subobject bounds produced
+	NarrowCoarse   uint64 // coarsened to object bounds (no layout table / type mismatch)
+
+	IfpAdd, IfpIdx, IfpBnd, IfpChk, IfpMac, IfpMd, IfpExtract uint64
+	LdBnd, StBnd                                              uint64
+
+	Checks      uint64 // bounds checks performed (implicit + explicit + fused)
+	CheckFails  uint64
+	PoisonTraps uint64
+
+	MetaFetches     uint64 // object-metadata words fetched
+	LayoutFetches   uint64 // layout-table entries fetched
+	LayoutDivisions uint64
+}
+
+// IfpArith is Figure 11's "IFP Arithmetic" class: every single-cycle IFP
+// instruction (tag updates, bounds creation, checks, MAC, metadata setup).
+func (c *Counters) IfpArith() uint64 {
+	return c.IfpAdd + c.IfpIdx + c.IfpBnd + c.IfpChk + c.IfpMac + c.IfpMd + c.IfpExtract
+}
+
+// IfpBoundsMem is Figure 11's "IFP Bounds Load/Store" class.
+func (c *Counters) IfpBoundsMem() uint64 { return c.LdBnd + c.StBnd }
+
+// IfpTotal is every instruction introduced by In-Fat Pointer.
+func (c *Counters) IfpTotal() uint64 { return c.Promote + c.IfpArith() + c.IfpBoundsMem() }
+
+// Machine is the simulated core plus its memory system.
+type Machine struct {
+	Mem *mem.Memory
+	L1D *cache.Cache
+	Key mac.Key
+
+	// CRs are the 16 subheap control registers (§3.3.2).
+	CRs [tag.NumSubheapCRs]metadata.CR
+	// GlobalBase/GlobalCap describe the global metadata table (§3.3.3).
+	GlobalBase uint64
+	GlobalCap  uint32
+
+	Cost CostModel
+	C    Counters
+
+	// NoPromote makes promote behave as a nop that treats every pointer
+	// as legacy (the paper's no-promote variant, §5.2: "promote has the
+	// same cost as a nop").
+	NoPromote bool
+
+	// NoNarrow disables the layout-table walker: promote coarsens every
+	// subobject-indexed pointer to object bounds. This is the §5.3
+	// area-saving ablation ("the IFP implementation may simplify or drop
+	// support for layout table"), trading subobject granularity away.
+	NoNarrow bool
+}
+
+// New builds a machine with the default CVA6-like configuration.
+func New() *Machine {
+	return &Machine{
+		Mem:  mem.New(),
+		L1D:  cache.New(cache.CVA6L1D),
+		Key:  mac.NewKey(0x1F2E3D4C),
+		Cost: DefaultCost,
+	}
+}
+
+// TrapKind classifies architectural traps.
+type TrapKind int
+
+// Trap kinds.
+const (
+	// TrapPoison is a memory access through a non-valid-poisoned pointer.
+	TrapPoison TrapKind = iota
+	// TrapBounds is a failed fused/implicit access-size check.
+	TrapBounds
+	// TrapMetadata is invalid object metadata encountered by promote.
+	TrapMetadata
+	// TrapMemory is a memory-system fault (address wrap etc.).
+	TrapMemory
+)
+
+func (k TrapKind) String() string {
+	switch k {
+	case TrapPoison:
+		return "poisoned-pointer"
+	case TrapBounds:
+		return "bounds"
+	case TrapMetadata:
+		return "metadata"
+	case TrapMemory:
+		return "memory"
+	}
+	return fmt.Sprintf("trap(%d)", int(k))
+}
+
+// Trap is the simulator's exception record.
+type Trap struct {
+	Kind TrapKind
+	Ptr  uint64 // offending pointer (tagged)
+	Size int    // access size, if applicable
+	Msg  string
+}
+
+func (t *Trap) Error() string {
+	return fmt.Sprintf("trap[%s] ptr=%s size=%d: %s", t.Kind, tag.Format(t.Ptr), t.Size, t.Msg)
+}
+
+// IsTrap reports whether err is a Trap of the given kind.
+func IsTrap(err error, kind TrapKind) bool {
+	t, ok := err.(*Trap)
+	return ok && t.Kind == kind
+}
+
+// Tick models n ordinary (non-memory) baseline instructions: the ALU work
+// of the application itself. Workloads call it so that IFP instruction
+// overhead is measured against a realistic instruction stream.
+func (m *Machine) Tick(n uint64) {
+	m.C.Instrs += n
+	m.C.Cycles += n
+}
+
+// dataAccess charges one data-memory access through the L1D.
+func (m *Machine) dataAccess(addr uint64, size int, store bool) {
+	misses := m.L1D.Access(addr, size, store)
+	m.C.Cycles += 1 + uint64(misses)*m.Cost.MissPenalty
+}
+
+// Load performs a checked load of size bytes through pointer p. breg is
+// the bounds register paired with p's GPR; when it holds valid bounds the
+// load-store unit performs the implicit access-size check (§4.1.1). All
+// loads check poison bits (§3.2).
+func (m *Machine) Load(p uint64, size int, breg BoundsReg) (uint64, error) {
+	m.C.Instrs++
+	m.C.Loads++
+	if err := m.checkAccess(p, size, breg); err != nil {
+		return 0, err
+	}
+	addr := tag.Addr(p)
+	m.dataAccess(addr, size, false)
+	v, err := m.Mem.LoadN(addr, size)
+	if err != nil {
+		return 0, &Trap{Kind: TrapMemory, Ptr: p, Size: size, Msg: err.Error()}
+	}
+	return v, nil
+}
+
+// Store performs a checked store of the low size bytes of v through p.
+func (m *Machine) Store(p uint64, v uint64, size int, breg BoundsReg) error {
+	m.C.Instrs++
+	m.C.Stores++
+	if err := m.checkAccess(p, size, breg); err != nil {
+		return err
+	}
+	addr := tag.Addr(p)
+	m.dataAccess(addr, size, true)
+	if err := m.Mem.StoreN(addr, v, size); err != nil {
+		return &Trap{Kind: TrapMemory, Ptr: p, Size: size, Msg: err.Error()}
+	}
+	return nil
+}
+
+// checkAccess implements the LSU-side poison check plus the implicit
+// access-size check against the paired bounds register.
+func (m *Machine) checkAccess(p uint64, size int, breg BoundsReg) error {
+	if ps := tag.PoisonOf(p); ps != tag.Valid {
+		m.C.PoisonTraps++
+		return &Trap{Kind: TrapPoison, Ptr: p, Size: size,
+			Msg: fmt.Sprintf("dereference of %s pointer", ps)}
+	}
+	if breg.Valid {
+		m.C.Checks++
+		if !breg.B.Contains(tag.Addr(p), uint64(size)) {
+			m.C.CheckFails++
+			return &Trap{Kind: TrapBounds, Ptr: p, Size: size,
+				Msg: fmt.Sprintf("access outside %v", breg.B)}
+		}
+	}
+	return nil
+}
+
+// RawLoad64 / RawStore64 are uninstrumented accesses used by the runtime
+// itself (metadata initialization, allocator bookkeeping). They count as
+// ordinary instructions — the paper's instrumentation overhead includes
+// the runtime's own work — but perform no tag or bounds checks.
+func (m *Machine) RawLoad64(addr uint64) (uint64, error) {
+	m.C.Instrs++
+	m.C.Loads++
+	m.dataAccess(addr, 8, false)
+	return m.Mem.Load64(addr)
+}
+
+// RawStore64 stores one word without checks (runtime-internal).
+func (m *Machine) RawStore64(addr uint64, v uint64) error {
+	m.C.Instrs++
+	m.C.Stores++
+	m.dataAccess(addr, 8, true)
+	return m.Mem.Store64(addr, v)
+}

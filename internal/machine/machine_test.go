@@ -1,0 +1,332 @@
+package machine
+
+import (
+	"testing"
+
+	"infat/internal/layout"
+	"infat/internal/metadata"
+	"infat/internal/tag"
+)
+
+// setupLocal registers a local-offset object of the given size at base in
+// m's guest memory, optionally with a layout table for typ, and returns a
+// valid pointer to its base. It performs by hand what the runtime package
+// automates, so machine tests do not depend on rt.
+func setupLocal(t *testing.T, m *Machine, base, size uint64, typ *layout.Type) uint64 {
+	t.Helper()
+	var layoutPtr uint64
+	if typ != nil {
+		tb, err := layout.Build(typ)
+		if err != nil {
+			t.Fatal(err)
+		}
+		layoutPtr = 0x70_0000
+		for i, w := range tb.Encode() {
+			if err := m.Mem.Store64(layoutPtr+uint64(i)*8, w); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	metaAddr, _ := metadata.LocalPlacement(base, size)
+	md := metadata.Local{Size: uint16(size), LayoutPtr: layoutPtr}
+	md.MAC = metadata.LocalMAC(m.Key, base, md.Size, md.LayoutPtr)
+	w := md.Encode()
+	if err := m.Mem.Store64(metaAddr, w[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Mem.Store64(metaAddr+8, w[1]); err != nil {
+		t.Fatal(err)
+	}
+	off, ok := metadata.LocalGranuleOffset(base, metaAddr)
+	if !ok {
+		t.Fatalf("offset not encodable for size %d", size)
+	}
+	return tag.MakeLocal(base, off, 0)
+}
+
+func TestPromoteLocalObjectBounds(t *testing.T) {
+	m := New()
+	p := setupLocal(t, m, 0x1000, 64, nil)
+	q, b := m.Promote(p)
+	if !b.Valid {
+		t.Fatal("no bounds retrieved")
+	}
+	if b.B.Lower != 0x1000 || b.B.Upper != 0x1040 {
+		t.Errorf("bounds = %v", b.B)
+	}
+	if tag.PoisonOf(q) != tag.Valid {
+		t.Errorf("poison = %v", tag.PoisonOf(q))
+	}
+	if m.C.PromoteValid != 1 || m.C.Promote != 1 {
+		t.Errorf("counters = %+v", m.C)
+	}
+}
+
+func TestPromoteFromInteriorPointer(t *testing.T) {
+	// The granule offset lets any interior pointer reach the metadata.
+	m := New()
+	p := setupLocal(t, m, 0x1000, 100, nil)
+	interior := m.IfpAdd(p, 48, Cleared)
+	_, b := m.Promote(interior)
+	if !b.Valid || b.B.Lower != 0x1000 || b.B.Upper != 0x1064 {
+		t.Errorf("bounds = %+v", b)
+	}
+}
+
+func TestPromoteLegacyAndNull(t *testing.T) {
+	m := New()
+	q, b := m.Promote(0) // NULL
+	if b.Valid || q != 0 {
+		t.Error("NULL promote retrieved bounds")
+	}
+	q, b = m.Promote(0x5000) // legacy non-null
+	if b.Valid || q != 0x5000 {
+		t.Error("legacy promote retrieved bounds")
+	}
+	if m.C.PromoteNull != 1 || m.C.PromoteLegacy != 1 || m.C.PromoteValid != 0 {
+		t.Errorf("bypass counters = %+v", m.C)
+	}
+}
+
+func TestPromoteInvalidPoisonBypasses(t *testing.T) {
+	m := New()
+	p := tag.WithPoison(tag.MakeLocal(0x1000, 1, 0), tag.Invalid)
+	q, b := m.Promote(p)
+	if b.Valid {
+		t.Error("invalid pointer promote retrieved bounds")
+	}
+	if tag.PoisonOf(q) != tag.Invalid {
+		t.Error("poison lost")
+	}
+	if m.C.PromotePoison != 1 || m.C.MetaFetches != 0 {
+		t.Errorf("counters = %+v", m.C)
+	}
+}
+
+func TestPromoteTamperedMACPoisons(t *testing.T) {
+	m := New()
+	p := setupLocal(t, m, 0x1000, 64, nil)
+	// Legacy code "corrupts" the size field of the metadata.
+	metaAddr, _ := metadata.LocalPlacement(0x1000, 64)
+	w0, _ := m.Mem.Load64(metaAddr)
+	if err := m.Mem.Store64(metaAddr, w0&^uint64(0xFFFF)|512); err != nil {
+		t.Fatal(err)
+	}
+	q, b := m.Promote(p)
+	if b.Valid {
+		t.Error("tampered metadata yielded bounds")
+	}
+	if tag.PoisonOf(q) != tag.Invalid {
+		t.Errorf("poison = %v, want invalid", tag.PoisonOf(q))
+	}
+	if m.C.PromoteFailed != 1 {
+		t.Errorf("PromoteFailed = %d", m.C.PromoteFailed)
+	}
+	// Dereferencing the poisoned pointer traps.
+	if _, err := m.Load(q, 8, Cleared); !IsTrap(err, TrapPoison) {
+		t.Errorf("deref err = %v", err)
+	}
+}
+
+func TestPromoteNarrowsToSubobject(t *testing.T) {
+	// Listing 1: a pointer to s.vulnerable narrowed via the layout table.
+	m := New()
+	s := layout.StructOf("S",
+		layout.F("vulnerable", layout.ArrayOf(layout.Char, 12)),
+		layout.F("sensitive", layout.ArrayOf(layout.Char, 12)))
+	p := setupLocal(t, m, 0x2000, s.Size(), s)
+	// Narrow to subobject 1 (vulnerable) — instrumentation would emit
+	// ifpadd + ifpidx for &s->vulnerable.
+	p = m.IfpIdx(p, 1)
+	q, b := m.Promote(p)
+	if !b.Valid {
+		t.Fatal("no bounds")
+	}
+	if b.B.Lower != 0x2000 || b.B.Upper != 0x200c {
+		t.Errorf("narrowed bounds = %v", b.B)
+	}
+	if m.C.NarrowSuccess != 1 || m.C.NarrowAttempts != 1 {
+		t.Errorf("narrow counters = %+v", m.C)
+	}
+	// Writing the 13th byte (first byte of sensitive) must fail the check.
+	over := m.IfpAdd(q, 12, b)
+	if err := m.Store(over, 1, 1, b); !IsTrap(err, TrapPoison) && !IsTrap(err, TrapBounds) {
+		t.Errorf("intra-object overflow err = %v", err)
+	}
+	if m.C.CheckFails == 0 && m.C.PoisonTraps == 0 {
+		t.Error("no failure recorded")
+	}
+}
+
+func TestPromoteArrayOfStructNarrowing(t *testing.T) {
+	// Figure 9's struct S with a pointer to array[1].v3.
+	m := New()
+	nested := layout.StructOf("NestedTy", layout.F("v3", layout.Int), layout.F("v4", layout.Int))
+	s := layout.StructOf("S",
+		layout.F("v1", layout.Int),
+		layout.F("array", layout.ArrayOf(nested, 2)),
+		layout.F("v5", layout.Int))
+	p := setupLocal(t, m, 0x3000, s.Size(), s)
+	p = m.IfpAdd(p, 4+8, Cleared) // &s.array[1].v3
+	p = m.IfpIdx(p, 3)
+	_, b := m.Promote(p)
+	if !b.Valid || b.B.Lower != 0x300c || b.B.Upper != 0x3010 {
+		t.Errorf("bounds = %+v", b)
+	}
+	if m.C.LayoutDivisions != 1 {
+		t.Errorf("divisions = %d, want 1", m.C.LayoutDivisions)
+	}
+}
+
+func TestPromoteNoLayoutTableCoarsens(t *testing.T) {
+	// CoreMark/bzip2 case (§5.2.1): metadata has no layout table, so a
+	// non-zero subobject index coarsens to object bounds.
+	m := New()
+	p := setupLocal(t, m, 0x4000, 64, nil)
+	p = m.IfpIdx(p, 3)
+	_, b := m.Promote(p)
+	if !b.Valid || b.B.Lower != 0x4000 || b.B.Upper != 0x4040 {
+		t.Errorf("bounds = %+v", b)
+	}
+	if m.C.NarrowCoarse != 1 || m.C.NarrowSuccess != 0 {
+		t.Errorf("narrow counters = %+v", m.C)
+	}
+}
+
+func TestNoPromoteVariant(t *testing.T) {
+	m := New()
+	p := setupLocal(t, m, 0x1000, 64, nil)
+	m.NoPromote = true
+	base := m.C.Cycles
+	q, b := m.Promote(p)
+	if b.Valid {
+		t.Error("no-promote retrieved bounds")
+	}
+	if q != p {
+		t.Error("no-promote changed the pointer")
+	}
+	if m.C.Cycles-base != 1 {
+		t.Errorf("no-promote cost = %d cycles, want 1 (nop)", m.C.Cycles-base)
+	}
+	if m.C.MetaFetches != 0 {
+		t.Error("no-promote fetched metadata")
+	}
+}
+
+func TestSubheapPromote(t *testing.T) {
+	m := New()
+	// Block at 0x10000, 4 KiB, metadata at offset 0, slots of 96 bytes
+	// holding 80-byte objects starting at offset 64.
+	m.CRs[3] = metadata.CR{Valid: true, BlockBits: 12, MetaOffset: 0}
+	md := metadata.Subheap{SlotStart: 64, SlotEnd: 64 + 8*96, SlotSize: 96, ObjSize: 80}
+	md.MAC = metadata.SubheapMAC(m.Key, 0x10000, md)
+	for i, w := range md.Encode() {
+		if err := m.Mem.Store64(0x10000+uint64(i)*8, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pointer into the third slot.
+	addr := uint64(0x10000 + 64 + 2*96 + 10)
+	p := tag.MakeSubheap(addr, 3, 0)
+	q, b := m.Promote(p)
+	if !b.Valid {
+		t.Fatal("no bounds")
+	}
+	wantLo := uint64(0x10000 + 64 + 2*96)
+	if b.B.Lower != wantLo || b.B.Upper != wantLo+80 {
+		t.Errorf("bounds = %v, want [%#x,%#x)", b.B, wantLo, wantLo+80)
+	}
+	if tag.PoisonOf(q) != tag.Valid {
+		t.Errorf("poison = %v", tag.PoisonOf(q))
+	}
+}
+
+func TestSubheapPromoteInvalidCR(t *testing.T) {
+	m := New()
+	p := tag.MakeSubheap(0x10000, 5, 0) // CR 5 never configured
+	q, b := m.Promote(p)
+	if b.Valid || tag.PoisonOf(q) != tag.Invalid {
+		t.Error("invalid CR did not poison")
+	}
+}
+
+func TestSubheapPromoteOutsideSlots(t *testing.T) {
+	m := New()
+	m.CRs[0] = metadata.CR{Valid: true, BlockBits: 12, MetaOffset: 0}
+	md := metadata.Subheap{SlotStart: 64, SlotEnd: 160, SlotSize: 96, ObjSize: 96}
+	md.MAC = metadata.SubheapMAC(m.Key, 0x20000, md)
+	for i, w := range md.Encode() {
+		if err := m.Mem.Store64(0x20000+uint64(i)*8, w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pointer into the metadata zone (offset 8): not a slot.
+	q, b := m.Promote(tag.MakeSubheap(0x20008, 0, 0))
+	if b.Valid || tag.PoisonOf(q) != tag.Invalid {
+		t.Error("pointer outside slot array did not poison")
+	}
+}
+
+func TestGlobalTablePromote(t *testing.T) {
+	m := New()
+	m.GlobalBase = 0x80000
+	m.GlobalCap = 64
+	row := metadata.GlobalRow{Base: 0x9000, Size: 4096, LayoutPtr: 0}
+	w := row.Encode()
+	if err := m.Mem.Store64(metadata.RowAddr(m.GlobalBase, 7), w[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Mem.Store64(metadata.RowAddr(m.GlobalBase, 7)+8, w[1]); err != nil {
+		t.Fatal(err)
+	}
+	p := tag.MakeGlobal(0x9100, 7)
+	_, b := m.Promote(p)
+	if !b.Valid || b.B.Lower != 0x9000 || b.B.Upper != 0xa000 {
+		t.Errorf("bounds = %+v", b)
+	}
+}
+
+func TestGlobalTablePromoteFreeRowOrOutOfRange(t *testing.T) {
+	m := New()
+	m.GlobalBase = 0x80000
+	m.GlobalCap = 16
+	// Free row.
+	q, b := m.Promote(tag.MakeGlobal(0x9100, 3))
+	if b.Valid || tag.PoisonOf(q) != tag.Invalid {
+		t.Error("free row did not poison")
+	}
+	// Index beyond the configured capacity.
+	q, b = m.Promote(tag.MakeGlobal(0x9100, 100))
+	if b.Valid || tag.PoisonOf(q) != tag.Invalid {
+		t.Error("out-of-range index did not poison")
+	}
+	// No table configured at all.
+	m2 := New()
+	q, b = m2.Promote(tag.MakeGlobal(0x9100, 0))
+	if b.Valid || tag.PoisonOf(q) != tag.Invalid {
+		t.Error("unconfigured table did not poison")
+	}
+}
+
+func TestPromoteOffByOnePointerIsOOB(t *testing.T) {
+	// C permits one-past-the-end pointers (§3.2 footnote); promote marks
+	// them recoverable-OOB, and dereference traps while arithmetic back
+	// in range revalidates.
+	m := New()
+	p := setupLocal(t, m, 0x1000, 64, nil)
+	end := m.IfpAdd(p, 64, Cleared)
+	q, b := m.Promote(end)
+	if tag.PoisonOf(q) != tag.OOB {
+		t.Fatalf("poison = %v, want oob", tag.PoisonOf(q))
+	}
+	if _, err := m.Load(q, 1, b); !IsTrap(err, TrapPoison) {
+		t.Errorf("deref of OOB pointer err = %v", err)
+	}
+	back := m.IfpAdd(q, -1, b)
+	if tag.PoisonOf(back) != tag.Valid {
+		t.Errorf("poison after re-entry = %v, want valid", tag.PoisonOf(back))
+	}
+	if _, err := m.Load(back, 1, b); err != nil {
+		t.Errorf("in-bounds deref err = %v", err)
+	}
+}

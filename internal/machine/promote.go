@@ -1,0 +1,228 @@
+package machine
+
+import (
+	"errors"
+
+	"infat/internal/layout"
+	"infat/internal/metadata"
+	"infat/internal/tag"
+)
+
+// Promote implements the promote instruction (Figure 5 + Figure 2): it
+// takes a tagged pointer and produces an IFPR — the pointer (with poison
+// bits refreshed) plus a bounds register holding the retrieved bounds.
+//
+// Flow, exactly per Figure 5:
+//  1. An Invalid-poisoned pointer bypasses retrieval entirely: metadata
+//     lookup with a garbage address could fault or false-positive (§3.2).
+//  2. A legacy pointer (scheme selector 00, which includes NULL) has its
+//     bounds cleared and is not subject to checking.
+//  3. Otherwise the scheme selector dispatches the object-metadata lookup;
+//     fetched-but-invalid metadata poisons the output IFPR.
+//  4. If the metadata carries a layout table and the subobject index is
+//     non-zero, subobject bounds narrowing runs (Figure 2, §3.4).
+//
+// Promote also fuses a check (§4.1): the output pointer's poison bits are
+// set from its position relative to the retrieved bounds.
+func (m *Machine) Promote(p uint64) (uint64, BoundsReg) {
+	m.C.Instrs++
+	m.C.Promote++
+	m.C.Cycles++
+
+	if m.NoPromote {
+		// §5.2's no-promote variant: same cost as a nop, every pointer
+		// treated as legacy.
+		return p, Cleared
+	}
+
+	if tag.PoisonOf(p) == tag.Invalid {
+		m.C.PromotePoison++
+		return p, Cleared
+	}
+	if tag.IsLegacy(p) {
+		if tag.Addr(p) == 0 {
+			m.C.PromoteNull++
+		} else {
+			m.C.PromoteLegacy++
+		}
+		return p, Cleared
+	}
+
+	m.C.PromoteValid++
+	m.C.Cycles += m.Cost.PromoteBase
+
+	var (
+		objBase, objSize uint64
+		layoutPtr        uint64
+		ok               bool
+	)
+	switch tag.SchemeOf(p) {
+	case tag.SchemeLocalOffset:
+		objBase, objSize, layoutPtr, ok = m.lookupLocal(p)
+	case tag.SchemeSubheap:
+		objBase, objSize, layoutPtr, ok = m.lookupSubheap(p)
+	case tag.SchemeGlobalTable:
+		objBase, objSize, layoutPtr, ok = m.lookupGlobal(p)
+	}
+	if !ok {
+		m.C.PromoteFailed++
+		return tag.WithPoison(p, tag.Invalid), Cleared
+	}
+
+	b := layout.Bounds{Lower: objBase, Upper: objBase + objSize}
+
+	// Subobject bounds narrowing (§3.4).
+	if sub, has := tag.SubobjIndex(p); has && sub != 0 {
+		m.C.NarrowAttempts++
+		if m.NoNarrow {
+			// Walker ablation: object-granularity protection only.
+			m.C.NarrowCoarse++
+		} else if layoutPtr == 0 {
+			// The object metadata carries no layout-table information
+			// (e.g. allocation through an opaque wrapper, §5.2.1:
+			// CoreMark/bzip2); bounds coarsen to the object.
+			m.C.NarrowCoarse++
+		} else {
+			nb, st, err := layout.Narrow(m.layoutFetcher(), layoutPtr,
+				objBase, objSize, tag.Addr(p), sub)
+			m.C.LayoutFetches += uint64(st.Fetches)
+			m.C.LayoutDivisions += uint64(st.Divisions)
+			m.C.Cycles += uint64(st.Divisions) * m.Cost.DivCycles
+			switch {
+			case err == nil:
+				m.C.NarrowSuccess++
+				b = nb
+			case errors.Is(err, layout.ErrOutsideSub):
+				// Pointer/type mismatch: the paper guarantees object-
+				// bounds protection in this case (§3).
+				m.C.NarrowCoarse++
+				b = nb
+			default:
+				// Malformed table: irrecoverable.
+				m.C.PromoteFailed++
+				return tag.WithPoison(p, tag.Invalid), Cleared
+			}
+		}
+	}
+
+	// Fused check: promote may only *downgrade* the poison state. An
+	// OOB-poisoned pointer must stay OOB even when the retrieved bounds
+	// contain its address: a one-past-the-end subheap pointer resolves to
+	// the *neighbouring slot's* object, and trusting that would re-
+	// validate a genuine overflow. (The local-offset and global-table
+	// schemes are unambiguous — their tags name the object — but the
+	// rule is uniform in hardware.)
+	ps := poisonFor(b, tag.Addr(p))
+	if tag.PoisonOf(p) == tag.OOB {
+		ps = tag.OOB
+	}
+	return tag.WithPoison(p, ps), BoundsReg{B: b, Valid: true}
+}
+
+// fetchMetaWord reads one object-metadata word through the L1D, charging
+// cycles; promote's metadata traffic is unpipelined in the prototype
+// (§5.2.2), which the PromoteBase constant already covers.
+func (m *Machine) fetchMetaWord(addr uint64) (uint64, bool) {
+	m.C.MetaFetches++
+	misses := m.L1D.Access(addr, 8, false)
+	m.C.Cycles += 1 + uint64(misses)*m.Cost.MissPenalty
+	v, err := m.Mem.Load64(addr)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// layoutFetcher adapts fetchMetaWord to the layout walker's interface,
+// charging each entry fetch (two words, but the entry is 16-byte aligned
+// so it is a single line touch in practice).
+func (m *Machine) layoutFetcher() layout.FetchFunc {
+	return func(entryAddr uint64) (uint64, uint64, error) {
+		w0, ok := m.fetchMetaWord(entryAddr)
+		if !ok {
+			return 0, 0, layout.ErrBadTable
+		}
+		w1, ok := m.fetchMetaWord(entryAddr + 8)
+		if !ok {
+			return 0, 0, layout.ErrBadTable
+		}
+		return w0, w1, nil
+	}
+}
+
+// lookupLocal implements the local-offset metadata lookup (Figure 6): the
+// tag's granule offset reaches the metadata appended to the object; the
+// object base is derived from the metadata address and the stored size.
+func (m *Machine) lookupLocal(p uint64) (base, size, layoutPtr uint64, ok bool) {
+	off, _ := tag.LocalFields(p)
+	metaAddr := metadata.LocalMetaAddr(tag.Addr(p), off)
+	w0, ok0 := m.fetchMetaWord(metaAddr)
+	w1, ok1 := m.fetchMetaWord(metaAddr + 8)
+	if !ok0 || !ok1 {
+		return 0, 0, 0, false
+	}
+	md := metadata.DecodeLocal(w0, w1)
+	if md.Size == 0 || uint64(md.Size) > tag.MaxLocalObjectSize {
+		return 0, 0, 0, false
+	}
+	base = metadata.LocalObjectBase(metaAddr, md.Size)
+	m.C.Cycles += m.Cost.MacCycles
+	if metadata.LocalMAC(m.Key, base, md.Size, md.LayoutPtr) != md.MAC {
+		return 0, 0, 0, false
+	}
+	return base, uint64(md.Size), md.LayoutPtr, true
+}
+
+// lookupSubheap implements the subheap metadata lookup (Figure 7): the
+// tag's control-register index selects block geometry; the block's shared
+// metadata locates the slot containing the pointer.
+func (m *Machine) lookupSubheap(p uint64) (base, size, layoutPtr uint64, ok bool) {
+	crIdx, _ := tag.SubheapFields(p)
+	cr := m.CRs[crIdx]
+	if !cr.Valid {
+		return 0, 0, 0, false
+	}
+	metaAddr := cr.MetaAddr(tag.Addr(p))
+	var w [4]uint64
+	for i := range w {
+		wi, okw := m.fetchMetaWord(metaAddr + uint64(i)*8)
+		if !okw {
+			return 0, 0, 0, false
+		}
+		w[i] = wi
+	}
+	md := metadata.DecodeSubheap(w)
+	blockBase := cr.BlockBase(tag.Addr(p))
+	m.C.Cycles += m.Cost.MacCycles
+	if metadata.SubheapMAC(m.Key, blockBase, md) != md.MAC {
+		return 0, 0, 0, false
+	}
+	// Slot division: the paper constrains slot sizes to keep this cheap
+	// (§3.3.2: power of two or fixed integer multiple of power of two).
+	m.C.Cycles += m.Cost.SlotDivCycles
+	objBase, okSlot := md.Slot(blockBase, tag.Addr(p))
+	if !okSlot {
+		return 0, 0, 0, false
+	}
+	return objBase, uint64(md.ObjSize), md.LayoutPtr, true
+}
+
+// lookupGlobal implements the global-table lookup (Figure 8): the tag's
+// 12-bit index selects a row of the table at GlobalBase.
+func (m *Machine) lookupGlobal(p uint64) (base, size, layoutPtr uint64, ok bool) {
+	idx := tag.GlobalIndex(p)
+	if m.GlobalBase == 0 || uint32(idx) >= m.GlobalCap {
+		return 0, 0, 0, false
+	}
+	rowAddr := metadata.RowAddr(m.GlobalBase, idx)
+	w0, ok0 := m.fetchMetaWord(rowAddr)
+	w1, ok1 := m.fetchMetaWord(rowAddr + 8)
+	if !ok0 || !ok1 {
+		return 0, 0, 0, false
+	}
+	row := metadata.DecodeGlobalRow(w0, w1)
+	if row.IsFree() {
+		return 0, 0, 0, false
+	}
+	return row.Base, row.Size, row.LayoutPtr, true
+}

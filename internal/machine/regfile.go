@@ -1,0 +1,160 @@
+package machine
+
+import "fmt"
+
+// RegFile models the paired register files of §3.1/§4.1.2: 32 general-
+// purpose registers, each with an associated 96-bit bounds register
+// forming a logical IFPR. It enforces the two calling-convention rules the
+// paper adds to RISC-V:
+//
+//   - Implicit bounds clearing: when a caller-saved GPR is written by a
+//     pre-existing (non-IFP) instruction — which is what happens inside
+//     uninstrumented code — its bounds register is cleared by hardware, so
+//     an instrumented caller can never check against stale bounds after a
+//     legacy call returns a pointer.
+//
+//   - Callee-saved discipline: functions save and restore clobbered
+//     callee-saved bounds registers together with their GPRs (via
+//     stbnd/ldbnd); pointer arguments and return values carry their bounds
+//     in the corresponding bounds registers, so no promote is needed at
+//     call boundaries.
+type RegFile struct {
+	gpr [32]uint64
+	bnd [32]BoundsReg
+}
+
+// RISC-V integer register numbers used by the convention.
+const (
+	RegZero = 0
+	RegRA   = 1
+	RegSP   = 2
+)
+
+// CallerSaved reports whether GPR i is caller-saved under the standard
+// RISC-V convention (ra, t0-t6, a0-a7); the prototype enables implicit
+// checking and clearing exactly on this set (§4.1.2).
+func CallerSaved(i int) bool {
+	switch {
+	case i == RegRA:
+		return true
+	case i >= 5 && i <= 7: // t0-t2
+		return true
+	case i >= 10 && i <= 17: // a0-a7
+		return true
+	case i >= 28 && i <= 31: // t3-t6
+		return true
+	}
+	return false
+}
+
+// CalleeSaved reports whether GPR i is callee-saved (sp, s0-s11).
+func CalleeSaved(i int) bool {
+	switch {
+	case i == RegSP:
+		return true
+	case i == 8 || i == 9: // s0, s1
+		return true
+	case i >= 18 && i <= 27: // s2-s11
+		return true
+	}
+	return false
+}
+
+// Read returns the IFPR pair held in register i.
+func (rf *RegFile) Read(i int) (uint64, BoundsReg) {
+	if i == RegZero {
+		return 0, Cleared
+	}
+	return rf.gpr[i], rf.bnd[i]
+}
+
+// WriteIFP writes a pointer and its bounds through an In-Fat Pointer
+// instruction (promote, ifpadd, ldbnd...): both halves of the IFPR update.
+func (rf *RegFile) WriteIFP(i int, v uint64, b BoundsReg) {
+	if i == RegZero {
+		return
+	}
+	rf.gpr[i] = v
+	rf.bnd[i] = b
+}
+
+// WriteLegacy writes a GPR through a pre-existing RISC-V instruction — the
+// path every instruction in uninstrumented code takes. Implicit bounds
+// clearing fires for caller-saved registers (§4.1.2); callee-saved bounds
+// are left intact, because a conforming legacy callee restores the GPR
+// before returning (and a non-conforming one breaks the base ABI anyway).
+func (rf *RegFile) WriteLegacy(i int, v uint64) {
+	if i == RegZero {
+		return
+	}
+	rf.gpr[i] = v
+	if CallerSaved(i) {
+		rf.bnd[i] = Cleared
+	}
+}
+
+// ImplicitlyChecked reports whether loads/stores addressed through GPR i
+// get the free access-size check (§4.1.1: the implementation applies
+// implicit bounds checking to caller-saved registers).
+func ImplicitlyChecked(i int) bool { return CallerSaved(i) }
+
+// Frame is the callee-saved spill area of one activation: the §4.1.2 rule
+// "each function will save and restore all clobbered callee-saved
+// registers, including both the bounds registers and the GPRs".
+type Frame struct {
+	saved map[int]savedReg
+}
+
+type savedReg struct {
+	v uint64
+	b BoundsReg
+}
+
+// SaveCalleeSaved spills the listed callee-saved registers to a frame via
+// the machine (one store + one stbnd per register, charged to the cycle
+// model), returning the frame for the matching restore.
+func (rf *RegFile) SaveCalleeSaved(m *Machine, sp uint64, regs []int) (*Frame, error) {
+	f := &Frame{saved: make(map[int]savedReg, len(regs))}
+	off := uint64(0)
+	for _, i := range regs {
+		if !CalleeSaved(i) {
+			return nil, fmt.Errorf("machine: register x%d is not callee-saved", i)
+		}
+		v, b := rf.Read(i)
+		if err := m.Store(sp+off, v, 8, Cleared); err != nil {
+			return nil, err
+		}
+		if err := m.StBnd(sp+off+8, b); err != nil {
+			return nil, err
+		}
+		f.saved[i] = savedReg{v, b}
+		off += 24
+	}
+	return f, nil
+}
+
+// RestoreCalleeSaved reloads the registers saved by SaveCalleeSaved (one
+// load + one ldbnd each).
+func (rf *RegFile) RestoreCalleeSaved(m *Machine, sp uint64, regs []int, f *Frame) error {
+	off := uint64(0)
+	for _, i := range regs {
+		s, ok := f.saved[i]
+		if !ok {
+			return fmt.Errorf("machine: register x%d was not saved in this frame", i)
+		}
+		v, err := m.Load(sp+off, 8, Cleared)
+		if err != nil {
+			return err
+		}
+		b, err := m.LdBnd(sp + off + 8)
+		if err != nil {
+			return err
+		}
+		if v != s.v || b != s.b {
+			return fmt.Errorf("machine: frame corruption restoring x%d", i)
+		}
+		rf.WriteIFP(i, v, b)
+		off += 24
+	}
+	return nil
+}

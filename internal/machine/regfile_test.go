@@ -1,0 +1,153 @@
+package machine
+
+import (
+	"testing"
+
+	"infat/internal/layout"
+	"infat/internal/tag"
+)
+
+func TestCallingConventionSets(t *testing.T) {
+	// Every register is zero, caller-saved, callee-saved, or a platform
+	// register (gp/tp); caller- and callee-saved never overlap.
+	callerCount, calleeCount := 0, 0
+	for i := 0; i < 32; i++ {
+		if CallerSaved(i) && CalleeSaved(i) {
+			t.Errorf("x%d in both sets", i)
+		}
+		if CallerSaved(i) {
+			callerCount++
+		}
+		if CalleeSaved(i) {
+			calleeCount++
+		}
+	}
+	// RISC-V: ra + t0-t6 + a0-a7 = 16 caller-saved; sp + s0-s11 = 13.
+	if callerCount != 16 {
+		t.Errorf("caller-saved count = %d, want 16", callerCount)
+	}
+	if calleeCount != 13 {
+		t.Errorf("callee-saved count = %d, want 13", calleeCount)
+	}
+	// Implicit checking applies exactly to the caller-saved set (§4.1.1).
+	for i := 0; i < 32; i++ {
+		if ImplicitlyChecked(i) != CallerSaved(i) {
+			t.Errorf("x%d implicit-check mismatch", i)
+		}
+	}
+}
+
+func TestImplicitBoundsClearing(t *testing.T) {
+	var rf RegFile
+	b := BoundsReg{B: layout.Bounds{Lower: 0x1000, Upper: 0x1040}, Valid: true}
+
+	// a0 (x10) holds a pointer with bounds; a legacy write clears them.
+	rf.WriteIFP(10, 0x1000, b)
+	if _, got := rf.Read(10); !got.Valid {
+		t.Fatal("bounds lost on IFP write")
+	}
+	rf.WriteLegacy(10, 0x2000)
+	if v, got := rf.Read(10); got.Valid || v != 0x2000 {
+		t.Errorf("legacy write: v=%#x bounds=%+v, want cleared", v, got)
+	}
+
+	// s2 (x18) is callee-saved: a legacy write does not clear (the callee
+	// must restore it, so the value seen after return matches the bounds).
+	rf.WriteIFP(18, 0x3000, b)
+	rf.WriteLegacy(18, 0x3000)
+	if _, got := rf.Read(18); !got.Valid {
+		t.Error("callee-saved bounds cleared by legacy write")
+	}
+}
+
+func TestX0HardwiredZero(t *testing.T) {
+	var rf RegFile
+	rf.WriteIFP(0, 42, BoundsReg{Valid: true})
+	rf.WriteLegacy(0, 42)
+	if v, b := rf.Read(0); v != 0 || b.Valid {
+		t.Error("x0 is writable")
+	}
+}
+
+func TestLegacyCallScenario(t *testing.T) {
+	// The §4.1.2 compatibility argument, end to end: an instrumented
+	// caller passes a pointer in a0; the legacy callee either leaves a0
+	// intact (bounds still correct) or overwrites it with an existing
+	// instruction (bounds cleared) — it can never return with mismatched
+	// value/bounds.
+	m := New()
+	var rf RegFile
+	s := layout.StructOf("cc_s", layout.F("x", layout.Long))
+	p := setupLocal(t, m, 0x1000, s.Size(), s)
+	_, b := m.Promote(p)
+
+	// Case 1: callee leaves a0 alone.
+	rf.WriteIFP(10, p, b)
+	v, vb := rf.Read(10)
+	if !vb.Valid || tag.Addr(v) != 0x1000 {
+		t.Fatal("case 1: bounds lost without any write")
+	}
+
+	// Case 2: callee returns its own (legacy) pointer in a0.
+	rf.WriteLegacy(10, 0x9000)
+	v, vb = rf.Read(10)
+	if vb.Valid {
+		t.Fatal("case 2: stale bounds survived a legacy return value")
+	}
+	// The caller's subsequent use is unchecked but never mis-checked.
+	if err := m.Store(v, 7, 8, vb); err != nil {
+		t.Fatalf("legacy pointer store failed: %v", err)
+	}
+}
+
+func TestCalleeSavedSpillRoundTrip(t *testing.T) {
+	m := New()
+	var rf RegFile
+	b := BoundsReg{B: layout.Bounds{Lower: 0x4000, Upper: 0x4100}, Valid: true}
+	rf.WriteIFP(18, 0x4000, b)       // s2
+	rf.WriteIFP(19, 0x5000, Cleared) // s3, no bounds
+
+	regs := []int{18, 19}
+	f, err := rf.SaveCalleeSaved(m, 0x8000, regs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The callee clobbers them.
+	rf.WriteIFP(18, 0xdead, Cleared)
+	rf.WriteLegacy(19, 0xbeef)
+	if err := rf.RestoreCalleeSaved(m, 0x8000, regs, f); err != nil {
+		t.Fatal(err)
+	}
+	if v, got := rf.Read(18); v != 0x4000 || got != b {
+		t.Errorf("s2 after restore = %#x %+v", v, got)
+	}
+	if v, got := rf.Read(19); v != 0x5000 || got.Valid {
+		t.Errorf("s3 after restore = %#x %+v", v, got)
+	}
+	// The spill traffic was charged: 2 stores + 2 stbnd + 2 loads + 2 ldbnd.
+	if m.C.StBnd != 2 || m.C.LdBnd != 2 {
+		t.Errorf("bounds spill counters: st=%d ld=%d", m.C.StBnd, m.C.LdBnd)
+	}
+}
+
+func TestSpillErrors(t *testing.T) {
+	m := New()
+	var rf RegFile
+	if _, err := rf.SaveCalleeSaved(m, 0x8000, []int{10}); err == nil {
+		t.Error("caller-saved register accepted for callee-saved spill")
+	}
+	f, err := rf.SaveCalleeSaved(m, 0x8000, []int{18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rf.RestoreCalleeSaved(m, 0x8000, []int{19}, f); err == nil {
+		t.Error("restore of unsaved register accepted")
+	}
+	// Frame corruption detection: overwrite the spilled word.
+	if err := m.Mem.Store64(0x8000, 0x1234); err != nil {
+		t.Fatal(err)
+	}
+	if err := rf.RestoreCalleeSaved(m, 0x8000, []int{18}, f); err == nil {
+		t.Error("corrupted frame restored silently")
+	}
+}

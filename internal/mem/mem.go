@@ -1,0 +1,178 @@
+// Package mem models the guest physical memory of the simulated machine: a
+// sparse, paged, little-endian 64-bit address space. Loads and stores use
+// 48-bit addresses (the tag bits of In-Fat pointers are stripped before the
+// memory system sees an address). Accesses to unmapped pages fault, which
+// the machine surfaces exactly like the paper's promote-generated page
+// faults (§3.2: "any generated exception ... is reported as generated from
+// the promote instruction").
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// PageBits is log2 of the page size.
+const PageBits = 12
+
+// PageSize is the page size in bytes (4 KiB, matching the RISC-V Sv39 base
+// page the paper's Linux port uses).
+const PageSize = 1 << PageBits
+
+const pageMask = PageSize - 1
+
+// Fault describes a memory access error.
+type Fault struct {
+	Addr  uint64 // faulting guest address
+	Size  int    // access size in bytes
+	Write bool   // true for stores
+	Why   string // human-readable cause
+}
+
+func (f *Fault) Error() string {
+	kind := "load"
+	if f.Write {
+		kind = "store"
+	}
+	return fmt.Sprintf("mem: %s fault at %#x (size %d): %s", kind, f.Addr, f.Size, f.Why)
+}
+
+// Memory is a sparse paged guest address space. It is not safe for
+// concurrent use; the simulated core is single-issue in-order (CVA6), and
+// the runtime serializes guest accesses.
+type Memory struct {
+	pages map[uint64]*[PageSize]byte
+
+	// Mapped tracks the total number of mapped pages, for the memory
+	// overhead accounting of Figure 12.
+	mapped int
+}
+
+// New returns an empty address space.
+func New() *Memory {
+	return &Memory{pages: make(map[uint64]*[PageSize]byte)}
+}
+
+// MappedBytes reports the number of bytes of guest memory currently backed
+// by pages. This is the simulator's analogue of maximum resident set size
+// growth (pages are never unmapped, so the high-water mark equals the
+// current value).
+func (m *Memory) MappedBytes() uint64 { return uint64(m.mapped) * PageSize }
+
+// Map ensures the pages covering [addr, addr+size) are present. The runtime
+// uses it to model brk/mmap; ordinary loads and stores also demand-map, as
+// the paper's environment runs with overcommit enabled.
+func (m *Memory) Map(addr, size uint64) {
+	if size == 0 {
+		return
+	}
+	first := addr >> PageBits
+	last := (addr + size - 1) >> PageBits
+	for pn := first; pn <= last; pn++ {
+		m.page(pn)
+	}
+}
+
+func (m *Memory) page(pn uint64) *[PageSize]byte {
+	p, ok := m.pages[pn]
+	if !ok {
+		p = new([PageSize]byte)
+		m.pages[pn] = p
+		m.mapped++
+	}
+	return p
+}
+
+// Read copies size bytes at addr into buf, demand-mapping pages. It returns
+// a Fault only for address wrap-around; the simulated environment runs with
+// overcommit so unmapped pages are backed on first touch.
+func (m *Memory) Read(addr uint64, buf []byte) error {
+	if len(buf) == 0 {
+		return nil
+	}
+	if addr+uint64(len(buf)) < addr {
+		return &Fault{Addr: addr, Size: len(buf), Why: "address wrap"}
+	}
+	for done := 0; done < len(buf); {
+		p := m.page((addr + uint64(done)) >> PageBits)
+		off := int((addr + uint64(done)) & pageMask)
+		n := copy(buf[done:], p[off:])
+		done += n
+	}
+	return nil
+}
+
+// Write copies buf to addr, demand-mapping pages.
+func (m *Memory) Write(addr uint64, buf []byte) error {
+	if len(buf) == 0 {
+		return nil
+	}
+	if addr+uint64(len(buf)) < addr {
+		return &Fault{Addr: addr, Size: len(buf), Write: true, Why: "address wrap"}
+	}
+	for done := 0; done < len(buf); {
+		p := m.page((addr + uint64(done)) >> PageBits)
+		off := int((addr + uint64(done)) & pageMask)
+		n := copy(p[off:], buf[done:])
+		done += n
+	}
+	return nil
+}
+
+// LoadN loads a size-byte little-endian unsigned integer (size in
+// {1,2,4,8}).
+func (m *Memory) LoadN(addr uint64, size int) (uint64, error) {
+	var buf [8]byte
+	if size != 1 && size != 2 && size != 4 && size != 8 {
+		return 0, &Fault{Addr: addr, Size: size, Why: "unsupported access size"}
+	}
+	if err := m.Read(addr, buf[:size]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]) & (^uint64(0) >> (64 - 8*uint(size))), nil
+}
+
+// StoreN stores the low size bytes of v little-endian (size in {1,2,4,8}).
+func (m *Memory) StoreN(addr uint64, v uint64, size int) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	if size != 1 && size != 2 && size != 4 && size != 8 {
+		return &Fault{Addr: addr, Size: size, Write: true, Why: "unsupported access size"}
+	}
+	return m.Write(addr, buf[:size])
+}
+
+// Load64 loads a 64-bit little-endian word.
+func (m *Memory) Load64(addr uint64) (uint64, error) { return m.LoadN(addr, 8) }
+
+// Store64 stores a 64-bit little-endian word.
+func (m *Memory) Store64(addr uint64, v uint64) error { return m.StoreN(addr, v, 8) }
+
+// Zero clears [addr, addr+size).
+func (m *Memory) Zero(addr, size uint64) error {
+	var zeros [256]byte
+	for size > 0 {
+		n := uint64(len(zeros))
+		if size < n {
+			n = size
+		}
+		if err := m.Write(addr, zeros[:n]); err != nil {
+			return err
+		}
+		addr += n
+		size -= n
+	}
+	return nil
+}
+
+// Snapshot returns the sorted list of mapped page numbers; tests use it to
+// assert footprint shape.
+func (m *Memory) Snapshot() []uint64 {
+	pns := make([]uint64, 0, len(m.pages))
+	for pn := range m.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	return pns
+}

@@ -1,0 +1,240 @@
+// Package metadata implements the three complementary object-metadata
+// schemes of §3.3: local-offset (Figure 6), subheap (Figure 7), and
+// global-table (Figure 8). Each scheme defines (a) how a pointer tag plus
+// control-register state locates the in-memory object metadata, and (b) the
+// encoding of that metadata. The package is memory-agnostic: callers fetch
+// guest words themselves (so the machine can account cache traffic) and use
+// the pure encode/decode/locate functions here.
+//
+// Every scheme's metadata yields the same logical record: the object's base
+// address and size (for bounds), a layout-table pointer (for subobject
+// narrowing; zero means "no layout table"), and — where the encoding has
+// room — a 48-bit MAC guarding against tampering.
+package metadata
+
+import (
+	"fmt"
+
+	"infat/internal/mac"
+	"infat/internal/tag"
+)
+
+// --- Local-offset scheme (§3.3.1, Figure 6) ---
+
+// Local is the 16-byte metadata record appended to each local-offset
+// object. Both the object base and the metadata base are granule-aligned.
+// Packing:
+//
+//	word0 = size:16 | layoutPtr:48
+//	word1 = mac:48  | reserved:16
+type Local struct {
+	Size      uint16 // object size in bytes (<= tag.MaxLocalObjectSize)
+	LayoutPtr uint64 // guest address of the type's layout table; 0 = none
+	MAC       uint64 // 48-bit metadata MAC
+}
+
+// LocalMetaBytes is the size of the local-offset metadata record.
+const LocalMetaBytes = 16
+
+// Encode packs the record into two guest words.
+func (l Local) Encode() [2]uint64 {
+	return [2]uint64{
+		uint64(l.Size) | (l.LayoutPtr&tag.AddrMask)<<16,
+		l.MAC & mac.Mask,
+	}
+}
+
+// DecodeLocal unpacks a local-offset metadata record.
+func DecodeLocal(w0, w1 uint64) Local {
+	return Local{
+		Size:      uint16(w0),
+		LayoutPtr: w0 >> 16 & tag.AddrMask,
+		MAC:       w1 & mac.Mask,
+	}
+}
+
+// LocalMetaAddr computes the metadata address from a pointer's current
+// address and its granule-offset tag field: the address is truncated to
+// the granule and the offset (in granules) added (Figure 6).
+func LocalMetaAddr(addr uint64, granuleOff uint16) uint64 {
+	return addr&^uint64(tag.Granule-1) + uint64(granuleOff)*tag.Granule
+}
+
+// LocalObjectBase derives the object base from the metadata address and the
+// object size: the metadata is appended after the object's granule-rounded
+// extent, so base = metaAddr - roundUp(size, granule) (§3.3.1: "knowing the
+// size is sufficient to derive the object base address").
+func LocalObjectBase(metaAddr uint64, size uint16) uint64 {
+	return metaAddr - roundGranule(uint64(size))
+}
+
+// LocalPlacement computes, for an object of the given size at base, where
+// its metadata lives and the total footprint (object + padding + metadata)
+// the allocator must reserve. base must be granule-aligned.
+func LocalPlacement(base, size uint64) (metaAddr, footprint uint64) {
+	metaAddr = base + roundGranule(size)
+	return metaAddr, roundGranule(size) + LocalMetaBytes
+}
+
+// LocalGranuleOffset computes the tag's granule-offset field for a pointer
+// at addr whose metadata is at metaAddr, and reports whether it is
+// encodable (the pointer may have drifted too far below the metadata).
+func LocalGranuleOffset(addr, metaAddr uint64) (uint16, bool) {
+	trunc := addr &^ uint64(tag.Granule-1)
+	if metaAddr < trunc {
+		return 0, false
+	}
+	off := (metaAddr - trunc) / tag.Granule
+	if off > tag.MaxLocalOffset {
+		return 0, false
+	}
+	return uint16(off), true
+}
+
+// LocalMAC computes the MAC over a local-offset record's identity.
+func LocalMAC(k mac.Key, objBase uint64, size uint16, layoutPtr uint64) uint64 {
+	return mac.Object(k, objBase, uint64(size), layoutPtr)
+}
+
+func roundGranule(n uint64) uint64 {
+	return (n + tag.Granule - 1) &^ uint64(tag.Granule-1)
+}
+
+// --- Subheap scheme (§3.3.2, Figure 7) ---
+
+// CR is one of the 16 subheap control registers: it maps the tag's 4-bit
+// index to a memory block size and the offset of the shared metadata
+// within each block. The dashed box of Figure 7 is exactly this mapping.
+type CR struct {
+	Valid      bool
+	BlockBits  uint8  // log2 of the power-of-2 block size
+	MetaOffset uint64 // offset of the 32-byte common metadata in each block
+}
+
+// BlockBase returns the base of the aligned block containing addr.
+func (c CR) BlockBase(addr uint64) uint64 { return addr &^ (uint64(1)<<c.BlockBits - 1) }
+
+// MetaAddr returns the address of the block's shared metadata record.
+func (c CR) MetaAddr(addr uint64) uint64 { return c.BlockBase(addr) + c.MetaOffset }
+
+// Subheap is the 32-byte common metadata stored once per block and shared
+// by every object in it. Packing (four guest words):
+//
+//	word0 = slotStart:32 | slotEnd:32   (offsets from block base)
+//	word1 = slotSize:32  | objSize:32
+//	word2 = layoutPtr:48 | reserved:16
+//	word3 = mac:48       | reserved:16
+type Subheap struct {
+	SlotStart uint32 // first slot's offset from block base
+	SlotEnd   uint32 // end of the slot array (offset from block base)
+	SlotSize  uint32 // slot stride
+	ObjSize   uint32 // object size within each slot (<= SlotSize)
+	LayoutPtr uint64
+	MAC       uint64
+}
+
+// SubheapMetaBytes is the size of the per-block shared metadata (§3.3.2:
+// "the size of the common metadata in each block is 32 bytes").
+const SubheapMetaBytes = 32
+
+// Encode packs the record into four guest words.
+func (s Subheap) Encode() [4]uint64 {
+	return [4]uint64{
+		uint64(s.SlotStart) | uint64(s.SlotEnd)<<32,
+		uint64(s.SlotSize) | uint64(s.ObjSize)<<32,
+		s.LayoutPtr & tag.AddrMask,
+		s.MAC & mac.Mask,
+	}
+}
+
+// DecodeSubheap unpacks a subheap metadata record.
+func DecodeSubheap(w [4]uint64) Subheap {
+	return Subheap{
+		SlotStart: uint32(w[0]),
+		SlotEnd:   uint32(w[0] >> 32),
+		SlotSize:  uint32(w[1]),
+		ObjSize:   uint32(w[1] >> 32),
+		LayoutPtr: w[2] & tag.AddrMask,
+		MAC:       w[3] & mac.Mask,
+	}
+}
+
+// Slot locates the object containing addr within the block: it returns the
+// object's base address. ok is false when addr falls outside the slot
+// array or the record is degenerate — promote poisons the pointer in that
+// case. The division by SlotSize is the hardware division the paper
+// constrains to be cheap (power of two or a small multiple).
+func (s Subheap) Slot(blockBase, addr uint64) (objBase uint64, ok bool) {
+	if s.SlotSize == 0 || s.ObjSize == 0 || s.ObjSize > s.SlotSize || s.SlotEnd <= s.SlotStart {
+		return 0, false
+	}
+	start := blockBase + uint64(s.SlotStart)
+	end := blockBase + uint64(s.SlotEnd)
+	if addr < start || addr >= end {
+		return 0, false
+	}
+	slot := (addr - start) / uint64(s.SlotSize)
+	return start + slot*uint64(s.SlotSize), true
+}
+
+// SubheapMAC computes the MAC over a block's shared-metadata identity. The
+// block base stands in for the object base: the metadata describes every
+// object in the block.
+func SubheapMAC(k mac.Key, blockBase uint64, s Subheap) uint64 {
+	return mac.Object(k, blockBase,
+		uint64(s.SlotStart)|uint64(s.SlotEnd)<<32|uint64(s.SlotSize)<<16^uint64(s.ObjSize),
+		s.LayoutPtr)
+}
+
+// --- Global-table scheme (§3.3.3, Figure 8) ---
+
+// GlobalRow is one 16-byte row of the global metadata table. Packing:
+//
+//	word0 = base:48 | sizeLo:16
+//	word1 = layoutPtr:48 | sizeHi:16
+//
+// giving 32 bits of size (4 GiB cap — the scheme exists precisely for
+// objects too large for the other schemes). A row with base==0 && size==0
+// is free/invalid. No MAC fits in the paper's 16-byte row; the table is
+// runtime-managed memory, which the paper accepts for this scheme.
+type GlobalRow struct {
+	Base      uint64
+	Size      uint64 // <= MaxGlobalObjectSize
+	LayoutPtr uint64
+}
+
+// GlobalRowBytes is the size of one table row (§3.3.3).
+const GlobalRowBytes = 16
+
+// MaxGlobalObjectSize is the largest object a global-table row can
+// describe.
+const MaxGlobalObjectSize = 1<<32 - 1
+
+// Encode packs the row into two guest words.
+func (g GlobalRow) Encode() [2]uint64 {
+	return [2]uint64{
+		g.Base&tag.AddrMask | (g.Size&0xFFFF)<<48,
+		g.LayoutPtr&tag.AddrMask | (g.Size>>16&0xFFFF)<<48,
+	}
+}
+
+// DecodeGlobalRow unpacks a table row.
+func DecodeGlobalRow(w0, w1 uint64) GlobalRow {
+	return GlobalRow{
+		Base:      w0 & tag.AddrMask,
+		Size:      w0>>48 | (w1>>48)<<16,
+		LayoutPtr: w1 & tag.AddrMask,
+	}
+}
+
+// IsFree reports whether the row is unoccupied.
+func (g GlobalRow) IsFree() bool { return g.Base == 0 && g.Size == 0 }
+
+// RowAddr returns the guest address of row idx in a table at tableBase.
+func RowAddr(tableBase uint64, idx uint16) uint64 {
+	return tableBase + uint64(idx)*GlobalRowBytes
+}
+
+func (g GlobalRow) String() string {
+	return fmt.Sprintf("row{base=%#x size=%d layout=%#x}", g.Base, g.Size, g.LayoutPtr)
+}

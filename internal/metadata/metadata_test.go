@@ -1,0 +1,238 @@
+package metadata
+
+import (
+	"testing"
+	"testing/quick"
+
+	"infat/internal/mac"
+	"infat/internal/tag"
+)
+
+func TestLocalEncodeDecode(t *testing.T) {
+	l := Local{Size: 1008, LayoutPtr: 0x7fff_dead_be00, MAC: 0xabcdef012345}
+	got := DecodeLocal(l.Encode()[0], l.Encode()[1])
+	if got != l {
+		t.Errorf("round trip = %+v, want %+v", got, l)
+	}
+}
+
+func TestLocalQuickRoundTrip(t *testing.T) {
+	f := func(size uint16, lp, m uint64) bool {
+		l := Local{Size: size, LayoutPtr: lp & tag.AddrMask, MAC: m & mac.Mask}
+		w := l.Encode()
+		return DecodeLocal(w[0], w[1]) == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalPlacement(t *testing.T) {
+	// A 100-byte object at 0x1000: metadata at 0x1000+112 (granule-rounded)
+	// and 128 bytes of footprint.
+	meta, foot := LocalPlacement(0x1000, 100)
+	if meta != 0x1000+112 {
+		t.Errorf("metaAddr = %#x, want %#x", meta, 0x1000+112)
+	}
+	if foot != 112+LocalMetaBytes {
+		t.Errorf("footprint = %d, want %d", foot, 112+LocalMetaBytes)
+	}
+	// Granule-multiple sizes need no padding.
+	meta, foot = LocalPlacement(0x2000, 64)
+	if meta != 0x2040 || foot != 80 {
+		t.Errorf("aligned placement = (%#x,%d)", meta, foot)
+	}
+}
+
+func TestLocalObjectBaseInvertsPlacement(t *testing.T) {
+	for _, size := range []uint64{1, 15, 16, 17, 100, 1008} {
+		base := uint64(0x4000)
+		meta, _ := LocalPlacement(base, size)
+		if got := LocalObjectBase(meta, uint16(size)); got != base {
+			t.Errorf("size %d: base = %#x, want %#x", size, got, base)
+		}
+	}
+}
+
+func TestLocalMetaAddrFromTag(t *testing.T) {
+	base := uint64(0x5000)
+	meta, _ := LocalPlacement(base, 100) // 0x5070
+	// A pointer anywhere inside the object must reach the metadata via
+	// its granule offset.
+	for _, addr := range []uint64{base, base + 1, base + 15, base + 16, base + 99} {
+		off, ok := LocalGranuleOffset(addr, meta)
+		if !ok {
+			t.Fatalf("offset not encodable at %#x", addr)
+		}
+		if got := LocalMetaAddr(addr, off); got != meta {
+			t.Errorf("addr %#x: meta = %#x, want %#x", addr, got, meta)
+		}
+	}
+}
+
+func TestLocalGranuleOffsetLimits(t *testing.T) {
+	meta := uint64(0x10000)
+	// Exactly MaxLocalOffset granules below: encodable.
+	addr := meta - tag.MaxLocalOffset*tag.Granule
+	if off, ok := LocalGranuleOffset(addr, meta); !ok || off != tag.MaxLocalOffset {
+		t.Errorf("max offset = (%d,%v)", off, ok)
+	}
+	// One granule further: not encodable.
+	if _, ok := LocalGranuleOffset(addr-tag.Granule, meta); ok {
+		t.Error("over-limit offset encodable")
+	}
+	// Pointer above the metadata: not encodable.
+	if _, ok := LocalGranuleOffset(meta+tag.Granule, meta); ok {
+		t.Error("negative offset encodable")
+	}
+}
+
+func TestSubheapEncodeDecode(t *testing.T) {
+	s := Subheap{SlotStart: 64, SlotEnd: 4032, SlotSize: 96, ObjSize: 80,
+		LayoutPtr: 0x1234_5678_9abc, MAC: 0x777777777777}
+	if got := DecodeSubheap(s.Encode()); got != s {
+		t.Errorf("round trip = %+v, want %+v", got, s)
+	}
+}
+
+func TestSubheapQuickRoundTrip(t *testing.T) {
+	f := func(a, b, c, d uint32, lp, m uint64) bool {
+		s := Subheap{SlotStart: a, SlotEnd: b, SlotSize: c, ObjSize: d,
+			LayoutPtr: lp & tag.AddrMask, MAC: m & mac.Mask}
+		return DecodeSubheap(s.Encode()) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubheapCRAddressing(t *testing.T) {
+	cr := CR{Valid: true, BlockBits: 12, MetaOffset: 32}
+	if cr.BlockBase(0x12345) != 0x12000 {
+		t.Errorf("block base = %#x", cr.BlockBase(0x12345))
+	}
+	if cr.MetaAddr(0x12345) != 0x12020 {
+		t.Errorf("meta addr = %#x", cr.MetaAddr(0x12345))
+	}
+}
+
+func TestSubheapSlotResolution(t *testing.T) {
+	s := Subheap{SlotStart: 64, SlotEnd: 64 + 4*96, SlotSize: 96, ObjSize: 80}
+	block := uint64(0x4000)
+	cases := []struct {
+		addr    uint64
+		objBase uint64
+		ok      bool
+	}{
+		{block + 64, block + 64, true},           // first slot, first byte
+		{block + 64 + 79, block + 64, true},      // inside first object
+		{block + 64 + 96, block + 64 + 96, true}, // second slot
+		{block + 64 + 96*3, block + 64 + 288, true},
+		{block + 63, 0, false},        // before slot array (metadata zone)
+		{block + 64 + 96*4, 0, false}, // past slot array
+	}
+	for _, tc := range cases {
+		got, ok := s.Slot(block, tc.addr)
+		if ok != tc.ok || (ok && got != tc.objBase) {
+			t.Errorf("Slot(%#x) = (%#x,%v), want (%#x,%v)", tc.addr, got, ok, tc.objBase, tc.ok)
+		}
+	}
+}
+
+func TestSubheapSlotDegenerate(t *testing.T) {
+	bad := []Subheap{
+		{SlotStart: 64, SlotEnd: 160, SlotSize: 0, ObjSize: 8},   // zero stride
+		{SlotStart: 64, SlotEnd: 160, SlotSize: 32, ObjSize: 0},  // zero object
+		{SlotStart: 64, SlotEnd: 160, SlotSize: 32, ObjSize: 48}, // obj > slot
+		{SlotStart: 160, SlotEnd: 64, SlotSize: 32, ObjSize: 8},  // inverted
+	}
+	for i, s := range bad {
+		if _, ok := s.Slot(0x4000, 0x4080); ok {
+			t.Errorf("degenerate record %d resolved a slot", i)
+		}
+	}
+}
+
+func TestSubheapMACTamperSensitive(t *testing.T) {
+	k := mac.NewKey(5)
+	s := Subheap{SlotStart: 64, SlotEnd: 4032, SlotSize: 96, ObjSize: 80, LayoutPtr: 0x9000}
+	ref := SubheapMAC(k, 0x4000, s)
+	mut := s
+	mut.ObjSize = 96
+	if SubheapMAC(k, 0x4000, mut) == ref {
+		t.Error("ObjSize tamper undetected")
+	}
+	mut = s
+	mut.LayoutPtr = 0x9010
+	if SubheapMAC(k, 0x4000, mut) == ref {
+		t.Error("LayoutPtr tamper undetected")
+	}
+	if SubheapMAC(k, 0x8000, s) == ref {
+		t.Error("relocated block kept the same MAC")
+	}
+}
+
+func TestGlobalRowEncodeDecode(t *testing.T) {
+	g := GlobalRow{Base: 0x7000_1234_5678, Size: 3 << 30, LayoutPtr: 0x6000}
+	w := g.Encode()
+	if got := DecodeGlobalRow(w[0], w[1]); got != g {
+		t.Errorf("round trip = %+v, want %+v", got, g)
+	}
+}
+
+func TestGlobalRowQuickRoundTrip(t *testing.T) {
+	f := func(base, lp uint64, size uint32) bool {
+		g := GlobalRow{Base: base & tag.AddrMask, Size: uint64(size), LayoutPtr: lp & tag.AddrMask}
+		w := g.Encode()
+		return DecodeGlobalRow(w[0], w[1]) == g
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGlobalRowFree(t *testing.T) {
+	if !(GlobalRow{}).IsFree() {
+		t.Error("zero row not free")
+	}
+	if (GlobalRow{Base: 0x1000, Size: 8}).IsFree() {
+		t.Error("occupied row reported free")
+	}
+	if (GlobalRow{}).String() == "" {
+		t.Error("empty string")
+	}
+}
+
+func TestRowAddr(t *testing.T) {
+	if RowAddr(0x9000, 0) != 0x9000 || RowAddr(0x9000, 3) != 0x9030 {
+		t.Error("row addressing")
+	}
+	// Max index stays within a 64 KiB table.
+	if RowAddr(0, tag.MaxGlobalIndex) != 4095*16 {
+		t.Error("max row address")
+	}
+}
+
+// Property: Slot never returns a base outside [blockBase+SlotStart,
+// blockBase+SlotEnd) and always at a slot stride.
+func TestQuickSlotSoundness(t *testing.T) {
+	f := func(start16, n8, stride8, off16 uint16) bool {
+		start := uint32(start16 % 512)
+		stride := uint32(stride8%64) + 1
+		n := uint32(n8%32) + 1
+		s := Subheap{SlotStart: start, SlotEnd: start + n*stride,
+			SlotSize: stride, ObjSize: stride}
+		block := uint64(0x100000)
+		addr := block + uint64(off16%4096)
+		got, ok := s.Slot(block, addr)
+		if !ok {
+			return addr < block+uint64(start) || addr >= block+uint64(start+n*stride)
+		}
+		rel := got - block - uint64(start)
+		return got >= block+uint64(start) && got < block+uint64(start+n*stride) &&
+			rel%uint64(stride) == 0 && addr >= got && addr < got+uint64(stride)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}

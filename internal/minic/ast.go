@@ -1,0 +1,200 @@
+package minic
+
+import "infat/internal/layout"
+
+// Program is a parsed translation unit.
+type Program struct {
+	Structs map[string]*layout.Type
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// VarDecl declares a variable (global, local, or parameter).
+type VarDecl struct {
+	Name string
+	Type *layout.Type
+	Init Expr // optional initializer
+	Line int
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Name   string
+	Ret    *layout.Type // Void for none
+	Params []*VarDecl
+	Body   *Block
+	Line   int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// Block is a brace-delimited statement list with its own scope.
+type Block struct {
+	Stmts []Stmt
+}
+
+// DeclStmt declares a local variable.
+type DeclStmt struct {
+	Decl *VarDecl
+}
+
+// ExprStmt evaluates an expression for effect.
+type ExprStmt struct {
+	E    Expr
+	Line int
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+}
+
+// DoWhileStmt is a do { } while (cond); loop.
+type DoWhileStmt struct {
+	Body Stmt
+	Cond Expr
+}
+
+// SwitchStmt is a C switch over integer case labels. Cases fall through
+// unless they break, like C.
+type SwitchStmt struct {
+	Scrut   Expr
+	Cases   []SwitchCase
+	Default []Stmt // nil if absent
+	Line    int
+}
+
+// SwitchCase is one `case N:` arm.
+type SwitchCase struct {
+	Value int64
+	Body  []Stmt
+}
+
+// ForStmt is a C for loop.
+type ForStmt struct {
+	Init Stmt // may be nil (DeclStmt or ExprStmt)
+	Cond Expr // may be nil
+	Post Expr // may be nil
+	Body Stmt
+}
+
+// ReturnStmt returns from the current function.
+type ReturnStmt struct {
+	E    Expr // may be nil
+	Line int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Line int }
+
+func (*Block) stmtNode()        {}
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*DoWhileStmt) stmtNode()  {}
+func (*SwitchStmt) stmtNode()   {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// Expr is an expression node.
+type Expr interface{ exprLine() int }
+
+// NumExpr is an integer or character literal.
+type NumExpr struct {
+	V    int64
+	Line int
+}
+
+// StrExpr is a string literal.
+type StrExpr struct {
+	S    string
+	Line int
+}
+
+// IdentExpr names a variable.
+type IdentExpr struct {
+	Name string
+	Line int
+}
+
+// UnaryExpr is &x, *x, -x, !x, ~x.
+type UnaryExpr struct {
+	Op   string
+	E    Expr
+	Line int
+}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+	Line int
+}
+
+// AssignExpr is lhs = rhs (plain assignment; compound ops are desugared by
+// the parser).
+type AssignExpr struct {
+	L, R Expr
+	Line int
+}
+
+// IndexExpr is base[idx].
+type IndexExpr struct {
+	Base, Idx Expr
+	Line      int
+}
+
+// MemberExpr is base.name or base->name.
+type MemberExpr struct {
+	Base  Expr
+	Name  string
+	Arrow bool
+	Line  int
+}
+
+// CallExpr calls a named function or builtin.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+// CastExpr is (type)expr.
+type CastExpr struct {
+	Type *layout.Type
+	E    Expr
+	Line int
+}
+
+// SizeofExpr is sizeof(type).
+type SizeofExpr struct {
+	Type *layout.Type
+	Line int
+}
+
+func (e *NumExpr) exprLine() int    { return e.Line }
+func (e *StrExpr) exprLine() int    { return e.Line }
+func (e *IdentExpr) exprLine() int  { return e.Line }
+func (e *UnaryExpr) exprLine() int  { return e.Line }
+func (e *BinaryExpr) exprLine() int { return e.Line }
+func (e *AssignExpr) exprLine() int { return e.Line }
+func (e *IndexExpr) exprLine() int  { return e.Line }
+func (e *MemberExpr) exprLine() int { return e.Line }
+func (e *CallExpr) exprLine() int   { return e.Line }
+func (e *CastExpr) exprLine() int   { return e.Line }
+func (e *SizeofExpr) exprLine() int { return e.Line }

@@ -1,0 +1,606 @@
+package minic
+
+import (
+	"fmt"
+
+	"infat/internal/layout"
+)
+
+// Op is an IR opcode. The IR is a stack machine whose values are
+// (value, bounds-register) pairs — a software rendering of the IFPR model:
+// every pointer value on the stack drags its bounds register along, and
+// the explicit IFP operations (OpGep/ifpadd, the Sub field/ifpidx,
+// OpBnd/ifpbnd, OpLoadP's promote, OpStoreP's demote) are emitted by the
+// instrumentation pass below, exactly where Figure 3 places them.
+type Op uint8
+
+// IR opcodes.
+const (
+	OpConst  Op = iota // push Imm
+	OpStr              // push pointer to interned string Imm
+	OpLocal            // push address (+bounds) of local slot Imm
+	OpGlobal           // push address (+bounds) of global Imm
+	OpLoad             // pop addr, push Size-byte scalar
+	OpLoadP            // pop addr, push pointer (promote)
+	OpStore            // pop addr, pop value, store Size bytes
+	OpStoreP           // pop addr, pop pointer value, demote + store
+	OpGep              // pop ptr, push ptr+Imm (ifpadd); Sub = ifpidx operand
+	OpGepDyn           // pop index, pop ptr, push ptr+index*Imm; Sub = ifpidx
+	OpBnd              // narrow top's bounds to [addr, addr+Imm) (ifpbnd)
+	OpAddr             // strip tag of top (address-only compares)
+
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpShl
+	OpShr
+	OpAnd
+	OpOr
+	OpXor
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpEq
+	OpNe
+	OpNeg
+	OpNot
+	OpBnot
+
+	OpJmp // jump to Imm
+	OpJz  // pop; jump to Imm if zero
+	OpJnz // pop; jump to Imm if non-zero
+	OpDup
+	OpPop
+
+	OpCall   // call function Imm with Sub args
+	OpRet    // Sub = 1 if a value is returned
+	OpMalloc // pop size; Imm = malloc-type index or -1
+	OpFree   // pop ptr
+	OpMemset // pop n, pop v, pop ptr
+	OpMemcpy // pop n, pop src, pop dst
+	OpPrint  // pop value -> program output
+)
+
+// SubKeep in the Sub field means "no ifpidx update".
+const SubKeep uint16 = 0xFFFF
+
+// Insn is one IR instruction.
+type Insn struct {
+	Op   Op
+	Imm  int64
+	Sub  uint16
+	Size uint8
+	Line int32
+}
+
+// LocalInfo describes one function-local slot.
+type LocalInfo struct {
+	Name string
+	Type *layout.Type
+	// Registered locals get In-Fat Pointer object metadata (aggregates
+	// and address-taken scalars — the objects "whose use cannot be
+	// statically determined to be safe", §3.1); the rest are raw frame
+	// slots.
+	Registered bool
+}
+
+// Func is a compiled function.
+type Func struct {
+	Name    string
+	Ret     *layout.Type
+	NParams int
+	Locals  []LocalInfo
+	Code    []Insn
+}
+
+// Compiled is a lowered program ready for the VM.
+type Compiled struct {
+	Funcs       []*Func
+	FuncIdx     map[string]int
+	Globals     []*VarDecl
+	Strings     []string
+	MallocTypes []*layout.Type
+	// Wrappers lists the detected allocation-wrapper functions (the
+	// §5.2.1 future-work feature): thin functions whose body just
+	// forwards to malloc. Calls to them are treated as malloc calls so
+	// the allocation-type deduction (and therefore layout tables and
+	// subobject narrowing) still works — the paper's CoreMark/bzip2
+	// limitation, lifted.
+	Wrappers []string
+}
+
+// CompileError is a semantic error.
+type CompileError struct {
+	Line int
+	Msg  string
+}
+
+func (e *CompileError) Error() string { return fmt.Sprintf("minic:%d: %s", e.Line, e.Msg) }
+
+// Compile lowers a parsed program, running the In-Fat Pointer
+// instrumentation pass.
+func Compile(prog *Program) (*Compiled, error) {
+	c := &compiler{
+		out: &Compiled{FuncIdx: map[string]int{}, Globals: prog.Globals},
+	}
+	for i, fn := range prog.Funcs {
+		if _, dup := c.out.FuncIdx[fn.Name]; dup {
+			return nil, &CompileError{fn.Line, fmt.Sprintf("function %q redefined", fn.Name)}
+		}
+		c.out.FuncIdx[fn.Name] = i
+		c.out.Funcs = append(c.out.Funcs, &Func{Name: fn.Name, Ret: fn.Ret, NParams: len(fn.Params)})
+	}
+	c.globals = map[string]int{}
+	for i, g := range prog.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return nil, &CompileError{g.Line, fmt.Sprintf("global %q redefined", g.Name)}
+		}
+		c.globals[g.Name] = i
+	}
+	c.wrappers = map[string]bool{}
+	for _, fn := range prog.Funcs {
+		if isAllocWrapper(fn) {
+			c.wrappers[fn.Name] = true
+			c.out.Wrappers = append(c.out.Wrappers, fn.Name)
+		}
+	}
+	for i, fn := range prog.Funcs {
+		if err := c.compileFunc(fn, c.out.Funcs[i]); err != nil {
+			return nil, err
+		}
+	}
+	if _, ok := c.out.FuncIdx["main"]; !ok {
+		return nil, &CompileError{1, "no main function"}
+	}
+	return c.out, nil
+}
+
+type compiler struct {
+	out      *Compiled
+	globals  map[string]int
+	wrappers map[string]bool // allocation-wrapper functions
+
+	// per-function state
+	fn          *Func
+	locals      map[string]int
+	breaks      []int // patch sites for break
+	conts       []int // patch sites for continue
+	loopTops    []int
+	switchDepth int
+}
+
+// isAllocWrapper recognizes thin allocation wrappers: one scalar
+// parameter, and a body that is exactly `return malloc(param);` (possibly
+// through a pointer cast). Calls to such functions are lowered as malloc
+// calls, so the call site's cast still drives allocation-type deduction.
+func isAllocWrapper(fn *FuncDecl) bool {
+	if len(fn.Params) != 1 || fn.Body == nil || len(fn.Body.Stmts) != 1 {
+		return false
+	}
+	if fn.Ret == nil || fn.Ret.Kind != layout.KindPointer {
+		return false
+	}
+	ret, ok := fn.Body.Stmts[0].(*ReturnStmt)
+	if !ok || ret.E == nil {
+		return false
+	}
+	e := ret.E
+	if cast, ok := e.(*CastExpr); ok {
+		e = cast.E
+	}
+	call, ok := e.(*CallExpr)
+	if !ok || call.Name != "malloc" || len(call.Args) != 1 {
+		return false
+	}
+	arg, ok := call.Args[0].(*IdentExpr)
+	return ok && arg.Name == fn.Params[0].Name
+}
+
+func (c *compiler) emit(i Insn) int {
+	c.fn.Code = append(c.fn.Code, i)
+	return len(c.fn.Code) - 1
+}
+
+func (c *compiler) errf(line int, format string, args ...interface{}) error {
+	return &CompileError{line, fmt.Sprintf(format, args...)}
+}
+
+// needsRegistration decides which locals get object metadata: aggregates
+// always; scalars only when address-taken (found by scan).
+func needsRegistration(t *layout.Type, addressTaken bool) bool {
+	return t.Kind == layout.KindStruct || t.Kind == layout.KindArray || addressTaken
+}
+
+func (c *compiler) compileFunc(fn *FuncDecl, out *Func) error {
+	c.fn = out
+	c.locals = map[string]int{}
+	taken := map[string]bool{}
+	scanAddressTaken(fn.Body, taken)
+
+	addLocal := func(d *VarDecl) error {
+		if _, dup := c.locals[d.Name]; dup {
+			return c.errf(d.Line, "local %q redefined", d.Name)
+		}
+		c.locals[d.Name] = len(out.Locals)
+		out.Locals = append(out.Locals, LocalInfo{
+			Name:       d.Name,
+			Type:       d.Type,
+			Registered: needsRegistration(d.Type, taken[d.Name]),
+		})
+		return nil
+	}
+	for _, p := range fn.Params {
+		if err := addLocal(p); err != nil {
+			return err
+		}
+	}
+	if err := collectLocals(fn.Body, addLocal); err != nil {
+		return err
+	}
+
+	if err := c.compileBlock(fn.Body); err != nil {
+		return err
+	}
+	c.emit(Insn{Op: OpRet, Sub: 0, Line: int32(fn.Line)})
+	return nil
+}
+
+// scanAddressTaken marks identifiers whose address escapes via unary &.
+func scanAddressTaken(s Stmt, taken map[string]bool) {
+	var walkExpr func(e Expr)
+	walkExpr = func(e Expr) {
+		switch v := e.(type) {
+		case *UnaryExpr:
+			if v.Op == "&" {
+				if id, ok := v.E.(*IdentExpr); ok {
+					taken[id.Name] = true
+				}
+			}
+			walkExpr(v.E)
+		case *BinaryExpr:
+			walkExpr(v.L)
+			walkExpr(v.R)
+		case *AssignExpr:
+			walkExpr(v.L)
+			walkExpr(v.R)
+		case *IndexExpr:
+			walkExpr(v.Base)
+			walkExpr(v.Idx)
+		case *MemberExpr:
+			walkExpr(v.Base)
+		case *CallExpr:
+			for _, a := range v.Args {
+				walkExpr(a)
+			}
+		case *CastExpr:
+			walkExpr(v.E)
+		}
+	}
+	var walk func(s Stmt)
+	walk = func(s Stmt) {
+		switch v := s.(type) {
+		case *Block:
+			for _, st := range v.Stmts {
+				walk(st)
+			}
+		case *DeclStmt:
+			if v.Decl.Init != nil {
+				walkExpr(v.Decl.Init)
+			}
+		case *ExprStmt:
+			walkExpr(v.E)
+		case *IfStmt:
+			walkExpr(v.Cond)
+			walk(v.Then)
+			if v.Else != nil {
+				walk(v.Else)
+			}
+		case *WhileStmt:
+			walkExpr(v.Cond)
+			walk(v.Body)
+		case *DoWhileStmt:
+			walk(v.Body)
+			walkExpr(v.Cond)
+		case *SwitchStmt:
+			walkExpr(v.Scrut)
+			for _, cs := range v.Cases {
+				for _, st := range cs.Body {
+					walk(st)
+				}
+			}
+			for _, st := range v.Default {
+				walk(st)
+			}
+		case *ForStmt:
+			if v.Init != nil {
+				walk(v.Init)
+			}
+			if v.Cond != nil {
+				walkExpr(v.Cond)
+			}
+			if v.Post != nil {
+				walkExpr(v.Post)
+			}
+			walk(v.Body)
+		case *ReturnStmt:
+			if v.E != nil {
+				walkExpr(v.E)
+			}
+		}
+	}
+	walk(s)
+}
+
+func collectLocals(s Stmt, add func(*VarDecl) error) error {
+	switch v := s.(type) {
+	case *Block:
+		for _, st := range v.Stmts {
+			if err := collectLocals(st, add); err != nil {
+				return err
+			}
+		}
+	case *DeclStmt:
+		return add(v.Decl)
+	case *IfStmt:
+		if err := collectLocals(v.Then, add); err != nil {
+			return err
+		}
+		if v.Else != nil {
+			return collectLocals(v.Else, add)
+		}
+	case *WhileStmt:
+		return collectLocals(v.Body, add)
+	case *DoWhileStmt:
+		return collectLocals(v.Body, add)
+	case *SwitchStmt:
+		for _, cs := range v.Cases {
+			for _, st := range cs.Body {
+				if err := collectLocals(st, add); err != nil {
+					return err
+				}
+			}
+		}
+		for _, st := range v.Default {
+			if err := collectLocals(st, add); err != nil {
+				return err
+			}
+		}
+	case *ForStmt:
+		if v.Init != nil {
+			if err := collectLocals(v.Init, add); err != nil {
+				return err
+			}
+		}
+		return collectLocals(v.Body, add)
+	}
+	return nil
+}
+
+// --- statements ---
+
+func (c *compiler) compileBlock(b *Block) error {
+	for _, s := range b.Stmts {
+		if err := c.compileStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *compiler) compileStmt(s Stmt) error {
+	switch v := s.(type) {
+	case *Block:
+		return c.compileBlock(v)
+	case *DeclStmt:
+		if v.Decl.Init == nil {
+			return nil
+		}
+		return c.compileAssignTo(&IdentExpr{Name: v.Decl.Name, Line: v.Decl.Line}, v.Decl.Init, v.Decl.Line)
+	case *ExprStmt:
+		// Statement-position assignments store without re-reading.
+		if asg, ok := v.E.(*AssignExpr); ok {
+			return c.compileAssignTo(asg.L, asg.R, asg.Line)
+		}
+		t, err := c.compileExpr(v.E)
+		if err != nil {
+			return err
+		}
+		if t != layout.Void {
+			c.emit(Insn{Op: OpPop, Line: int32(v.Line)})
+		}
+		return nil
+	case *IfStmt:
+		if _, err := c.compileExpr(v.Cond); err != nil {
+			return err
+		}
+		jz := c.emit(Insn{Op: OpJz})
+		if err := c.compileStmt(v.Then); err != nil {
+			return err
+		}
+		if v.Else != nil {
+			jmp := c.emit(Insn{Op: OpJmp})
+			c.fn.Code[jz].Imm = int64(len(c.fn.Code))
+			if err := c.compileStmt(v.Else); err != nil {
+				return err
+			}
+			c.fn.Code[jmp].Imm = int64(len(c.fn.Code))
+		} else {
+			c.fn.Code[jz].Imm = int64(len(c.fn.Code))
+		}
+		return nil
+	case *WhileStmt:
+		top := len(c.fn.Code)
+		if _, err := c.compileExpr(v.Cond); err != nil {
+			return err
+		}
+		jz := c.emit(Insn{Op: OpJz})
+		c.pushLoop(top)
+		if err := c.compileStmt(v.Body); err != nil {
+			return err
+		}
+		c.emit(Insn{Op: OpJmp, Imm: int64(top)})
+		c.fn.Code[jz].Imm = int64(len(c.fn.Code))
+		c.popLoop(len(c.fn.Code), top)
+		return nil
+	case *DoWhileStmt:
+		top := len(c.fn.Code)
+		c.pushLoop(top)
+		if err := c.compileStmt(v.Body); err != nil {
+			return err
+		}
+		condAt := len(c.fn.Code)
+		if _, err := c.compileExpr(v.Cond); err != nil {
+			return err
+		}
+		c.emit(Insn{Op: OpJnz, Imm: int64(top)})
+		c.popLoop(len(c.fn.Code), condAt)
+		return nil
+	case *SwitchStmt:
+		return c.compileSwitch(v)
+	case *ForStmt:
+		if v.Init != nil {
+			if err := c.compileStmt(v.Init); err != nil {
+				return err
+			}
+		}
+		top := len(c.fn.Code)
+		jz := -1
+		if v.Cond != nil {
+			if _, err := c.compileExpr(v.Cond); err != nil {
+				return err
+			}
+			jz = c.emit(Insn{Op: OpJz})
+		}
+		c.pushLoop(-1) // continue target patched to post
+		if err := c.compileStmt(v.Body); err != nil {
+			return err
+		}
+		post := len(c.fn.Code)
+		if v.Post != nil {
+			if asg, ok := v.Post.(*AssignExpr); ok {
+				if err := c.compileAssignTo(asg.L, asg.R, asg.Line); err != nil {
+					return err
+				}
+			} else {
+				t, err := c.compileExpr(v.Post)
+				if err != nil {
+					return err
+				}
+				if t != layout.Void {
+					c.emit(Insn{Op: OpPop})
+				}
+			}
+		}
+		c.emit(Insn{Op: OpJmp, Imm: int64(top)})
+		end := len(c.fn.Code)
+		if jz >= 0 {
+			c.fn.Code[jz].Imm = int64(end)
+		}
+		c.popLoop(end, post)
+		return nil
+	case *ReturnStmt:
+		if v.E != nil {
+			if _, err := c.compileExpr(v.E); err != nil {
+				return err
+			}
+			c.emit(Insn{Op: OpRet, Sub: 1, Line: int32(v.Line)})
+		} else {
+			c.emit(Insn{Op: OpRet, Line: int32(v.Line)})
+		}
+		return nil
+	case *BreakStmt:
+		if len(c.loopTops) == 0 && c.switchDepth == 0 {
+			return c.errf(v.Line, "break outside loop or switch")
+		}
+		c.breaks = append(c.breaks, c.emit(Insn{Op: OpJmp, Imm: -1, Line: int32(v.Line)}))
+		return nil
+	case *ContinueStmt:
+		if len(c.loopTops) == 0 {
+			return c.errf(v.Line, "continue outside loop")
+		}
+		c.conts = append(c.conts, c.emit(Insn{Op: OpJmp, Imm: -2, Line: int32(v.Line)}))
+		return nil
+	}
+	return fmt.Errorf("minic: unknown statement %T", s)
+}
+
+// pushLoop/popLoop manage break/continue patch lists per loop nest.
+func (c *compiler) pushLoop(top int) {
+	c.loopTops = append(c.loopTops, len(c.breaks)<<32|len(c.conts))
+}
+
+func (c *compiler) popLoop(breakTarget, contTarget int) {
+	marks := c.loopTops[len(c.loopTops)-1]
+	c.loopTops = c.loopTops[:len(c.loopTops)-1]
+	bMark, cMark := marks>>32, marks&0xFFFFFFFF
+	for _, site := range c.breaks[bMark:] {
+		c.fn.Code[site].Imm = int64(breakTarget)
+	}
+	c.breaks = c.breaks[:bMark]
+	for _, site := range c.conts[cMark:] {
+		c.fn.Code[site].Imm = int64(contTarget)
+	}
+	c.conts = c.conts[:cMark]
+}
+
+// compileSwitch lowers a switch with C fallthrough semantics: a dispatch
+// chain comparing the scrutinee against each label, then the case bodies
+// laid out sequentially. `break` inside the switch jumps past the end;
+// `continue` binds to the enclosing loop, so only the break list is
+// scoped here.
+func (c *compiler) compileSwitch(v *SwitchStmt) error {
+	if _, err := c.compileExpr(v.Scrut); err != nil {
+		return err
+	}
+	// Dispatch chain: the scrutinee stays on the stack while each label
+	// is tested; matching jumps go to a per-case stub that pops the
+	// scrutinee before falling into the (fallthrough-shared) body.
+	caseJumps := make([]int, len(v.Cases))
+	for i, cs := range v.Cases {
+		c.emit(Insn{Op: OpDup, Line: int32(v.Line)})
+		c.emit(Insn{Op: OpConst, Imm: cs.Value})
+		c.emit(Insn{Op: OpEq})
+		caseJumps[i] = c.emit(Insn{Op: OpJnz})
+	}
+	c.emit(Insn{Op: OpPop}) // no label matched: drop the scrutinee
+	defaultJump := c.emit(Insn{Op: OpJmp})
+
+	// Entry stubs: pop the scrutinee copy, then jump to the body.
+	stubJumps := make([]int, len(v.Cases))
+	for i := range v.Cases {
+		c.fn.Code[caseJumps[i]].Imm = int64(len(c.fn.Code))
+		c.emit(Insn{Op: OpPop})
+		stubJumps[i] = c.emit(Insn{Op: OpJmp})
+	}
+
+	bMark := len(c.breaks)
+	c.switchDepth++
+
+	// Case bodies, laid out sequentially so fallthrough is free.
+	for i, cs := range v.Cases {
+		c.fn.Code[stubJumps[i]].Imm = int64(len(c.fn.Code))
+		for _, st := range cs.Body {
+			if err := c.compileStmt(st); err != nil {
+				return err
+			}
+		}
+	}
+	defaultAt := len(c.fn.Code)
+	for _, st := range v.Default {
+		if err := c.compileStmt(st); err != nil {
+			return err
+		}
+	}
+	c.fn.Code[defaultJump].Imm = int64(defaultAt)
+
+	end := len(c.fn.Code)
+	for _, site := range c.breaks[bMark:] {
+		c.fn.Code[site].Imm = int64(end)
+	}
+	c.breaks = c.breaks[:bMark]
+	c.switchDepth--
+	return nil
+}

@@ -1,0 +1,92 @@
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// opNames maps opcodes to mnemonics; the IFP-bearing ops carry the
+// hardware mnemonic they lower to, making the instrumentation visible in
+// listings.
+var opNames = map[Op]string{
+	OpConst:  "const",
+	OpStr:    "str",
+	OpLocal:  "local",
+	OpGlobal: "global",
+	OpLoad:   "load",
+	OpLoadP:  "loadp      ; load + promote",
+	OpStore:  "store",
+	OpStoreP: "storep     ; ifpextract (demote) + store",
+	OpGep:    "gep        ; ifpadd",
+	OpGepDyn: "gepdyn     ; ifpadd (scaled)",
+	OpBnd:    "bnd        ; ifpbnd",
+	OpAddr:   "addr",
+	OpAdd:    "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpMod: "mod",
+	OpShl: "shl", OpShr: "shr", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpLt: "lt", OpLe: "le", OpGt: "gt", OpGe: "ge", OpEq: "eq", OpNe: "ne",
+	OpNeg: "neg", OpNot: "not", OpBnot: "bnot",
+	OpJmp: "jmp", OpJz: "jz", OpJnz: "jnz",
+	OpDup: "dup", OpPop: "pop",
+	OpCall: "call", OpRet: "ret",
+	OpMalloc: "malloc", OpFree: "free",
+	OpMemset: "memset", OpMemcpy: "memcpy",
+	OpPrint: "print",
+}
+
+// Disassemble renders a compiled program as a readable listing — the
+// `minicc -S` output. It shows, per function, the local-slot table with
+// registration decisions (which objects the instrumentation pass chose to
+// protect) and each instruction with its operands.
+func Disassemble(c *Compiled) string {
+	var b strings.Builder
+	if len(c.Wrappers) > 0 {
+		fmt.Fprintf(&b, "; allocation wrappers: %s\n", strings.Join(c.Wrappers, ", "))
+	}
+	for i, g := range c.Globals {
+		fmt.Fprintf(&b, "; global %d: %s %s\n", i, g.Type.Name, g.Name)
+	}
+	for i, s := range c.Strings {
+		fmt.Fprintf(&b, "; string %d: %q\n", i, s)
+	}
+	for _, fn := range c.Funcs {
+		fmt.Fprintf(&b, "\n%s: ; %d params\n", fn.Name, fn.NParams)
+		for i, li := range fn.Locals {
+			reg := "raw slot"
+			if li.Registered {
+				reg = "REGISTERED (object metadata)"
+			}
+			fmt.Fprintf(&b, ";   local %d: %-12s %-16s %s\n", i, li.Name, li.Type.Name, reg)
+		}
+		for pc, in := range fn.Code {
+			name := opNames[in.Op]
+			if name == "" {
+				name = fmt.Sprintf("op%d", in.Op)
+			}
+			fmt.Fprintf(&b, "%4d  %s", pc, name)
+			switch in.Op {
+			case OpConst, OpStr, OpLocal, OpGlobal, OpJmp, OpJz, OpJnz, OpMalloc:
+				fmt.Fprintf(&b, " %d", in.Imm)
+			case OpGep, OpGepDyn:
+				fmt.Fprintf(&b, " %d", in.Imm)
+				if in.Sub != SubKeep {
+					fmt.Fprintf(&b, " sub=%d ; ifpidx", in.Sub)
+				}
+			case OpBnd:
+				fmt.Fprintf(&b, " size=%d", in.Imm)
+			case OpLoad, OpStore:
+				fmt.Fprintf(&b, " size=%d", in.Size)
+			case OpCall:
+				fmt.Fprintf(&b, " %s nargs=%d", c.Funcs[in.Imm].Name, in.Sub)
+			case OpRet:
+				if in.Sub == 1 {
+					b.WriteString(" value")
+				}
+			}
+			if in.Line > 0 {
+				fmt.Fprintf(&b, " \t; line %d", in.Line)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

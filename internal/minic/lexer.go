@@ -1,0 +1,232 @@
+// Package minic is a from-scratch compiler for a C subset, standing in
+// for the paper's modified Clang/LLVM (§4). It lexes, parses, type-checks,
+// and lowers MiniC programs to a stack IR; the lowering performs the In-Fat
+// Pointer instrumentation of Figure 3 (object registration, pointer-tag
+// updates on member derivation, promotes on pointer loads, bounds checks),
+// and a VM executes the IR against the simulated machine. Compiling with
+// instrumentation disabled yields the uninstrumented baseline the paper
+// compares against.
+//
+// The subset covers what the Juliet-style evaluation needs: char/int/long,
+// structs, fixed arrays, pointers, globals, functions with arguments and
+// recursion, control flow, malloc/free/memset/memcpy, sizeof, casts, and
+// string literals.
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokKind classifies tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokChar
+	TokPunct   // operators and punctuation
+	TokKeyword // reserved words
+)
+
+// Token is one lexeme.
+type Token struct {
+	Kind TokKind
+	Text string
+	Num  int64 // value for TokNumber / TokChar
+	Line int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "<eof>"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+var keywords = map[string]bool{
+	"char": true, "int": true, "long": true, "void": true,
+	"struct": true, "if": true, "else": true, "while": true,
+	"for": true, "return": true, "sizeof": true, "break": true,
+	"continue": true, "do": true, "switch": true, "case": true,
+	"default": true,
+}
+
+// multi-character punctuation, longest first.
+var puncts = []string{
+	"<<=", ">>=", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+	"&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+	"+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+	"(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+}
+
+// SyntaxError is a lexing or parsing failure.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("minic:%d: %s", e.Line, e.Msg)
+}
+
+// Lex tokenizes src.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			i += 2
+			for i+1 < len(src) && !(src[i] == '*' && src[i+1] == '/') {
+				if src[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i+1 >= len(src) {
+				return nil, &SyntaxError{line, "unterminated block comment"}
+			}
+			i += 2
+		case isIdentStart(c):
+			j := i
+			for j < len(src) && isIdentPart(src[j]) {
+				j++
+			}
+			word := src[i:j]
+			kind := TokIdent
+			if keywords[word] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: word, Line: line})
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			base := int64(10)
+			if c == '0' && j+1 < len(src) && (src[j+1] == 'x' || src[j+1] == 'X') {
+				base = 16
+				j += 2
+			}
+			start := j
+			for j < len(src) && isDigit(src[j], base) {
+				j++
+			}
+			var n int64
+			for _, d := range src[start:j] {
+				n = n*base + digitVal(byte(d))
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: src[i:j], Num: n, Line: line})
+			i = j
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < len(src) && src[j] != '"' {
+				ch, nj, err := unescape(src, j, line)
+				if err != nil {
+					return nil, err
+				}
+				sb.WriteByte(ch)
+				j = nj
+			}
+			if j >= len(src) {
+				return nil, &SyntaxError{line, "unterminated string literal"}
+			}
+			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Line: line})
+			i = j + 1
+		case c == '\'':
+			j := i + 1
+			if j >= len(src) {
+				return nil, &SyntaxError{line, "unterminated char literal"}
+			}
+			ch, nj, err := unescape(src, j, line)
+			if err != nil {
+				return nil, err
+			}
+			if nj >= len(src) || src[nj] != '\'' {
+				return nil, &SyntaxError{line, "unterminated char literal"}
+			}
+			toks = append(toks, Token{Kind: TokChar, Text: string(ch), Num: int64(ch), Line: line})
+			i = nj + 1
+		default:
+			matched := false
+			for _, p := range puncts {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, Token{Kind: TokPunct, Text: p, Line: line})
+					i += len(p)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, &SyntaxError{line, fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line})
+	return toks, nil
+}
+
+func unescape(src string, j, line int) (byte, int, error) {
+	if src[j] != '\\' {
+		return src[j], j + 1, nil
+	}
+	if j+1 >= len(src) {
+		return 0, 0, &SyntaxError{line, "dangling escape"}
+	}
+	switch src[j+1] {
+	case 'n':
+		return '\n', j + 2, nil
+	case 't':
+		return '\t', j + 2, nil
+	case 'r':
+		return '\r', j + 2, nil
+	case '0':
+		return 0, j + 2, nil
+	case '\\':
+		return '\\', j + 2, nil
+	case '\'':
+		return '\'', j + 2, nil
+	case '"':
+		return '"', j + 2, nil
+	}
+	return 0, 0, &SyntaxError{line, fmt.Sprintf("unknown escape \\%c", src[j+1])}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte, base int64) bool {
+	if base == 16 {
+		return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+	}
+	return c >= '0' && c <= '9'
+}
+
+func digitVal(c byte) int64 {
+	switch {
+	case c >= '0' && c <= '9':
+		return int64(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int64(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int64(c-'A') + 10
+	}
+	return 0
+}

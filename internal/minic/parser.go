@@ -1,0 +1,725 @@
+package minic
+
+import (
+	"fmt"
+
+	"infat/internal/layout"
+)
+
+// Parse builds a Program from MiniC source.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, prog: &Program{Structs: map[string]*layout.Type{}}}
+	if err := p.parseProgram(); err != nil {
+		return nil, err
+	}
+	return p.prog, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+	prog *Program
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &SyntaxError{p.cur().Line, fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) accept(text string) bool {
+	if p.cur().Kind != TokEOF && p.cur().Text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf("expected %q, found %s", text, p.cur())
+	}
+	return nil
+}
+
+// atType reports whether the cursor is at the start of a type name.
+func (p *parser) atType() bool {
+	t := p.cur()
+	if t.Kind != TokKeyword {
+		return false
+	}
+	switch t.Text {
+	case "char", "int", "long", "void", "struct":
+		return true
+	}
+	return false
+}
+
+// parseType parses a base type plus pointer stars ("struct S**").
+func (p *parser) parseType() (*layout.Type, error) {
+	var base *layout.Type
+	switch {
+	case p.accept("char"):
+		base = layout.Char
+	case p.accept("int"):
+		base = layout.Int
+	case p.accept("long"):
+		base = layout.Long
+	case p.accept("void"):
+		base = layout.Void
+	case p.accept("struct"):
+		name := p.next()
+		if name.Kind != TokIdent {
+			return nil, p.errf("expected struct name")
+		}
+		st, ok := p.prog.Structs[name.Text]
+		if !ok {
+			return nil, &SyntaxError{name.Line, fmt.Sprintf("unknown struct %q", name.Text)}
+		}
+		base = st
+	default:
+		return nil, p.errf("expected type, found %s", p.cur())
+	}
+	for p.accept("*") {
+		base = layout.PointerTo(base)
+	}
+	return base, nil
+}
+
+// parseDeclarator parses "name" or "name[N]" / "name[N][M]" suffixes,
+// wrapping base into array types.
+func (p *parser) parseDeclarator(base *layout.Type) (string, *layout.Type, error) {
+	name := p.next()
+	if name.Kind != TokIdent {
+		return "", nil, &SyntaxError{name.Line, fmt.Sprintf("expected identifier, found %s", name)}
+	}
+	var dims []uint64
+	for p.accept("[") {
+		n := p.next()
+		if n.Kind != TokNumber || n.Num <= 0 {
+			return "", nil, &SyntaxError{n.Line, "array dimension must be a positive integer literal"}
+		}
+		dims = append(dims, uint64(n.Num))
+		if err := p.expect("]"); err != nil {
+			return "", nil, err
+		}
+	}
+	t := base
+	for i := len(dims) - 1; i >= 0; i-- {
+		t = layout.ArrayOf(t, dims[i])
+	}
+	return name.Text, t, nil
+}
+
+func (p *parser) parseProgram() error {
+	for p.cur().Kind != TokEOF {
+		if p.cur().Text == "struct" && p.toks[p.pos+2].Text == "{" {
+			if err := p.parseStructDef(); err != nil {
+				return err
+			}
+			continue
+		}
+		if !p.atType() {
+			return p.errf("expected declaration, found %s", p.cur())
+		}
+		base, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		line := p.cur().Line
+		name, typ, err := p.parseDeclarator(base)
+		if err != nil {
+			return err
+		}
+		if p.cur().Text == "(" {
+			fn, err := p.parseFuncRest(name, typ, line)
+			if err != nil {
+				return err
+			}
+			p.prog.Funcs = append(p.prog.Funcs, fn)
+			continue
+		}
+		// Global variable.
+		decl := &VarDecl{Name: name, Type: typ, Line: line}
+		if p.accept("=") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			decl.Init = e
+		}
+		if err := p.expect(";"); err != nil {
+			return err
+		}
+		p.prog.Globals = append(p.prog.Globals, decl)
+	}
+	return nil
+}
+
+func (p *parser) parseStructDef() error {
+	if err := p.expect("struct"); err != nil {
+		return err
+	}
+	name := p.next()
+	if name.Kind != TokIdent {
+		return &SyntaxError{name.Line, "expected struct name"}
+	}
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	if _, dup := p.prog.Structs[name.Text]; dup {
+		return &SyntaxError{name.Line, fmt.Sprintf("struct %q redefined", name.Text)}
+	}
+	// Register a placeholder first so members may hold pointers to the
+	// struct being defined (self-referential list/tree nodes).
+	placeholder := &layout.Type{Kind: layout.KindStruct, Name: "struct " + name.Text}
+	p.prog.Structs[name.Text] = placeholder
+
+	var fields []layout.Field
+	for !p.accept("}") {
+		base, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		for {
+			fname, ftype, err := p.parseDeclarator(base)
+			if err != nil {
+				return err
+			}
+			if ftype == placeholder || (ftype.Kind == layout.KindArray && ftype.Elem == placeholder) {
+				return &SyntaxError{name.Line,
+					fmt.Sprintf("field %q has incomplete type struct %s", fname, name.Text)}
+			}
+			fields = append(fields, layout.F(fname, ftype))
+			if !p.accept(",") {
+				break
+			}
+		}
+		if err := p.expect(";"); err != nil {
+			return err
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return err
+	}
+	// Complete the placeholder in place: pointers captured during field
+	// parsing keep referring to the same (now complete) type object.
+	*placeholder = *layout.StructOf(name.Text, fields...)
+	return nil
+}
+
+func (p *parser) parseFuncRest(name string, ret *layout.Type, line int) (*FuncDecl, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Name: name, Ret: ret, Line: line}
+	if !p.accept(")") {
+		if p.accept("void") && p.cur().Text == ")" {
+			// (void) parameter list.
+		} else {
+			for {
+				base, err := p.parseType()
+				if err != nil {
+					return nil, err
+				}
+				pline := p.cur().Line
+				pname, ptype, err := p.parseDeclarator(base)
+				if err != nil {
+					return nil, err
+				}
+				fn.Params = append(fn.Params, &VarDecl{Name: pname, Type: ptype, Line: pline})
+				if !p.accept(",") {
+					break
+				}
+			}
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) parseBlock() (*Block, error) {
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	b := &Block{}
+	for !p.accept("}") {
+		if p.cur().Kind == TokEOF {
+			return nil, p.errf("unexpected end of file in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	return b, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.Text == "{":
+		return p.parseBlock()
+	case t.Text == "if":
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Cond: cond, Then: then}
+		if p.accept("else") {
+			els, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+	case t.Text == "while":
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+	case t.Text == "do":
+		p.pos++
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("while"); err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &DoWhileStmt{Body: body, Cond: cond}, p.expect(";")
+	case t.Text == "switch":
+		return p.parseSwitch()
+	case t.Text == "for":
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		st := &ForStmt{}
+		if !p.accept(";") {
+			init, err := p.parseSimpleStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = init
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		if !p.accept(";") {
+			cond, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Cond = cond
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+		if p.cur().Text != ")" {
+			post, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Post = post
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Body = body
+		return st, nil
+	case t.Text == "return":
+		p.pos++
+		st := &ReturnStmt{Line: t.Line}
+		if p.cur().Text != ";" {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.E = e
+		}
+		return st, p.expect(";")
+	case t.Text == "break":
+		p.pos++
+		return &BreakStmt{Line: t.Line}, p.expect(";")
+	case t.Text == "continue":
+		p.pos++
+		return &ContinueStmt{Line: t.Line}, p.expect(";")
+	default:
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		return s, p.expect(";")
+	}
+}
+
+// parseSwitch parses a C switch with integer-literal case labels.
+func (p *parser) parseSwitch() (Stmt, error) {
+	line := p.cur().Line
+	if err := p.expect("switch"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	scrut, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	st := &SwitchStmt{Scrut: scrut, Line: line}
+	var curBody *[]Stmt
+	for !p.accept("}") {
+		switch {
+		case p.accept("case"):
+			n := p.next()
+			neg := false
+			if n.Text == "-" {
+				neg = true
+				n = p.next()
+			}
+			if n.Kind != TokNumber && n.Kind != TokChar {
+				return nil, &SyntaxError{n.Line, "case label must be an integer or char literal"}
+			}
+			v := n.Num
+			if neg {
+				v = -v
+			}
+			if err := p.expect(":"); err != nil {
+				return nil, err
+			}
+			st.Cases = append(st.Cases, SwitchCase{Value: v})
+			curBody = &st.Cases[len(st.Cases)-1].Body
+		case p.accept("default"):
+			if err := p.expect(":"); err != nil {
+				return nil, err
+			}
+			if st.Default != nil {
+				return nil, &SyntaxError{p.cur().Line, "duplicate default label"}
+			}
+			st.Default = []Stmt{}
+			curBody = &st.Default
+		case p.cur().Kind == TokEOF:
+			return nil, p.errf("unexpected end of file in switch")
+		default:
+			if curBody == nil {
+				return nil, p.errf("statement before first case label")
+			}
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			*curBody = append(*curBody, s)
+		}
+	}
+	return st, nil
+}
+
+// parseSimpleStmt parses a declaration or expression (no trailing ';').
+func (p *parser) parseSimpleStmt() (Stmt, error) {
+	if p.atType() {
+		base, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		line := p.cur().Line
+		name, typ, err := p.parseDeclarator(base)
+		if err != nil {
+			return nil, err
+		}
+		d := &VarDecl{Name: name, Type: typ, Line: line}
+		if p.accept("=") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = e
+		}
+		return &DeclStmt{Decl: d}, nil
+	}
+	line := p.cur().Line
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ExprStmt{E: e, Line: line}, nil
+}
+
+// --- expressions, precedence climbing ---
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseAssign() }
+
+func (p *parser) parseAssign() (Expr, error) {
+	lhs, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	switch t.Text {
+	case "=":
+		p.pos++
+		rhs, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignExpr{L: lhs, R: rhs, Line: t.Line}, nil
+	case "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=":
+		p.pos++
+		rhs, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		op := t.Text[:len(t.Text)-1]
+		return &AssignExpr{L: lhs, R: &BinaryExpr{Op: op, L: lhs, R: rhs, Line: t.Line}, Line: t.Line}, nil
+	}
+	return lhs, nil
+}
+
+var binPrec = map[string]int{
+	"||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6, "<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8, "+": 9, "-": 9, "*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		prec, ok := binPrec[t.Text]
+		if t.Kind != TokPunct || !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: t.Text, L: lhs, R: rhs, Line: t.Line}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	switch t.Text {
+	case "&", "*", "-", "!", "~":
+		p.pos++
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: t.Text, E: e, Line: t.Line}, nil
+	case "++", "--":
+		// Prefix increment desugars to a compound assignment.
+		p.pos++
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		op := "+"
+		if t.Text == "--" {
+			op = "-"
+		}
+		return &AssignExpr{L: e, R: &BinaryExpr{Op: op, L: e, R: &NumExpr{V: 1, Line: t.Line}, Line: t.Line}, Line: t.Line}, nil
+	case "sizeof":
+		p.pos++
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return &SizeofExpr{Type: typ, Line: t.Line}, nil
+	case "(":
+		// Cast or parenthesized expression.
+		if p.isCastAhead() {
+			p.pos++
+			typ, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			e, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return p.parsePostfixOn(&CastExpr{Type: typ, E: e, Line: t.Line})
+		}
+	}
+	return p.parsePostfix()
+}
+
+// isCastAhead checks for "(" type ")" without consuming.
+func (p *parser) isCastAhead() bool {
+	if p.cur().Text != "(" {
+		return false
+	}
+	t := p.toks[p.pos+1]
+	if t.Kind != TokKeyword {
+		return false
+	}
+	switch t.Text {
+	case "char", "int", "long", "void", "struct":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	return p.parsePostfixOn(e)
+}
+
+func (p *parser) parsePostfixOn(e Expr) (Expr, error) {
+	for {
+		t := p.cur()
+		switch t.Text {
+		case "[":
+			p.pos++
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			e = &IndexExpr{Base: e, Idx: idx, Line: t.Line}
+		case ".":
+			p.pos++
+			name := p.next()
+			if name.Kind != TokIdent {
+				return nil, &SyntaxError{name.Line, "expected member name"}
+			}
+			e = &MemberExpr{Base: e, Name: name.Text, Line: t.Line}
+		case "->":
+			p.pos++
+			name := p.next()
+			if name.Kind != TokIdent {
+				return nil, &SyntaxError{name.Line, "expected member name"}
+			}
+			e = &MemberExpr{Base: e, Name: name.Text, Arrow: true, Line: t.Line}
+		case "++", "--":
+			// Postfix increment as statement-position sugar: evaluates to
+			// the *updated* value in this subset (documented deviation).
+			p.pos++
+			op := "+"
+			if t.Text == "--" {
+				op = "-"
+			}
+			e = &AssignExpr{L: e, R: &BinaryExpr{Op: op, L: e, R: &NumExpr{V: 1, Line: t.Line}, Line: t.Line}, Line: t.Line}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokNumber, t.Kind == TokChar:
+		p.pos++
+		return &NumExpr{V: t.Num, Line: t.Line}, nil
+	case t.Kind == TokString:
+		p.pos++
+		return &StrExpr{S: t.Text, Line: t.Line}, nil
+	case t.Kind == TokIdent:
+		p.pos++
+		if p.cur().Text == "(" {
+			p.pos++
+			call := &CallExpr{Name: t.Text, Line: t.Line}
+			if !p.accept(")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(",") {
+						break
+					}
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+			}
+			return call, nil
+		}
+		return &IdentExpr{Name: t.Text, Line: t.Line}, nil
+	case t.Text == "(":
+		p.pos++
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(")")
+	}
+	return nil, p.errf("unexpected token %s", t)
+}

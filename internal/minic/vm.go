@@ -1,0 +1,454 @@
+package minic
+
+import (
+	"fmt"
+
+	"infat/internal/layout"
+	"infat/internal/machine"
+	"infat/internal/rt"
+)
+
+// VM executes compiled MiniC on a Runtime. Every IR step maps to the
+// instructions the instrumented binary would execute: loads and stores go
+// through the machine's checked paths, OpLoadP promotes, OpGep is ifpadd
+// (+ ifpidx when Sub is set), OpBnd is ifpbnd, and local/global objects
+// are registered through the runtime exactly as Listing 2 shows.
+type VM struct {
+	R   *rt.Runtime
+	C   *Compiled
+	Out []int64 // values print()ed by the program
+
+	globals  []rt.Obj
+	strings  []rt.Obj
+	heapObjs []rt.Obj // live heap allocations, for free(ptr)
+
+	steps    uint64
+	maxSteps uint64
+}
+
+// value is one eval-stack entry: a 64-bit value with its bounds register.
+type value struct {
+	v uint64
+	b machine.BoundsReg
+}
+
+// RunError wraps a trap or fault with a source line.
+type RunError struct {
+	Line int
+	Err  error
+}
+
+func (e *RunError) Error() string { return fmt.Sprintf("minic:%d: %v", e.Line, e.Err) }
+
+func (e *RunError) Unwrap() error { return e.Err }
+
+// NewVM prepares a VM: it registers globals (the §4.2.2 "getptr"
+// instrumentation, done eagerly) and interns string literals as
+// read-only char-array objects.
+func NewVM(c *Compiled, r *rt.Runtime) (*VM, error) {
+	vm := &VM{R: r, C: c, maxSteps: 50_000_000}
+	for _, g := range c.Globals {
+		var obj rt.Obj
+		var err error
+		if g.Type.Kind == layout.KindScalar || g.Type.Kind == layout.KindPointer {
+			obj, err = r.RegisterGlobalBytes(g.Type.Size())
+		} else {
+			obj, err = r.RegisterGlobal(g.Type)
+		}
+		if err != nil {
+			return nil, err
+		}
+		vm.globals = append(vm.globals, obj)
+	}
+	for _, s := range c.Strings {
+		obj, err := r.RegisterGlobal(layout.ArrayOf(layout.Char, uint64(len(s)+1)))
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < len(s); i++ {
+			if err := r.M.Mem.StoreN(obj.Base()+uint64(i), uint64(s[i]), 1); err != nil {
+				return nil, err
+			}
+		}
+		vm.strings = append(vm.strings, obj)
+	}
+	// Constant global initializers (data segment).
+	for i, g := range c.Globals {
+		if g.Init == nil {
+			continue
+		}
+		n, ok := g.Init.(*NumExpr)
+		if !ok {
+			return nil, &CompileError{g.Line, "global initializers must be integer literals"}
+		}
+		size := g.Type.Size()
+		if size > 8 {
+			return nil, &CompileError{g.Line, "cannot initialize aggregate globals"}
+		}
+		if err := r.M.Mem.StoreN(vm.globals[i].Base(), uint64(n.V), int(size)); err != nil {
+			return nil, err
+		}
+	}
+	return vm, nil
+}
+
+// Run executes main and returns its exit value.
+func (vm *VM) Run() (int64, error) {
+	mainIdx := vm.C.FuncIdx["main"]
+	ret, err := vm.call(mainIdx, nil)
+	if err != nil {
+		return 0, err
+	}
+	return int64(ret.v), nil
+}
+
+// frame is one activation record.
+type frame struct {
+	fn    *Func
+	slots []rt.Obj // one per local (registered or raw)
+	mark  uint64
+}
+
+func (vm *VM) call(fnIdx int, args []value) (value, error) {
+	fn := vm.C.Funcs[fnIdx]
+	fr := frame{fn: fn, mark: vm.R.StackMark()}
+	// Frame teardown order (LIFO defers): metadata cleanup first
+	// (Listing 2's IFP_Deregister), then the stack pop. Errors during
+	// unwind after a trap are moot.
+	defer func() { vm.R.StackRelease(fr.mark) }()
+
+	// Allocate and register locals (IFP_Register for aggregates and
+	// address-taken scalars).
+	for _, li := range fn.Locals {
+		var obj rt.Obj
+		var err error
+		if li.Registered {
+			if li.Type.Kind == layout.KindScalar || li.Type.Kind == layout.KindPointer {
+				obj, err = vm.R.AllocLocalBytes(li.Type.Size())
+			} else {
+				obj, err = vm.R.AllocLocal(li.Type)
+			}
+		} else {
+			var addr uint64
+			addr, err = vm.R.StackRaw(li.Type.Size())
+			obj = rt.Obj{P: addr, Size: li.Type.Size(), Kind: rt.KindLegacy}
+		}
+		if err != nil {
+			return value{}, err
+		}
+		fr.slots = append(fr.slots, obj)
+	}
+	// Metadata cleanup must run even on early return; arrange it now.
+	cleanup := func() {
+		for _, o := range fr.slots {
+			if o.Kind == rt.KindLocal || o.Kind == rt.KindGlobalRow {
+				_ = vm.R.DeallocLocal(o)
+			}
+		}
+	}
+	defer cleanup()
+
+	// Bind arguments (bounds passed in registers, §4.1.2: no promote for
+	// pointer arguments).
+	for i, a := range args {
+		li := fn.Locals[i]
+		slot := fr.slots[i]
+		if li.Type.Kind == layout.KindPointer {
+			if err := vm.R.StorePtr(slot.P, slot.B, a.v, a.b); err != nil {
+				return value{}, err
+			}
+		} else {
+			if err := vm.R.Store(slot.P, a.v, int(li.Type.Size()), slot.B); err != nil {
+				return value{}, err
+			}
+		}
+	}
+
+	var stack []value
+	push := func(v value) { stack = append(stack, v) }
+	pop := func() value {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+
+	pc := 0
+	for {
+		if pc < 0 || pc >= len(fn.Code) {
+			return value{}, fmt.Errorf("minic: pc %d out of range in %s", pc, fn.Name)
+		}
+		vm.steps++
+		if vm.steps > vm.maxSteps {
+			return value{}, fmt.Errorf("minic: step budget exhausted (infinite loop?)")
+		}
+		in := fn.Code[pc]
+		line := int(in.Line)
+		pc++
+		switch in.Op {
+		case OpConst:
+			vm.R.M.Tick(1)
+			push(value{v: uint64(in.Imm)})
+		case OpStr:
+			vm.R.M.Tick(1)
+			s := vm.strings[in.Imm]
+			push(value{v: s.P, b: s.B})
+		case OpLocal:
+			vm.R.M.Tick(1)
+			s := fr.slots[in.Imm]
+			push(value{v: s.P, b: s.B})
+		case OpGlobal:
+			vm.R.M.Tick(1)
+			g := vm.globals[in.Imm]
+			push(value{v: g.P, b: g.B})
+		case OpLoad:
+			a := pop()
+			v, err := vm.R.Load(a.v, int(in.Size), a.b)
+			if err != nil {
+				return value{}, &RunError{line, err}
+			}
+			push(value{v: signExtend(v, int(in.Size))})
+		case OpLoadP:
+			a := pop()
+			p, b, err := vm.R.LoadPtr(a.v, a.b)
+			if err != nil {
+				return value{}, &RunError{line, err}
+			}
+			push(value{v: p, b: b})
+		case OpStore:
+			a := pop()
+			v := pop()
+			if err := vm.R.Store(a.v, v.v, int(in.Size), a.b); err != nil {
+				return value{}, &RunError{line, err}
+			}
+		case OpStoreP:
+			a := pop()
+			v := pop()
+			if err := vm.R.StorePtr(a.v, a.b, v.v, v.b); err != nil {
+				return value{}, &RunError{line, err}
+			}
+		case OpGep:
+			a := pop()
+			p := vm.R.GEP(a.v, in.Imm, a.b)
+			if in.Sub != SubKeep {
+				p = vm.R.SetSub(p, in.Sub)
+			}
+			push(value{v: p, b: a.b})
+		case OpGepDyn:
+			idx := pop()
+			a := pop()
+			vm.R.M.Tick(1) // index scaling multiply
+			p := vm.R.GEP(a.v, int64(idx.v)*in.Imm, a.b)
+			if in.Sub != SubKeep {
+				p = vm.R.SetSub(p, in.Sub)
+			}
+			push(value{v: p, b: a.b})
+		case OpBnd:
+			a := pop()
+			push(value{v: a.v, b: vm.R.Bnd(a.v, uint64(in.Imm))})
+		case OpAddr:
+			a := pop()
+			vm.R.M.Tick(1)
+			push(value{v: a.v & (1<<48 - 1)})
+		case OpJmp:
+			vm.R.M.Tick(1)
+			pc = int(in.Imm)
+		case OpJz:
+			vm.R.M.Tick(1)
+			if pop().v == 0 {
+				pc = int(in.Imm)
+			}
+		case OpJnz:
+			vm.R.M.Tick(1)
+			if pop().v != 0 {
+				pc = int(in.Imm)
+			}
+		case OpDup:
+			vm.R.M.Tick(1)
+			v := stack[len(stack)-1]
+			push(v)
+		case OpPop:
+			pop()
+		case OpCall:
+			nargs := int(in.Sub)
+			args := make([]value, nargs)
+			for i := nargs - 1; i >= 0; i-- {
+				args[i] = pop()
+			}
+			vm.R.M.Tick(2) // call/ret overhead
+			ret, err := vm.call(int(in.Imm), args)
+			if err != nil {
+				return value{}, err
+			}
+			if vm.C.Funcs[in.Imm].Ret != layout.Void {
+				push(ret)
+			}
+		case OpRet:
+			if in.Sub == 1 {
+				return pop(), nil
+			}
+			return value{}, nil
+		case OpMalloc:
+			size := pop()
+			var obj rt.Obj
+			var err error
+			if in.Imm >= 0 {
+				t := vm.C.MallocTypes[in.Imm]
+				n := size.v / t.Size()
+				if n == 0 {
+					n = 1
+				}
+				obj, err = vm.R.Malloc(t, n)
+			} else {
+				obj, err = vm.R.MallocBytes(size.v)
+			}
+			if err != nil {
+				return value{}, &RunError{line, err}
+			}
+			vm.heapObjs = append(vm.heapObjs, obj)
+			push(value{v: obj.P, b: obj.B})
+		case OpFree:
+			p := pop()
+			if err := vm.freeByPtr(p.v); err != nil {
+				return value{}, &RunError{line, err}
+			}
+		case OpMemset:
+			n := pop()
+			v := pop()
+			p := pop()
+			if err := vm.R.Memset(p.v, byte(v.v), n.v, p.b); err != nil {
+				return value{}, &RunError{line, err}
+			}
+		case OpMemcpy:
+			n := pop()
+			src := pop()
+			dst := pop()
+			if err := vm.R.Memcpy(dst.v, dst.b, src.v, src.b, n.v); err != nil {
+				return value{}, &RunError{line, err}
+			}
+		case OpPrint:
+			v := pop()
+			vm.R.M.Tick(1)
+			vm.Out = append(vm.Out, int64(v.v))
+		case OpNeg:
+			a := pop()
+			vm.R.M.Tick(1)
+			push(value{v: uint64(-int64(a.v))})
+		case OpNot:
+			a := pop()
+			vm.R.M.Tick(1)
+			if a.v == 0 {
+				push(value{v: 1})
+			} else {
+				push(value{v: 0})
+			}
+		case OpBnot:
+			a := pop()
+			vm.R.M.Tick(1)
+			push(value{v: ^a.v})
+		default:
+			r := pop()
+			l := pop()
+			vm.R.M.Tick(1)
+			res, err := alu(in.Op, l.v, r.v)
+			if err != nil {
+				return value{}, &RunError{line, err}
+			}
+			push(value{v: res})
+		}
+	}
+}
+
+// heapObjs tracks live heap allocations so free(ptr) can find its Obj.
+// (The runtime needs the Obj record; real code derives it from the tag.)
+func (vm *VM) freeByPtr(p uint64) error {
+	addr := p & (1<<48 - 1)
+	for i, o := range vm.heapObjs {
+		if o.Base() == addr {
+			vm.heapObjs = append(vm.heapObjs[:i], vm.heapObjs[i+1:]...)
+			return vm.R.Free(o)
+		}
+	}
+	return fmt.Errorf("free of unallocated pointer %#x", p)
+}
+
+func alu(op Op, l, r uint64) (uint64, error) {
+	boolV := func(b bool) uint64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case OpAdd:
+		return l + r, nil
+	case OpSub:
+		return l - r, nil
+	case OpMul:
+		return l * r, nil
+	case OpDiv:
+		if r == 0 {
+			return 0, fmt.Errorf("division by zero")
+		}
+		return uint64(int64(l) / int64(r)), nil
+	case OpMod:
+		if r == 0 {
+			return 0, fmt.Errorf("modulo by zero")
+		}
+		return uint64(int64(l) % int64(r)), nil
+	case OpShl:
+		return l << (r & 63), nil
+	case OpShr:
+		return uint64(int64(l) >> (r & 63)), nil
+	case OpAnd:
+		return l & r, nil
+	case OpOr:
+		return l | r, nil
+	case OpXor:
+		return l ^ r, nil
+	case OpLt:
+		return boolV(int64(l) < int64(r)), nil
+	case OpLe:
+		return boolV(int64(l) <= int64(r)), nil
+	case OpGt:
+		return boolV(int64(l) > int64(r)), nil
+	case OpGe:
+		return boolV(int64(l) >= int64(r)), nil
+	case OpEq:
+		return boolV(l == r), nil
+	case OpNe:
+		return boolV(l != r), nil
+	}
+	return 0, fmt.Errorf("unknown ALU op %d", op)
+}
+
+func signExtend(v uint64, size int) uint64 {
+	switch size {
+	case 1:
+		return uint64(int64(int8(v)))
+	case 2:
+		return uint64(int64(int16(v)))
+	case 4:
+		return uint64(int64(int32(v)))
+	}
+	return v
+}
+
+// Execute compiles and runs src under the given mode, returning the
+// printed output and main's exit code.
+func Execute(src string, mode rt.Mode) (out []int64, exit int64, err error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	comp, err := Compile(prog)
+	if err != nil {
+		return nil, 0, err
+	}
+	r := rt.New(mode)
+	vm, err := NewVM(comp, r)
+	if err != nil {
+		return nil, 0, err
+	}
+	exit, err = vm.Run()
+	return vm.Out, exit, err
+}

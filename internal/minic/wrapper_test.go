@@ -1,0 +1,131 @@
+package minic
+
+import (
+	"testing"
+
+	"infat/internal/rt"
+)
+
+// wrapperProgram allocates through a thin wrapper function — the pattern
+// that defeats the paper's type deduction in CoreMark and bzip2 (§5.2.1).
+// The intra-object overflow is only reachable through promote-time
+// narrowing (the pointer round-trips through a global), so detection
+// requires the allocation to carry a layout table.
+const wrapperProgram = `
+struct T { char a[16]; char b[16]; };
+char *gv;
+void *my_alloc(long n) { return malloc(n); }
+int main() {
+	struct T *p = (struct T*)my_alloc(sizeof(struct T));
+	gv = p->a;
+	char *q = gv;
+	long i;
+	for (i = 0; i <= 16; i = i + 1) { q[i] = 'A'; }
+	free(p);
+	return 0;
+}`
+
+func TestAllocWrapperDetected(t *testing.T) {
+	prog, err := Parse(wrapperProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp.Wrappers) != 1 || comp.Wrappers[0] != "my_alloc" {
+		t.Fatalf("wrappers = %v, want [my_alloc]", comp.Wrappers)
+	}
+	// The wrapper call compiled to a typed malloc.
+	if len(comp.MallocTypes) != 1 || comp.MallocTypes[0].Name != "struct T" {
+		t.Fatalf("malloc types = %v", comp.MallocTypes)
+	}
+}
+
+func TestAllocWrapperEnablesNarrowing(t *testing.T) {
+	// With wrapper support the reloaded subobject pointer narrows via the
+	// layout table and the intra-object overflow is caught.
+	for _, mode := range []rt.Mode{rt.Subheap, rt.Wrapped} {
+		_, _, err := Execute(wrapperProgram, mode)
+		if err == nil {
+			t.Errorf("%v: intra-object overflow through wrapper missed", mode)
+		}
+	}
+	// Baseline still runs it clean.
+	if _, _, err := Execute(wrapperProgram, rt.Baseline); err != nil {
+		t.Errorf("baseline: %v", err)
+	}
+}
+
+func TestAllocWrapperCountersShowLayoutTable(t *testing.T) {
+	prog, _ := Parse(wrapperProgram)
+	comp, err := Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rt.New(rt.Subheap)
+	vm, err := NewVM(comp, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = vm.Run() // traps — that's fine, we want the stats
+	if r.Stats.HeapWithLT != 1 {
+		t.Errorf("heap objects with layout table = %d, want 1 (wrapper-deduced)", r.Stats.HeapWithLT)
+	}
+	if r.M.C.NarrowSuccess == 0 {
+		t.Error("no successful narrowing — wrapper type deduction inactive")
+	}
+}
+
+func TestNonWrappersNotMisdetected(t *testing.T) {
+	src := `
+void *alloc_and_count(long n) { gcount = gcount + 1; return malloc(n); }
+void *fixed_alloc(long n) { return malloc(64); }
+void *two_param(long n, long m) { return malloc(n); }
+long gcount = 0;
+int main() {
+	char *a = (char*)alloc_and_count(8);
+	char *b = (char*)fixed_alloc(8);
+	char *c = (char*)two_param(8, 9);
+	a[0] = 1; b[0] = 2; c[0] = 3;
+	return 0;
+}`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := Compile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp.Wrappers) != 0 {
+		t.Errorf("misdetected wrappers: %v", comp.Wrappers)
+	}
+	// And it still runs correctly in every mode.
+	for _, mode := range []rt.Mode{rt.Baseline, rt.Subheap, rt.Wrapped} {
+		if _, _, err := Execute(src, mode); err != nil {
+			t.Errorf("%v: %v", mode, err)
+		}
+	}
+}
+
+func TestWrapperWithCastBody(t *testing.T) {
+	src := `
+struct P { long x; long y; };
+long *lalloc(long n) { return (long*)malloc(n); }
+int main() {
+	struct P *p = (struct P*)lalloc(sizeof(struct P));
+	p->x = 1;
+	p->y = 2;
+	long r = p->x + p->y;
+	free(p);
+	return (int)r;
+}`
+	for _, mode := range []rt.Mode{rt.Baseline, rt.Subheap, rt.Wrapped} {
+		_, exit, err := Execute(src, mode)
+		if err != nil || exit != 3 {
+			t.Errorf("%v: exit=%d err=%v", mode, exit, err)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package rt
+
+import (
+	"fmt"
+
+	"infat/internal/layout"
+	"infat/internal/machine"
+	"infat/internal/metadata"
+	"infat/internal/tag"
+)
+
+// Kind records how an object was registered, which determines how it is
+// released.
+type Kind int
+
+// Object kinds.
+const (
+	// KindLegacy is an untagged object with no metadata (baseline mode,
+	// or allocations made by "uninstrumented" code).
+	KindLegacy Kind = iota
+	// KindLocal uses local-offset metadata on the stack or a global.
+	KindLocal
+	// KindGlobalRow uses a global-table row (stack/global fallback).
+	KindGlobalRow
+	// KindWrappedLocal is a heap chunk over-allocated for local-offset
+	// metadata by the wrapped allocator.
+	KindWrappedLocal
+	// KindWrappedGlobal is a heap chunk registered in the global table by
+	// the wrapped allocator.
+	KindWrappedGlobal
+	// KindSubheapSlot is a slot in a subheap block.
+	KindSubheapSlot
+)
+
+// Obj is a registered guest object: its tagged pointer, the bounds the
+// compiler statically knows at the allocation site (so no promote is
+// needed for the fresh pointer, §3.4), and release bookkeeping.
+type Obj struct {
+	P    Ptr
+	B    machine.BoundsReg
+	Size uint64
+	Kind Kind
+
+	row      uint16 // global-table row (KindGlobalRow/KindWrappedGlobal)
+	metaAddr uint64 // local-offset metadata address (KindLocal)
+}
+
+// Base returns the object's untagged base address.
+func (o Obj) Base() uint64 { return tag.Addr(o.P) }
+
+// registerLocalOffset writes local-offset metadata for an object at base
+// and returns the tagged pointer. The instrumentation cost is ifpmac + two
+// metadata stores + fixed setup (Listing 2's IFP_Register path).
+func (r *Runtime) registerLocalOffset(base, size, layoutPtr uint64) (Ptr, uint64, error) {
+	metaAddr, _ := metadata.LocalPlacement(base, size)
+	m := metadata.Local{Size: uint16(size), LayoutPtr: layoutPtr}
+	m.MAC = r.M.IfpMac(base, uint64(m.Size), m.LayoutPtr)
+	w := m.Encode()
+	r.M.Tick(localSetupCost)
+	if err := r.M.RawStore64(metaAddr, w[0]); err != nil {
+		return 0, 0, err
+	}
+	if err := r.M.RawStore64(metaAddr+8, w[1]); err != nil {
+		return 0, 0, err
+	}
+	off, ok := metadata.LocalGranuleOffset(base, metaAddr)
+	if !ok {
+		return 0, 0, fmt.Errorf("rt: local-offset unencodable for size %d", size)
+	}
+	return r.M.IfpMdLocal(base, off, 0), metaAddr, nil
+}
+
+// clearLocalOffset invalidates the metadata record (IFP_Deregister).
+func (r *Runtime) clearLocalOffset(metaAddr uint64) error {
+	r.M.Tick(localSetupCost)
+	if err := r.M.RawStore64(metaAddr, 0); err != nil {
+		return err
+	}
+	return r.M.RawStore64(metaAddr+8, 0)
+}
+
+// layoutFor returns the interned layout-table address for t, or 0 when
+// the allocation site gives the compiler no aggregate type to describe
+// (nil type, or a bare scalar/pointer element — the compiler generates
+// tables for struct and array types, §4.2.2).
+func (r *Runtime) layoutFor(t *layout.Type) (uint64, error) {
+	if t == nil || (t.Kind != layout.KindStruct && t.Kind != layout.KindArray) {
+		return 0, nil
+	}
+	addr, _, err := r.LayoutOf(t)
+	if err != nil {
+		return 0, err
+	}
+	return addr, nil
+}
+
+// StackRaw reserves unregistered stack scratch (spill slots, saved
+// registers): plain frame space with no object metadata, costing only the
+// stack-pointer arithmetic.
+func (r *Runtime) StackRaw(size uint64) (uint64, error) {
+	r.M.Tick(1)
+	return r.stackArena.Sbrk(size)
+}
+
+// StackMark snapshots the stack break for LIFO release of local frames.
+func (r *Runtime) StackMark() uint64 { return r.stackArena.Mark() }
+
+// StackRelease pops local frames back to a mark (function return). Pages
+// stay mapped, like real stack RSS.
+func (r *Runtime) StackRelease(mark uint64) { r.stackArena.Release(mark) }
+
+// AllocLocal places a local variable of type t on the stack and registers
+// it (Listing 2's IFP_Register on `boo`). The compiler prefers the
+// local-offset scheme and falls back to the global table for oversized
+// locals (§4.2.2). In baseline mode it is a plain stack bump.
+func (r *Runtime) AllocLocal(t *layout.Type) (Obj, error) {
+	return r.allocLocalSized(t, t.Size())
+}
+
+// AllocLocalBytes places an untyped local buffer (no layout table).
+func (r *Runtime) AllocLocalBytes(size uint64) (Obj, error) {
+	return r.allocLocalSized(nil, size)
+}
+
+func (r *Runtime) allocLocalSized(t *layout.Type, size uint64) (Obj, error) {
+	if size == 0 {
+		size = 1
+	}
+	if !r.Instrumented() {
+		r.M.Tick(1) // stack-pointer adjustment
+		base, err := r.stackArena.Sbrk(size)
+		if err != nil {
+			return Obj{}, err
+		}
+		return Obj{P: base, Size: size, Kind: KindLegacy}, nil
+	}
+	layoutPtr, err := r.layoutFor(t)
+	if err != nil {
+		return Obj{}, err
+	}
+	hasLT := layoutPtr != 0
+
+	if size <= tag.MaxLocalObjectSize {
+		_, footprint := metadata.LocalPlacement(0, size)
+		base, err := r.stackArena.Sbrk(footprint)
+		if err != nil {
+			return Obj{}, err
+		}
+		p, metaAddr, err := r.registerLocalOffset(base, size, layoutPtr)
+		if err != nil {
+			return Obj{}, err
+		}
+		r.Stats.LocalObjects++
+		if hasLT {
+			r.Stats.LocalWithLT++
+		}
+		return Obj{P: p, B: r.M.IfpBnd(p, size), Size: size, Kind: KindLocal, metaAddr: metaAddr}, nil
+	}
+
+	// Global-table fallback for big locals.
+	base, err := r.stackArena.Sbrk(size)
+	if err != nil {
+		return Obj{}, err
+	}
+	row, err := r.registerGlobalRow(base, size, layoutPtr)
+	if err != nil {
+		return Obj{}, err
+	}
+	p := r.M.IfpMdGlobal(base, row)
+	r.Stats.LocalObjects++
+	if hasLT {
+		r.Stats.LocalWithLT++
+	}
+	return Obj{P: p, B: r.M.IfpBnd(p, size), Size: size, Kind: KindGlobalRow, row: row}, nil
+}
+
+// DeallocLocal cleans up a local's metadata when its frame dies
+// (IFP_Deregister in Listing 2). The caller separately pops the frame with
+// StackRelease.
+func (r *Runtime) DeallocLocal(o Obj) error {
+	switch o.Kind {
+	case KindLegacy:
+		return nil
+	case KindLocal:
+		return r.clearLocalOffset(o.metaAddr)
+	case KindGlobalRow:
+		return r.releaseGlobalRow(o.row)
+	}
+	return fmt.Errorf("rt: DeallocLocal of %v object", o.Kind)
+}
+
+// RegisterGlobal registers a global variable of type t (the "getptr"
+// instrumentation of §4.2.2 initializes metadata on first use; we register
+// eagerly at startup, which is equivalent for accounting). Small globals
+// use the local-offset scheme; large ones the global table.
+func (r *Runtime) RegisterGlobal(t *layout.Type) (Obj, error) {
+	return r.registerGlobalSized(t, t.Size())
+}
+
+// RegisterGlobalBytes registers an untyped global buffer.
+func (r *Runtime) RegisterGlobalBytes(size uint64) (Obj, error) {
+	return r.registerGlobalSized(nil, size)
+}
+
+func (r *Runtime) registerGlobalSized(t *layout.Type, size uint64) (Obj, error) {
+	if size == 0 {
+		size = 1
+	}
+	if !r.Instrumented() {
+		base, err := r.globalArena.Sbrk(size)
+		if err != nil {
+			return Obj{}, err
+		}
+		return Obj{P: base, Size: size, Kind: KindLegacy}, nil
+	}
+	layoutPtr, err := r.layoutFor(t)
+	if err != nil {
+		return Obj{}, err
+	}
+	hasLT := layoutPtr != 0
+
+	if size <= tag.MaxLocalObjectSize {
+		_, footprint := metadata.LocalPlacement(0, size)
+		base, err := r.globalArena.Sbrk(footprint)
+		if err != nil {
+			return Obj{}, err
+		}
+		p, metaAddr, err := r.registerLocalOffset(base, size, layoutPtr)
+		if err != nil {
+			return Obj{}, err
+		}
+		r.Stats.GlobalObjects++
+		if hasLT {
+			r.Stats.GlobalWithLT++
+		}
+		return Obj{P: p, B: r.M.IfpBnd(p, size), Size: size, Kind: KindLocal, metaAddr: metaAddr}, nil
+	}
+
+	base, err := r.globalArena.Sbrk(size)
+	if err != nil {
+		return Obj{}, err
+	}
+	row, err := r.registerGlobalRow(base, size, layoutPtr)
+	if err != nil {
+		return Obj{}, err
+	}
+	p := r.M.IfpMdGlobal(base, row)
+	r.Stats.GlobalObjects++
+	if hasLT {
+		r.Stats.GlobalWithLT++
+	}
+	return Obj{P: p, B: r.M.IfpBnd(p, size), Size: size, Kind: KindGlobalRow, row: row}, nil
+}

@@ -1,0 +1,298 @@
+// Package rt is the In-Fat Pointer runtime library (§4.2): it initializes
+// the machine environment (global metadata table, subheap control
+// registers), interns per-type layout tables into guest memory, registers
+// local/global/heap objects under the appropriate metadata scheme, and
+// provides the two §4.2.1 allocators — the *wrapped* allocator (over a
+// glibc-style free list, using local-offset metadata with a global-table
+// fallback) and the *subheap* allocator (a pool allocator over a buddy
+// allocator).
+//
+// A Runtime also runs in Baseline mode, where no instrumentation happens
+// at all: workloads run the same code against plain, untagged pointers.
+// Comparing an instrumented run against a Baseline run of the same
+// workload is exactly the paper's Figure 10/11/12 methodology.
+package rt
+
+import (
+	"fmt"
+
+	"infat/internal/heap"
+	"infat/internal/layout"
+	"infat/internal/machine"
+	"infat/internal/metadata"
+	"infat/internal/tag"
+)
+
+// Mode selects the allocator/instrumentation configuration of a run
+// (§5.2: baseline, subheap-allocator version, wrapped-allocator version;
+// the no-promote variants are the machine's NoPromote flag on top).
+type Mode int
+
+// Run modes.
+const (
+	// Baseline runs uninstrumented: legacy pointers, no metadata.
+	Baseline Mode = iota
+	// Subheap instruments with the subheap allocator for heap objects.
+	Subheap
+	// Wrapped instruments with the wrapped allocator for heap objects.
+	Wrapped
+	// Hybrid instruments with dynamic allocator selection — the §4.2.1
+	// future-work exploration: allocation sites that repeatedly produce
+	// the same (size, type) signature graduate to subheap pools (their
+	// metadata amortizes), while one-off allocations stay on the cheaper-
+	// to-set-up wrapped path.
+	Hybrid
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Baseline:
+		return "baseline"
+	case Subheap:
+		return "subheap"
+	case Wrapped:
+		return "wrapped"
+	case Hybrid:
+		return "hybrid"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Guest address-space map. All regions are far apart; the memory is sparse
+// so only touched pages cost footprint.
+const (
+	globalTableBase = 0x0001_0000
+	globalTableCap  = tag.MaxGlobalIndex + 1
+
+	layoutBase = 0x0010_0000
+	layoutSize = 4 << 20
+
+	globalsBase = 0x0100_0000
+	globalsSize = 32 << 20
+
+	stackBase = 0x0300_0000
+	stackSize = 32 << 20
+
+	flHeapBase = 0x1000_0000
+	flHeapSize = 512 << 20
+
+	buddyBase = 0x4000_0000
+	buddyLog2 = 29 // 512 MiB region
+	buddyMin  = 12 // 4 KiB min block
+)
+
+// Stats counts instrumented objects per category, the Table-4 left half.
+// "WithLT" counts objects whose metadata includes layout-table
+// information.
+type Stats struct {
+	GlobalObjects, GlobalWithLT uint64
+	LocalObjects, LocalWithLT   uint64
+	HeapObjects, HeapWithLT     uint64
+	// HeapPool counts the heap objects served from subheap pools (the
+	// rest took the wrapped or global-table paths) — the split Hybrid
+	// mode's dynamic selection produces.
+	HeapPool uint64
+}
+
+// Ptr is a tagged guest pointer.
+type Ptr = uint64
+
+// Runtime is one process environment.
+type Runtime struct {
+	M    *machine.Machine
+	mode Mode
+
+	layoutArena *heap.Arena
+	globalArena *heap.Arena
+	stackArena  *heap.Arena
+	fl          *heap.FreeList
+	buddy       *heap.Buddy
+
+	tables map[*layout.Type]*ltInfo
+
+	// Global metadata table row management.
+	freeRows []uint16
+	nextRow  uint16
+
+	// Subheap pools.
+	pools    map[poolKey]*pool
+	blocks   map[uint64]*block
+	crOfBits map[uint8]uint16
+	nextCR   int
+
+	// Wrapped-allocator bookkeeping: payload base -> true when the chunk
+	// was over-allocated for local-offset metadata.
+	wrappedLocal map[uint64]bool
+	// Heap global-table registrations: payload base -> row index.
+	heapRows map[uint64]uint16
+
+	// ForceGlobalTable is the single-scheme ablation (DESIGN.md §5.2):
+	// every heap allocation is registered in the global table, as a
+	// design that spent all 12 tag bits on one lookup scheme would —
+	// narrowing becomes impossible and the table's 4096-row capacity
+	// becomes a real constraint.
+	ForceGlobalTable bool
+
+	// ExplicitChecks is the implicit-checking ablation (§4.1.1): every
+	// checked access issues an explicit ifpchk instead of riding the
+	// load-store unit's implicit check, costing one extra instruction
+	// per access.
+	ExplicitChecks bool
+
+	// sigCount tracks how many allocations each (size, layout) signature
+	// has seen, for Hybrid mode's graduation policy.
+	sigCount map[poolKey]int
+
+	Stats Stats
+}
+
+type ltInfo struct {
+	table *layout.Table
+	addr  uint64
+}
+
+// New creates a runtime in the given mode with a fresh machine.
+func New(mode Mode) *Runtime {
+	m := machine.New()
+	r := &Runtime{
+		M:            m,
+		mode:         mode,
+		layoutArena:  heap.NewArena(layoutBase, layoutSize),
+		globalArena:  heap.NewArena(globalsBase, globalsSize),
+		stackArena:   heap.NewArena(stackBase, stackSize),
+		fl:           heap.NewFreeList(m, heap.NewArena(flHeapBase, flHeapSize)),
+		buddy:        heap.NewBuddy(buddyBase, buddyLog2, buddyMin),
+		tables:       make(map[*layout.Type]*ltInfo),
+		pools:        make(map[poolKey]*pool),
+		blocks:       make(map[uint64]*block),
+		crOfBits:     make(map[uint8]uint16),
+		wrappedLocal: make(map[uint64]bool),
+		heapRows:     make(map[uint64]uint16),
+		sigCount:     make(map[poolKey]int),
+	}
+	if mode != Baseline {
+		m.GlobalBase = globalTableBase
+		m.GlobalCap = uint32(globalTableCap)
+	}
+	return r
+}
+
+// Mode returns the runtime's mode.
+func (r *Runtime) Mode() Mode { return r.mode }
+
+// Instrumented reports whether the run carries IFP instrumentation.
+func (r *Runtime) Instrumented() bool { return r.mode != Baseline }
+
+// LayoutOf interns the layout table for t, writing it into guest memory on
+// first use, and returns its guest address. Layout tables are generated at
+// compile time (§3.1), so writing them is free of dynamic instructions —
+// they are static data in the program image. All objects of a type share
+// one table (§3.4).
+func (r *Runtime) LayoutOf(t *layout.Type) (uint64, *layout.Table, error) {
+	if t == nil {
+		return 0, nil, nil
+	}
+	if info, ok := r.tables[t]; ok {
+		return info.addr, info.table, nil
+	}
+	tb, err := layout.Build(t)
+	if err != nil {
+		return 0, nil, err
+	}
+	words := tb.Encode()
+	addr, err := r.layoutArena.Sbrk(uint64(len(words)) * 8)
+	if err != nil {
+		return 0, nil, err
+	}
+	for i, w := range words {
+		if err := r.M.Mem.Store64(addr+uint64(i)*8, w); err != nil {
+			return 0, nil, err
+		}
+	}
+	r.tables[t] = &ltInfo{table: tb, addr: addr}
+	return addr, tb, nil
+}
+
+// SubobjIndexOf resolves a member path (e.g. "array[].v3") of t to the
+// layout-table index the compiler would embed in ifpidx instrumentation.
+func (r *Runtime) SubobjIndexOf(t *layout.Type, path string) (uint16, error) {
+	_, tb, err := r.LayoutOf(t)
+	if err != nil {
+		return 0, err
+	}
+	if tb == nil {
+		return 0, fmt.Errorf("rt: no layout table for nil type")
+	}
+	idx, ok := tb.IndexOf(path)
+	if !ok {
+		return 0, fmt.Errorf("rt: no subobject %q in %s", path, t.Name)
+	}
+	return idx, nil
+}
+
+// allocRow reserves a free global-table row.
+func (r *Runtime) allocRow() (uint16, error) {
+	if n := len(r.freeRows); n > 0 {
+		idx := r.freeRows[n-1]
+		r.freeRows = r.freeRows[:n-1]
+		return idx, nil
+	}
+	if int(r.nextRow) >= globalTableCap {
+		return 0, fmt.Errorf("rt: global metadata table full (%d rows)", globalTableCap)
+	}
+	idx := r.nextRow
+	r.nextRow++
+	return idx, nil
+}
+
+// writeRow stores a global-table row; registration costs the two stores
+// (runtime-library work, instrumented).
+func (r *Runtime) writeRow(idx uint16, row metadata.GlobalRow) error {
+	w := row.Encode()
+	a := metadata.RowAddr(globalTableBase, idx)
+	if err := r.M.RawStore64(a, w[0]); err != nil {
+		return err
+	}
+	return r.M.RawStore64(a+8, w[1])
+}
+
+// registerGlobalRow allocates and fills a table row for an object.
+func (r *Runtime) registerGlobalRow(base, size, layoutPtr uint64) (uint16, error) {
+	if size > metadata.MaxGlobalObjectSize {
+		return 0, fmt.Errorf("rt: object of %d bytes exceeds global-table size cap", size)
+	}
+	idx, err := r.allocRow()
+	if err != nil {
+		return 0, err
+	}
+	r.M.Tick(rowRegisterCost)
+	if err := r.writeRow(idx, metadata.GlobalRow{Base: base, Size: size, LayoutPtr: layoutPtr}); err != nil {
+		return 0, err
+	}
+	return idx, nil
+}
+
+// releaseGlobalRow zeroes and recycles a row.
+func (r *Runtime) releaseGlobalRow(idx uint16) error {
+	r.M.Tick(rowRegisterCost)
+	if err := r.writeRow(idx, metadata.GlobalRow{}); err != nil {
+		return err
+	}
+	r.freeRows = append(r.freeRows, idx)
+	return nil
+}
+
+// Runtime-library call costs (dynamic instructions) beyond the explicit
+// memory traffic: argument marshalling, branching, free-row search.
+const (
+	rowRegisterCost = 12
+	localSetupCost  = 6
+	poolAllocCost   = heap.PoolAllocCost
+	poolFreeCost    = heap.PoolFreeCost
+	blockSetupCost  = 30
+)
+
+// Footprint returns the guest pages currently backed — the simulator's
+// maximum-resident-size analogue used by Figure 12 (pages are never
+// returned, so this is a high-water mark).
+func (r *Runtime) Footprint() uint64 { return r.M.Mem.MappedBytes() }

@@ -1,0 +1,578 @@
+package rt
+
+import (
+	"testing"
+
+	"infat/internal/layout"
+	"infat/internal/machine"
+	"infat/internal/tag"
+)
+
+var nodeT = layout.StructOf("node",
+	layout.F("key", layout.Long),
+	layout.F("left", layout.PointerTo(nil)),
+	layout.F("right", layout.PointerTo(nil)))
+
+func TestModes(t *testing.T) {
+	for _, m := range []Mode{Baseline, Subheap, Wrapped, Hybrid, Mode(9)} {
+		if m.String() == "" {
+			t.Error("empty mode string")
+		}
+	}
+	if New(Baseline).Instrumented() {
+		t.Error("baseline instrumented")
+	}
+	if !New(Subheap).Instrumented() || !New(Wrapped).Instrumented() || !New(Hybrid).Instrumented() {
+		t.Error("instrumented modes not instrumented")
+	}
+	if New(Wrapped).Mode() != Wrapped {
+		t.Error("mode accessor")
+	}
+}
+
+func TestHybridGraduation(t *testing.T) {
+	r := New(Hybrid)
+	var objs []Obj
+	for i := 0; i < 12; i++ {
+		o, err := r.Malloc(nodeT, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, o)
+	}
+	// The first hybridGraduation allocations take the wrapped path; the
+	// signature then graduates to a subheap pool.
+	if objs[0].Kind != KindWrappedLocal {
+		t.Errorf("first alloc kind = %v, want wrapped-local", objs[0].Kind)
+	}
+	if objs[11].Kind != KindSubheapSlot {
+		t.Errorf("12th alloc kind = %v, want subheap slot", objs[11].Kind)
+	}
+	if r.Stats.HeapPool == 0 || r.Stats.HeapPool == r.Stats.HeapObjects {
+		t.Errorf("pool split = %d of %d, want a mix", r.Stats.HeapPool, r.Stats.HeapObjects)
+	}
+	// Every object promotes to its own bounds and frees cleanly despite
+	// the mixed schemes (tag-dispatched free).
+	for i, o := range objs {
+		_, b := r.M.Promote(o.P)
+		if !b.Valid || b.B.Lower != o.Base() {
+			t.Errorf("obj %d promote = %+v", i, b)
+		}
+		if err := r.Free(o); err != nil {
+			t.Errorf("obj %d free: %v", i, err)
+		}
+	}
+	// Oversized allocations fall back to the global table.
+	big, err := r.MallocBytes(2 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Kind != KindWrappedGlobal {
+		t.Errorf("big alloc kind = %v", big.Kind)
+	}
+}
+
+func TestLayoutInterning(t *testing.T) {
+	r := New(Wrapped)
+	a1, tb1, err := r.LayoutOf(nodeT)
+	if err != nil || a1 == 0 || tb1 == nil {
+		t.Fatalf("layout = %#x (err %v)", a1, err)
+	}
+	a2, tb2, _ := r.LayoutOf(nodeT)
+	if a1 != a2 || tb1 != tb2 {
+		t.Error("layout table not shared between objects of the same type")
+	}
+	// Encoded table readable from guest memory.
+	w0, err := r.M.Mem.Load64(a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := layout.DecodeEntry(w0, 0); e.Bound != nodeT.Size() {
+		t.Errorf("root entry bound = %d", e.Bound)
+	}
+	if idx, err := r.SubobjIndexOf(nodeT, "left"); err != nil || idx != 2 {
+		t.Errorf("SubobjIndexOf(left) = (%d, %v)", idx, err)
+	}
+	if _, err := r.SubobjIndexOf(nodeT, "ghost"); err == nil {
+		t.Error("ghost path resolved")
+	}
+}
+
+func TestAllocLocalInstrumented(t *testing.T) {
+	r := New(Subheap)
+	o, err := r.AllocLocal(nodeT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Kind != KindLocal {
+		t.Fatalf("kind = %v", o.Kind)
+	}
+	if tag.SchemeOf(o.P) != tag.SchemeLocalOffset {
+		t.Errorf("scheme = %v", tag.SchemeOf(o.P))
+	}
+	if !o.B.Valid || o.B.B.Span() != nodeT.Size() {
+		t.Errorf("bounds = %+v", o.B)
+	}
+	// Promote finds the metadata and the layout table.
+	p := r.SetSub(o.P, 1) // key
+	_, b := r.M.Promote(p)
+	if !b.Valid || b.B.Span() != 8 {
+		t.Errorf("narrowed bounds = %+v", b)
+	}
+	if r.Stats.LocalObjects != 1 || r.Stats.LocalWithLT != 1 {
+		t.Errorf("stats = %+v", r.Stats)
+	}
+	// Deregistration invalidates later promotes (temporal safety within
+	// the metadata's power, §3: errors that invalidate object metadata).
+	if err := r.DeallocLocal(o); err != nil {
+		t.Fatal(err)
+	}
+	q, b := r.M.Promote(o.P)
+	if b.Valid || tag.PoisonOf(q) != tag.Invalid {
+		t.Error("promote after deregistration succeeded")
+	}
+}
+
+func TestAllocLocalUntyped(t *testing.T) {
+	r := New(Wrapped)
+	o, err := r.AllocLocalBytes(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.LocalObjects != 1 || r.Stats.LocalWithLT != 0 {
+		t.Errorf("stats = %+v", r.Stats)
+	}
+	_ = o
+}
+
+func TestAllocLocalBigFallsBackToGlobalTable(t *testing.T) {
+	r := New(Subheap)
+	big := layout.ArrayOf(layout.Long, 4096) // 32 KiB > 1008
+	o, err := r.AllocLocal(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Kind != KindGlobalRow || tag.SchemeOf(o.P) != tag.SchemeGlobalTable {
+		t.Fatalf("kind = %v scheme = %v", o.Kind, tag.SchemeOf(o.P))
+	}
+	_, b := r.M.Promote(o.P)
+	if !b.Valid || b.B.Span() != big.Size() {
+		t.Errorf("bounds = %+v", b)
+	}
+	if err := r.DeallocLocal(o); err != nil {
+		t.Fatal(err)
+	}
+	if _, b := r.M.Promote(o.P); b.Valid {
+		t.Error("promote after row release succeeded")
+	}
+}
+
+func TestStackMarkRelease(t *testing.T) {
+	r := New(Baseline)
+	m0 := r.StackMark()
+	o, _ := r.AllocLocalBytes(128)
+	if r.StackMark() == m0 {
+		t.Error("stack did not grow")
+	}
+	r.StackRelease(m0)
+	o2, _ := r.AllocLocalBytes(128)
+	if o2.Base() != o.Base() {
+		t.Error("stack frame not reused after release")
+	}
+}
+
+func TestRegisterGlobal(t *testing.T) {
+	r := New(Wrapped)
+	small, err := r.RegisterGlobal(nodeT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Kind != KindLocal {
+		t.Errorf("small global kind = %v", small.Kind)
+	}
+	big, err := r.RegisterGlobalBytes(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Kind != KindGlobalRow {
+		t.Errorf("big global kind = %v", big.Kind)
+	}
+	if r.Stats.GlobalObjects != 2 || r.Stats.GlobalWithLT != 1 {
+		t.Errorf("stats = %+v", r.Stats)
+	}
+	_, b := r.M.Promote(big.P)
+	if !b.Valid || b.B.Span() != 1<<20 {
+		t.Errorf("big global bounds = %+v", b)
+	}
+}
+
+func TestMallocWrappedSmall(t *testing.T) {
+	r := New(Wrapped)
+	o, err := r.Malloc(nodeT, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Kind != KindWrappedLocal || tag.SchemeOf(o.P) != tag.SchemeLocalOffset {
+		t.Fatalf("kind = %v scheme = %v", o.Kind, tag.SchemeOf(o.P))
+	}
+	_, b := r.M.Promote(o.P)
+	if !b.Valid || b.B.Span() != nodeT.Size() {
+		t.Errorf("bounds = %+v", b)
+	}
+	if err := r.Free(o); err != nil {
+		t.Fatal(err)
+	}
+	// Metadata cleared: stale pointers poison on promote.
+	if q, b := r.M.Promote(o.P); b.Valid || tag.PoisonOf(q) != tag.Invalid {
+		t.Error("stale promote succeeded after free")
+	}
+	if r.Stats.HeapObjects != 1 || r.Stats.HeapWithLT != 1 {
+		t.Errorf("stats = %+v", r.Stats)
+	}
+}
+
+func TestMallocWrappedLarge(t *testing.T) {
+	r := New(Wrapped)
+	o, err := r.Malloc(layout.Long, 1024) // 8 KiB > 1008
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Kind != KindWrappedGlobal || tag.SchemeOf(o.P) != tag.SchemeGlobalTable {
+		t.Fatalf("kind = %v", o.Kind)
+	}
+	_, b := r.M.Promote(o.P)
+	if !b.Valid || b.B.Span() != 8192 {
+		t.Errorf("bounds = %+v", b)
+	}
+	if err := r.Free(o); err != nil {
+		t.Fatal(err)
+	}
+	if _, b := r.M.Promote(o.P); b.Valid {
+		t.Error("stale promote succeeded")
+	}
+}
+
+func TestMallocSubheapPacksAndShares(t *testing.T) {
+	r := New(Subheap)
+	var objs []Obj
+	for i := 0; i < 10; i++ {
+		o, err := r.Malloc(nodeT, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Kind != KindSubheapSlot || tag.SchemeOf(o.P) != tag.SchemeSubheap {
+			t.Fatalf("kind = %v scheme = %v", o.Kind, tag.SchemeOf(o.P))
+		}
+		objs = append(objs, o)
+	}
+	// Same-type objects share one block: consecutive slot addresses.
+	stride := objs[1].Base() - objs[0].Base()
+	if stride != 32 { // node is 24 bytes -> 32-byte slots
+		t.Errorf("slot stride = %d, want 32", stride)
+	}
+	// Every pointer promotes to its own slot's bounds.
+	for i, o := range objs {
+		q, b := r.M.Promote(o.P)
+		if !b.Valid || b.B.Lower != o.Base() || b.B.Span() != nodeT.Size() {
+			t.Errorf("obj %d bounds = %+v", i, b)
+		}
+		if tag.PoisonOf(q) != tag.Valid {
+			t.Errorf("obj %d poison = %v", i, tag.PoisonOf(q))
+		}
+	}
+	// Interior pointers resolve to the right slot.
+	mid := r.GEP(objs[3].P, 16, objs[3].B)
+	_, b := r.M.Promote(mid)
+	if !b.Valid || b.B.Lower != objs[3].Base() {
+		t.Errorf("interior promote = %+v", b)
+	}
+	// Free everything; the block returns to the buddy and stale promotes
+	// fail (metadata zeroed).
+	for _, o := range objs {
+		if err := r.Free(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q, b := r.M.Promote(objs[0].P); b.Valid || tag.PoisonOf(q) != tag.Invalid {
+		t.Error("stale subheap promote succeeded")
+	}
+}
+
+func TestMallocSubheapSeparatesTypes(t *testing.T) {
+	r := New(Subheap)
+	other := layout.StructOf("other",
+		layout.F("a", layout.Long), layout.F("b", layout.Long), layout.F("c", layout.Long))
+	o1, err := r.Malloc(nodeT, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := r.Malloc(other, 1) // same 24-byte size, different type
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §3.3.2: only identical-metadata objects share a block.
+	blockOf := func(p Ptr) uint64 { return tag.Addr(p) &^ (uint64(1)<<12 - 1) }
+	if blockOf(o1.P) == blockOf(o2.P) {
+		t.Error("different types share a subheap block")
+	}
+}
+
+func TestMallocSubheapArrayNarrowing(t *testing.T) {
+	// malloc(num*sizeof(T)) under the subheap allocator: a pointer into
+	// element 2's subobject narrows correctly via the shared element
+	// table.
+	r := New(Subheap)
+	o, err := r.Malloc(nodeT, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	li, err := r.SubobjIndexOf(nodeT, "left")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := r.GEP(o.P, int64(2*nodeT.Size()+8), o.B)
+	p = r.SetSub(p, li)
+	_, b := r.M.Promote(p)
+	if !b.Valid {
+		t.Fatal("no bounds")
+	}
+	wantLo := o.Base() + 2*nodeT.Size() + 8
+	if b.B.Lower != wantLo || b.B.Span() != 8 {
+		t.Errorf("bounds = %v, want [%#x,+8)", b.B, wantLo)
+	}
+}
+
+func TestMallocSubheapOversizedFallsBack(t *testing.T) {
+	r := New(Subheap)
+	o, err := r.MallocBytes(2 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Kind != KindWrappedGlobal {
+		t.Errorf("kind = %v, want global fallback", o.Kind)
+	}
+	if err := r.Free(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMallocBaseline(t *testing.T) {
+	r := New(Baseline)
+	o, err := r.Malloc(nodeT, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Kind != KindLegacy || !tag.IsLegacy(o.P) {
+		t.Errorf("baseline alloc = %+v", o)
+	}
+	if r.M.C.IfpTotal() != 0 {
+		t.Error("baseline emitted IFP instructions")
+	}
+	if err := r.Free(o); err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.HeapObjects != 0 {
+		t.Error("baseline counted instrumented objects")
+	}
+}
+
+func TestMallocLegacyInInstrumentedMode(t *testing.T) {
+	r := New(Subheap)
+	o, err := r.MallocLegacy(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tag.IsLegacy(o.P) {
+		t.Error("legacy alloc tagged")
+	}
+	// Promoting it bypasses lookup (the Table-4 legacy-promote path).
+	_, b := r.M.Promote(o.P)
+	if b.Valid {
+		t.Error("legacy promote retrieved bounds")
+	}
+	if r.M.C.PromoteLegacy != 1 {
+		t.Errorf("PromoteLegacy = %d", r.M.C.PromoteLegacy)
+	}
+	if err := r.Free(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeErrors(t *testing.T) {
+	r := New(Subheap)
+	if err := r.Free(Obj{Kind: KindLocal}); err == nil {
+		t.Error("Free of local accepted")
+	}
+	if err := r.Free(Obj{P: 0x123450, Kind: KindWrappedLocal, Size: 8}); err == nil {
+		t.Error("wild wrapped free accepted")
+	}
+	if err := r.Free(Obj{P: tag.MakeSubheap(0x5000, 9, 0), Kind: KindSubheapSlot}); err == nil {
+		t.Error("subheap free with dead CR accepted")
+	}
+}
+
+func TestOverflowDetectionEndToEnd(t *testing.T) {
+	// The headline property: a heap overflow past the object is caught in
+	// both instrumented modes, and intra-object overflow is caught when
+	// the layout table is present.
+	outer := layout.StructOf("S",
+		layout.F("vulnerable", layout.ArrayOf(layout.Char, 12)),
+		layout.F("sensitive", layout.ArrayOf(layout.Char, 12)))
+	for _, mode := range []Mode{Subheap, Wrapped} {
+		r := New(mode)
+		o, err := r.Malloc(outer, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vi, err := r.SubobjIndexOf(outer, "vulnerable")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Simulate: char *v = s->vulnerable; (tag update + promote as if
+		// reloaded from memory).
+		v := r.SetSub(o.P, vi)
+		v, vb := r.M.Promote(v)
+		if !vb.Valid || vb.B.Span() != 12 {
+			t.Fatalf("%v: vulnerable bounds = %+v", mode, vb)
+		}
+		// In-bounds writes succeed.
+		for i := int64(0); i < 12; i++ {
+			if err := r.Store(r.GEP(v, i, vb), 0x41, 1, vb); err != nil {
+				t.Fatalf("%v: in-bounds write %d: %v", mode, i, err)
+			}
+		}
+		// The 13th write (into `sensitive`) traps.
+		err = r.Store(r.GEP(v, 12, vb), 0x41, 1, vb)
+		if !machine.IsTrap(err, machine.TrapPoison) && !machine.IsTrap(err, machine.TrapBounds) {
+			t.Errorf("%v: intra-object overflow err = %v", mode, err)
+		}
+	}
+}
+
+func TestBaselineMissesOverflow(t *testing.T) {
+	// Sanity of the methodology: the baseline mode detects nothing.
+	r := New(Baseline)
+	o, _ := r.MallocBytes(12)
+	v := o.P
+	if err := r.Store(r.GEP(v, 12, o.B), 0x41, 1, o.B); err != nil {
+		t.Errorf("baseline detected the overflow: %v", err)
+	}
+}
+
+func TestMemsetMemcpy(t *testing.T) {
+	r := New(Subheap)
+	a, _ := r.MallocBytes(64)
+	bObj, _ := r.MallocBytes(64)
+	if err := r.Memset(a.P, 0x5a, 64, a.B); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Memcpy(bObj.P, bObj.B, a.P, a.B, 61); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := r.Load(r.GEP(bObj.P, 56, bObj.B), 4, bObj.B)
+	if v != 0x5a5a5a5a {
+		t.Errorf("copied tail = %#x", v)
+	}
+	// Overflowing memset traps.
+	if err := r.Memset(a.P, 1, 65, a.B); err == nil {
+		t.Error("overflowing memset passed")
+	}
+}
+
+func TestPointerRoundTripThroughMemory(t *testing.T) {
+	// Store a tagged pointer to the heap, load it back, promote: the tag
+	// survives memory and the bounds come back. Listing 2's gv_ptr flow.
+	r := New(Wrapped)
+	node, _ := r.Malloc(nodeT, 1)
+	cell, _ := r.MallocBytes(8)
+	if err := r.StorePtr(cell.P, cell.B, node.P, node.B); err != nil {
+		t.Fatal(err)
+	}
+	q, qb, err := r.LoadPtr(cell.P, cell.B)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !qb.Valid || qb.B.Lower != node.Base() || qb.B.Span() != nodeT.Size() {
+		t.Errorf("reloaded bounds = %+v", qb)
+	}
+	if tag.Addr(q) != node.Base() {
+		t.Errorf("reloaded ptr = %#x", tag.Addr(q))
+	}
+}
+
+func TestSpillReloadBounds(t *testing.T) {
+	r := New(Subheap)
+	o, _ := r.Malloc(nodeT, 1)
+	slot, _ := r.AllocLocalBytes(16)
+	if err := r.SpillBounds(slot.Base(), o.B); err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.ReloadBounds(slot.Base())
+	if err != nil || b != o.B {
+		t.Errorf("reloaded = %+v (err %v)", b, err)
+	}
+	// Baseline: no-ops.
+	rb := New(Baseline)
+	if err := rb.SpillBounds(0x100, machine.Cleared); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := rb.ReloadBounds(0x100); b.Valid {
+		t.Error("baseline reload produced bounds")
+	}
+}
+
+func TestGlobalRowRecycling(t *testing.T) {
+	r := New(Wrapped)
+	o1, err := r.Malloc(layout.Long, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row1 := o1.row
+	if err := r.Free(o1); err != nil {
+		t.Fatal(err)
+	}
+	o2, err := r.Malloc(layout.Long, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.row != row1 {
+		t.Errorf("row not recycled: %d vs %d", o2.row, row1)
+	}
+}
+
+func TestFootprintGrowsWithAllocations(t *testing.T) {
+	r := New(Subheap)
+	f0 := r.Footprint()
+	o, _ := r.MallocBytes(1 << 16)
+	if err := r.Memset(o.P, 1, 1<<16, o.B); err != nil {
+		t.Fatal(err)
+	}
+	if r.Footprint() <= f0 {
+		t.Error("footprint did not grow")
+	}
+}
+
+func TestSubheapMetadataFootprintSharing(t *testing.T) {
+	// The §5.2.3 mechanism: N same-type objects under the subheap
+	// allocator share per-block metadata, while the wrapped allocator
+	// pays per-object metadata. Footprint must reflect that.
+	alloc := func(mode Mode, n int) uint64 {
+		r := New(mode)
+		for i := 0; i < n; i++ {
+			o, err := r.Malloc(nodeT, 1)
+			if err != nil {
+				panic(err)
+			}
+			if err := r.Memset(o.P, 1, nodeT.Size(), o.B); err != nil {
+				panic(err)
+			}
+		}
+		return r.Footprint()
+	}
+	n := 4000
+	sub := alloc(Subheap, n)
+	wrap := alloc(Wrapped, n)
+	if sub >= wrap {
+		t.Errorf("subheap footprint %d >= wrapped %d", sub, wrap)
+	}
+}

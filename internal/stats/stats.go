@@ -1,0 +1,115 @@
+// Package stats provides the small numeric and formatting helpers the
+// evaluation harness uses: geometric means of overhead ratios (the paper
+// reports geo-mean overheads), percentage formatting, and aligned text
+// tables for terminal output.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Geomean returns the geometric mean of the values; it returns 0 for an
+// empty slice and panics on non-positive values (ratios must be > 0).
+func Geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, v := range vals {
+		if v <= 0 {
+			panic(fmt.Sprintf("stats: geomean of non-positive value %g", v))
+		}
+		logSum += math.Log(v)
+	}
+	return math.Exp(logSum / float64(len(vals)))
+}
+
+// Overhead converts a ratio to a percentage overhead: 1.12 -> +12.0%.
+func Overhead(ratio float64) float64 { return (ratio - 1) * 100 }
+
+// Ratio divides with a zero-denominator guard.
+func Ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Pct formats a fraction as a percentage string.
+func Pct(num, den uint64) string {
+	if den == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(num)/float64(den))
+}
+
+// SI formats a count with an SI-style suffix the way Table 4 prints
+// scientific counts.
+func SI(n uint64) string {
+	switch {
+	case n >= 1_000_000_000:
+		return fmt.Sprintf("%.2fe9", float64(n)/1e9)
+	case n >= 1_000_000:
+		return fmt.Sprintf("%.2fe6", float64(n)/1e6)
+	case n >= 10_000:
+		return fmt.Sprintf("%.2fe3", float64(n)/1e3)
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// Table renders rows as an aligned text table; the first row is the
+// header, separated by a rule.
+type Table struct {
+	rows [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.rows = append(t.rows, cells) }
+
+// AddF appends a row of formatted cells.
+func (t *Table) AddF(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	if len(t.rows) == 0 {
+		return ""
+	}
+	widths := make([]int, 0)
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for ri, row := range t.rows {
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+		if ri == 0 {
+			total := 0
+			for _, w := range widths {
+				total += w + 2
+			}
+			b.WriteString(strings.Repeat("-", total-2))
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

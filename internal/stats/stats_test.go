@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Errorf("geomean(2,8) = %g", g)
+	}
+	if g := Geomean([]float64{1, 1, 1}); math.Abs(g-1) > 1e-12 {
+		t.Errorf("geomean(1,1,1) = %g", g)
+	}
+	if Geomean(nil) != 0 {
+		t.Error("geomean(nil) != 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive value did not panic")
+		}
+	}()
+	Geomean([]float64{1, 0})
+}
+
+// Property: geomean lies between min and max.
+func TestQuickGeomeanBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			vals[i] = float64(r%1000)/100 + 0.01
+			lo = math.Min(lo, vals[i])
+			hi = math.Max(hi, vals[i])
+		}
+		g := Geomean(vals)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOverheadAndRatio(t *testing.T) {
+	if Overhead(1.12) < 11.99 || Overhead(1.12) > 12.01 {
+		t.Errorf("overhead(1.12) = %g", Overhead(1.12))
+	}
+	if Ratio(6, 3) != 2 || Ratio(1, 0) != 0 {
+		t.Error("ratio")
+	}
+}
+
+func TestPctAndSI(t *testing.T) {
+	if Pct(1, 4) != "25%" || Pct(1, 0) != "-" {
+		t.Errorf("pct = %s / %s", Pct(1, 4), Pct(1, 0))
+	}
+	cases := map[uint64]string{
+		42:            "42",
+		9_999:         "9999",
+		12_500:        "12.50e3",
+		3_400_000:     "3.40e6",
+		2_100_000_000: "2.10e9",
+	}
+	for n, want := range cases {
+		if got := SI(n); got != want {
+			t.Errorf("SI(%d) = %s, want %s", n, got, want)
+		}
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	var tb Table
+	tb.Add("Name", "Value")
+	tb.Add("x", "1")
+	tb.AddF("yyyy", 1234)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "---") {
+		t.Error("missing header rule")
+	}
+	// Columns align: the second column starts at the same offset.
+	if strings.Index(lines[0], "Value") != strings.Index(lines[2], "1") {
+		t.Error("columns misaligned")
+	}
+	var empty Table
+	if empty.String() != "" {
+		t.Error("empty table rendered content")
+	}
+}

@@ -1,0 +1,270 @@
+package tag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldWidthsSumToTag(t *testing.T) {
+	// Figure 4: 2 poison + 2 selector + 12 scheme-metadata/subobject = 16.
+	if got := 2 + 2 + 12; got != TagBits {
+		t.Fatalf("tag fields sum to %d, want %d", got, TagBits)
+	}
+	if LocalOffsetBits+LocalSubobjBits != 12 {
+		t.Errorf("local-offset split %d+%d != 12", LocalOffsetBits, LocalSubobjBits)
+	}
+	if SubheapCRBits+SubheapSubobjBits != 12 {
+		t.Errorf("subheap split %d+%d != 12", SubheapCRBits, SubheapSubobjBits)
+	}
+	if GlobalIndexBits != 12 {
+		t.Errorf("global index width %d != 12", GlobalIndexBits)
+	}
+}
+
+func TestPaperCapacities(t *testing.T) {
+	// §3.3.1: objects up to (2^6-1)*16 = 1008 bytes, 64 layout elements.
+	if MaxLocalObjectSize != 1008 {
+		t.Errorf("local-offset max object size = %d, want 1008", MaxLocalObjectSize)
+	}
+	if MaxLocalSubobj+1 != 64 {
+		t.Errorf("local-offset subobject capacity = %d, want 64", MaxLocalSubobj+1)
+	}
+	// §3.3.2: 16 control registers, 4 bits to select, 8-bit subobject index.
+	if NumSubheapCRs != 16 {
+		t.Errorf("subheap CRs = %d, want 16", NumSubheapCRs)
+	}
+	if MaxSubheapSubobj+1 != 256 {
+		t.Errorf("subheap subobject capacity = %d, want 256", MaxSubheapSubobj+1)
+	}
+	// §3.3.3: 12 bits of index.
+	if MaxGlobalIndex+1 != 4096 {
+		t.Errorf("global table capacity = %d, want 4096", MaxGlobalIndex+1)
+	}
+	if Granule != 16 {
+		t.Errorf("granule = %d, want 16", Granule)
+	}
+}
+
+func TestLegacyIsCanonical(t *testing.T) {
+	// A canonical user-space pointer (top bits zero) must decode as a
+	// legacy pointer in the Valid state, so uninstrumented code works.
+	p := uint64(0x7fff_1234_5678)
+	if !IsLegacy(p) {
+		t.Errorf("canonical pointer %#x not legacy", p)
+	}
+	if PoisonOf(p) != Valid {
+		t.Errorf("canonical pointer poison = %v, want valid", PoisonOf(p))
+	}
+	if Addr(p) != p {
+		t.Errorf("Addr(%#x) = %#x", p, Addr(p))
+	}
+	if !IsLegacy(0) {
+		t.Error("NULL is not legacy")
+	}
+}
+
+func TestLocalRoundTrip(t *testing.T) {
+	p := MakeLocal(0x1000, 13, 7)
+	if SchemeOf(p) != SchemeLocalOffset {
+		t.Fatalf("scheme = %v", SchemeOf(p))
+	}
+	off, sub := LocalFields(p)
+	if off != 13 || sub != 7 {
+		t.Errorf("fields = (%d,%d), want (13,7)", off, sub)
+	}
+	if Addr(p) != 0x1000 {
+		t.Errorf("addr = %#x", Addr(p))
+	}
+	if PoisonOf(p) != Valid {
+		t.Errorf("poison = %v", PoisonOf(p))
+	}
+}
+
+func TestSubheapRoundTrip(t *testing.T) {
+	p := MakeSubheap(0xdeadbeef, 15, 255)
+	cr, sub := SubheapFields(p)
+	if cr != 15 || sub != 255 {
+		t.Errorf("fields = (%d,%d), want (15,255)", cr, sub)
+	}
+	if SchemeOf(p) != SchemeSubheap {
+		t.Errorf("scheme = %v", SchemeOf(p))
+	}
+}
+
+func TestGlobalRoundTrip(t *testing.T) {
+	p := MakeGlobal(0x4000_0000, 4095)
+	if GlobalIndex(p) != 4095 {
+		t.Errorf("index = %d", GlobalIndex(p))
+	}
+	if SchemeOf(p) != SchemeGlobalTable {
+		t.Errorf("scheme = %v", SchemeOf(p))
+	}
+}
+
+func TestMakeOutOfRangePanics(t *testing.T) {
+	cases := []func(){
+		func() { MakeLocal(0, MaxLocalOffset+1, 0) },
+		func() { MakeLocal(0, 0, MaxLocalSubobj+1) },
+		func() { MakeSubheap(0, MaxSubheapCR+1, 0) },
+		func() { MakeSubheap(0, 0, MaxSubheapSubobj+1) },
+		func() { MakeGlobal(0, MaxGlobalIndex+1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPoisonTransitions(t *testing.T) {
+	p := MakeLocal(0x2000, 1, 0)
+	p = WithPoison(p, OOB)
+	if PoisonOf(p) != OOB {
+		t.Fatalf("poison = %v, want oob", PoisonOf(p))
+	}
+	// Poisoning must not disturb other fields.
+	off, sub := LocalFields(p)
+	if off != 1 || sub != 0 || Addr(p) != 0x2000 || SchemeOf(p) != SchemeLocalOffset {
+		t.Error("poison bits leaked into other fields")
+	}
+	p = WithPoison(p, Invalid)
+	if PoisonOf(p) != Invalid {
+		t.Errorf("poison = %v, want invalid", PoisonOf(p))
+	}
+	p = WithPoison(p, Valid)
+	if PoisonOf(p) != Valid {
+		t.Errorf("poison = %v, want valid", PoisonOf(p))
+	}
+}
+
+func TestSubobjIndexAccess(t *testing.T) {
+	if s, ok := SubobjIndex(MakeLocal(0, 5, 33)); !ok || s != 33 {
+		t.Errorf("local subobj = (%d,%v)", s, ok)
+	}
+	if s, ok := SubobjIndex(MakeSubheap(0, 2, 200)); !ok || s != 200 {
+		t.Errorf("subheap subobj = (%d,%v)", s, ok)
+	}
+	if _, ok := SubobjIndex(MakeGlobal(0, 9)); ok {
+		t.Error("global-table pointer reported a subobject index")
+	}
+	if _, ok := SubobjIndex(0x1234); ok {
+		t.Error("legacy pointer reported a subobject index")
+	}
+}
+
+func TestWithSubobjIndex(t *testing.T) {
+	p := MakeLocal(0x3000, 9, 0)
+	q := WithSubobjIndex(p, 5)
+	if _, sub := LocalFields(q); sub != 5 {
+		t.Errorf("sub = %d, want 5", sub)
+	}
+	if off, _ := LocalFields(q); off != 9 {
+		t.Errorf("granule offset disturbed: %d", off)
+	}
+	// Out-of-range narrowing poisons Invalid (§3.2 irrecoverable error).
+	q = WithSubobjIndex(p, MaxLocalSubobj+1)
+	if PoisonOf(q) != Invalid {
+		t.Errorf("out-of-range index: poison = %v, want invalid", PoisonOf(q))
+	}
+	// Global-table pointers cannot narrow: the index update is dropped
+	// and the pointer is otherwise untouched (object-granularity only).
+	g := MakeGlobal(0x3000, 1)
+	if got := WithSubobjIndex(g, 1); got != g {
+		t.Error("global-table narrowing modified the pointer")
+	}
+	// Legacy pointers ignore narrowing.
+	if got := WithSubobjIndex(0x4444, 3); got != 0x4444 {
+		t.Errorf("legacy narrowing changed pointer: %#x", got)
+	}
+}
+
+// Property: for every scheme, Make→fields→Addr round-trips and the address
+// bits never collide with tag fields.
+func TestQuickRoundTrips(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(1))}
+
+	local := func(addr uint64, off, sub uint16) bool {
+		addr &= AddrMask
+		off %= MaxLocalOffset + 1
+		sub %= MaxLocalSubobj + 1
+		p := MakeLocal(addr, off, sub)
+		o, s := LocalFields(p)
+		return o == off && s == sub && Addr(p) == addr &&
+			SchemeOf(p) == SchemeLocalOffset && PoisonOf(p) == Valid
+	}
+	if err := quick.Check(local, cfg); err != nil {
+		t.Error(err)
+	}
+
+	sub := func(addr uint64, cr, so uint16) bool {
+		addr &= AddrMask
+		cr %= MaxSubheapCR + 1
+		so %= MaxSubheapSubobj + 1
+		p := MakeSubheap(addr, cr, so)
+		c, s := SubheapFields(p)
+		return c == cr && s == so && Addr(p) == addr && SchemeOf(p) == SchemeSubheap
+	}
+	if err := quick.Check(sub, cfg); err != nil {
+		t.Error(err)
+	}
+
+	glob := func(addr uint64, idx uint16) bool {
+		addr &= AddrMask
+		idx %= MaxGlobalIndex + 1
+		p := MakeGlobal(addr, idx)
+		return GlobalIndex(p) == idx && Addr(p) == addr && SchemeOf(p) == SchemeGlobalTable
+	}
+	if err := quick.Check(glob, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: poison and meta updates are idempotent and field-isolated.
+func TestQuickFieldIsolation(t *testing.T) {
+	f := func(p uint64, m uint16, ps uint8) bool {
+		ps &= 0b11
+		q := WithMeta(WithPoison(p, Poison(ps)), m)
+		return Meta(q) == m&0xFFF && PoisonOf(q) == Poison(ps) &&
+			Addr(q) == Addr(p) && SchemeOf(q) == SchemeOf(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatCoversSchemes(t *testing.T) {
+	for _, p := range []uint64{
+		0x1000,
+		MakeLocal(0x1000, 1, 2),
+		MakeSubheap(0x1000, 3, 4),
+		MakeGlobal(0x1000, 5),
+		WithPoison(MakeLocal(0x1000, 1, 2), Invalid),
+	} {
+		if Format(p) == "" {
+			t.Errorf("empty format for %#x", p)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Valid.String() != "valid" || OOB.String() != "oob" || Invalid.String() != "invalid" {
+		t.Error("poison strings")
+	}
+	if Poison(0b10).String() == "" {
+		t.Error("unknown poison string empty")
+	}
+	for s, want := range map[Scheme]string{
+		SchemeLegacy: "legacy", SchemeLocalOffset: "local-offset",
+		SchemeSubheap: "subheap", SchemeGlobalTable: "global-table",
+	} {
+		if s.String() != want {
+			t.Errorf("%v != %s", s, want)
+		}
+	}
+}

@@ -1,0 +1,409 @@
+package workloads
+
+import (
+	"infat/internal/machine"
+	"infat/internal/rt"
+)
+
+// --- wolfcrypt-dh: Diffie-Hellman key agreement (WolfCrypt) ---
+//
+// Profile: big-number modular exponentiation over limb arrays in guest
+// memory — compute-heavy with a steady stream of valid promotes on the
+// limb buffers (Table 4: ≈100% valid). The original allocates through a
+// custom wrapper by function pointer, so allocations carry no layout
+// table (§5.2.1) — modeled with MallocBytes.
+
+const dhLimbs = 16 // 1024-bit numbers
+
+func runWolfcryptDH(r *rt.Runtime, scale int) (uint64, error) {
+	e := newEnv(r)
+	rounds := 2 * scale
+
+	// An mp_int is a small header whose dp member points to the limb
+	// buffer; both come from the opaque wrapper. Every big-number routine
+	// begins by loading dp from the header — the wolfcrypt promote
+	// stream.
+	type mpInt struct {
+		hdr   rt.Obj
+		limbs rt.Obj
+	}
+	alloc := func() mpInt {
+		limbs := e.mallocBytes(dhLimbs * 8)
+		hdr := e.mallocBytes(16)
+		e.st(hdr.P, dhLimbs, 8, hdr.B) // used count
+		e.stp(e.gep(hdr.P, 8, hdr.B), hdr.B, limbs.P, limbs.B)
+		return mpInt{hdr: hdr, limbs: limbs}
+	}
+	type dp struct {
+		p rt.Ptr
+		b machine.BoundsReg
+	}
+	getdp := func(n mpInt) dp {
+		p, b := e.ldp(e.gep(n.hdr.P, 8, n.hdr.B), n.hdr.B)
+		return dp{p, b}
+	}
+	load := func(d dp, i int64) uint64 { return e.ld(e.gep(d.p, i*8, d.b), 8, d.b) }
+	store := func(d dp, i int64, v uint64) { e.st(e.gep(d.p, i*8, d.b), v, 8, d.b) }
+
+	// Modular multiply-accumulate over limb arrays (schoolbook, reduced
+	// mod a pseudo-prime limb-wise — arithmetic shape, not real crypto).
+	mulmod := func(dstN, aN, bN mpInt) {
+		tmpN := alloc()
+		dst, a, b, tmp := getdp(dstN), getdp(aN), getdp(bN), getdp(tmpN)
+		for i := int64(0); i < dhLimbs; i++ {
+			store(tmp, i, 0)
+		}
+		for i := int64(0); i < dhLimbs && e.err == nil; i++ {
+			ai := load(a, i)
+			var carry uint64
+			for j := int64(0); j+i < dhLimbs && e.err == nil; j++ {
+				t := load(tmp, i+j) + ai*load(b, j) + carry
+				carry = t >> 32
+				store(tmp, i+j, t&0xFFFFFFFF)
+				e.tick(8)
+			}
+		}
+		for i := int64(0); i < dhLimbs; i++ {
+			store(dst, i, load(tmp, i)%0xFFFFFFFB)
+		}
+		e.free(tmpN.limbs)
+		e.free(tmpN.hdr)
+	}
+
+	baseN, expN, accN := alloc(), alloc(), alloc()
+	bd, ed, ad := getdp(baseN), getdp(expN), getdp(accN)
+	for i := int64(0); i < dhLimbs; i++ {
+		store(bd, i, e.randn(1<<32))
+		store(ed, i, e.randn(1<<32))
+		store(ad, i, 0)
+	}
+	store(ad, 0, 1)
+
+	for round := 0; round < rounds && e.err == nil; round++ {
+		// Square-and-multiply over the low exponent limbs.
+		for bit := 0; bit < 24 && e.err == nil; bit++ {
+			mulmod(accN, accN, accN)
+			ed := getdp(expN)
+			if load(ed, int64(bit%dhLimbs))>>uint(bit%32)&1 == 1 {
+				mulmod(accN, accN, baseN)
+			}
+		}
+	}
+	fd := getdp(accN)
+	for i := int64(0); i < dhLimbs; i++ {
+		e.mix(load(fd, i))
+	}
+	return e.sum, e.err
+}
+
+// --- sjeng: chess search (SPEC 458.sjeng, reduced depth) ---
+//
+// Profile: one large instrumented global (the board, global-table
+// scheme), heavy recursion with per-node local move arrays (Table 4:
+// millions of local objects), and a low valid-promote share (26%) — most
+// promotes see NULL move-list terminators or pointers from
+// uninstrumented code.
+
+func runSjeng(r *rt.Runtime, scale int) (uint64, error) {
+	e := newEnv(r)
+	depth := 5
+	if scale > 1 {
+		depth = 6
+	}
+
+	// The global board: 144 squares of 8 bytes -> 1152 bytes, above the
+	// local-offset cap, so the global table serves it (the "one global
+	// object from sjeng using the global table scheme").
+	board := e.globalBytes(144 * 8)
+	for sq := int64(0); sq < 144; sq++ {
+		v := uint64(0)
+		if sq%13 < 4 {
+			v = 1 + e.randn(6)
+		}
+		e.st(e.gep(board.P, sq*8, board.B), v, 8, board.B)
+	}
+
+	// Uninstrumented opening-book memory: probing it yields legacy
+	// pointers.
+	book := e.mallocLegacy(4096)
+	bookIdx := e.mallocLegacy(8)
+	e.stp(bookIdx.P, bookIdx.B, book.P, book.B)
+
+	// Killer-move table: pointer slots into the board, sparsely filled —
+	// early probes promote NULL, later ones promote valid board pointers.
+	// Together with the legacy book probes this keeps sjeng's valid-
+	// promote share low (Table 4: 26%).
+	killers := e.mallocBytes(64 * 8)
+
+	var search func(d int, alpha uint64) uint64
+	search = func(d int, alpha uint64) uint64 {
+		if d == 0 || e.err != nil {
+			return alpha
+		}
+		mark := e.r.StackMark()
+		moves := e.localBytes(32 * 8) // per-node move list
+		nMoves := int64(0)
+		for sq := int64(0); sq < 144 && nMoves < 32; sq += 7 {
+			piece := e.ld(e.gep(board.P, sq*8, board.B), 8, board.B)
+			if piece != 0 {
+				e.st(e.gep(moves.P, nMoves*8, moves.B), uint64(sq)<<8|piece, 8, moves.B)
+				nMoves++
+			}
+			e.tick(4)
+		}
+		// Probe the book (legacy promote) every node.
+		tbl, tb := e.ldp(bookIdx.P, bookIdx.B)
+		e.ld(e.gep(tbl, int64(e.randn(500))*8, tb), 8, tb)
+
+		// Probe both killer slots for this ply (NULL until filled).
+		kslot := int64(d*8) % 56
+		k1, k1b := e.ldp(e.gep(killers.P, kslot*8, killers.B), killers.B)
+		if k1 != 0 {
+			e.ld(k1, 8, k1b)
+		}
+		k2, k2b := e.ldp(e.gep(killers.P, (kslot+1)*8, killers.B), killers.B)
+		if k2 != 0 {
+			e.ld(k2, 8, k2b)
+		}
+
+		best := alpha
+		for i := int64(0); i < nMoves && e.err == nil; i++ {
+			mv := e.ld(e.gep(moves.P, i*8, moves.B), 8, moves.B)
+			sq := int64(mv >> 8)
+			// Make move: swap the piece to a nearby square.
+			dst := (sq + 11) % 144
+			old := e.ld(e.gep(board.P, dst*8, board.B), 8, board.B)
+			e.st(e.gep(board.P, dst*8, board.B), mv&0xFF, 8, board.B)
+			e.st(e.gep(board.P, sq*8, board.B), 0, 8, board.B)
+			score := search(d-1, best^mv&0x7)
+			if score > best {
+				best = score
+				// Record a killer: a pointer to the destination square.
+				e.stp(e.gep(killers.P, (kslot+int64(i)%2)*8, killers.B), killers.B,
+					e.gep(board.P, dst*8, board.B), board.B)
+			}
+			// Unmake.
+			e.st(e.gep(board.P, sq*8, board.B), mv&0xFF, 8, board.B)
+			e.st(e.gep(board.P, dst*8, board.B), old, 8, board.B)
+			e.tick(12)
+		}
+		e.unlocal(moves)
+		e.r.StackRelease(mark)
+		return best
+	}
+	e.mix(search(depth, 0))
+	return e.sum, e.err
+}
+
+// --- coremark: embedded-CPU benchmark (EEMBC CoreMark) ---
+//
+// Profile: a single dynamic allocation through an opaque wrapper, with
+// all data structures (linked list, matrix, state machine) built inside
+// it (§5.2.2). Pointers into the buffer carry subobject indices but the
+// metadata has no layout table, so 29% of promotes attempt narrowing and
+// all of it coarsens to object bounds (§5.2.1).
+
+func runCoreMark(r *rt.Runtime, scale int) (uint64, error) {
+	e := newEnv(r)
+	iters := 8 * scale
+
+	// The single allocation: list area (first 1 KiB) + matrix area.
+	const listArea = 1024
+	const matDim = 12
+	total := uint64(listArea + matDim*matDim*8)
+	block := e.mallocBytes(total)
+
+	// Build a linked list of {value, nextOffset} cells inside the block.
+	nCells := int64(listArea / 16)
+	for i := int64(0); i < nCells; i++ {
+		cellP := e.gep(block.P, i*16, block.B)
+		e.st(cellP, e.randn(1<<16), 8, block.B)
+		next := block.P
+		if i+1 < nCells {
+			next = e.gep(block.P, (i+1)*16, block.B)
+		} else {
+			next = 0
+		}
+		// Interior pointers stored with a (futile) subobject index, as
+		// the compiler instruments member derivation on the static type.
+		if next != 0 {
+			next = e.sub(next, 1)
+		}
+		e.stp(e.gep(cellP, 8, block.B), block.B, next, machine.Cleared)
+	}
+
+	// Matrix init.
+	matBase := e.gep(block.P, listArea, block.B)
+	for i := int64(0); i < matDim*matDim; i++ {
+		e.st(e.gep(matBase, i*8, block.B), e.randn(64), 8, block.B)
+	}
+
+	var crc uint64
+	for it := 0; it < iters && e.err == nil; it++ {
+		// List run: chase the in-block pointers (promotes with failing
+		// narrowing).
+		cur, cb := e.ldp(e.gep(block.P, 8, block.B), block.B)
+		for cur != 0 && e.err == nil {
+			crc = crc<<1 ^ e.ld(cur, 8, cb)
+			cur, cb = e.ldp(e.gep(cur, 8, cb), cb)
+			e.tick(3)
+		}
+		// Matrix multiply-accumulate run.
+		for i := int64(0); i < matDim && e.err == nil; i++ {
+			for j := int64(0); j < matDim; j++ {
+				var acc uint64
+				for k := int64(0); k < matDim; k++ {
+					a := e.ld(e.gep(matBase, (i*matDim+k)*8, block.B), 8, block.B)
+					b := e.ld(e.gep(matBase, (k*matDim+j)*8, block.B), 8, block.B)
+					acc += a * b
+					e.tick(4)
+				}
+				crc ^= acc
+			}
+		}
+		// State-machine run over the list bytes.
+		state := uint64(0)
+		for i := int64(0); i < nCells; i++ {
+			v := e.ld(e.gep(block.P, i*16, block.B), 8, block.B)
+			switch {
+			case v&3 == 0:
+				state = state*3 + 1
+			case v&3 == 1:
+				state ^= v >> 4
+			default:
+				state += v & 0xFF
+			}
+			e.tick(5)
+		}
+		crc ^= state
+	}
+	e.mix(crc)
+	return e.sum, e.err
+}
+
+// --- bzip2: block compression (bzip2 1.0.8 compressing its own tarball) ---
+//
+// Profile: a handful of very large buffers allocated through function-
+// pointer wrappers (opaque — no layout tables, so half the promotes
+// attempt narrowing and coarsen), a few instrumented globals including
+// global-table ones, and byte-crunching loops. Legacy promotes come from
+// the uninstrumented I/O layer.
+
+func runBzip2(r *rt.Runtime, scale int) (uint64, error) {
+	e := newEnv(r)
+	inputLen := uint64(24*1024) * uint64(scale)
+
+	// Globals: CRC table (large -> global-table scheme), small flag block.
+	crcTab := e.globalBytes(256 * 8)
+	for i := int64(0); i < 256; i++ {
+		v := uint64(i)
+		for k := 0; k < 8; k++ {
+			if v&1 == 1 {
+				v = v>>1 ^ 0xEDB88320EDB88320
+			} else {
+				v >>= 1
+			}
+		}
+		e.st(e.gep(crcTab.P, i*8, crcTab.B), v, 8, crcTab.B)
+	}
+	flags := e.globalBytes(64)
+	e.st(flags.P, 9, 8, flags.B) // blockSize100k
+
+	// Buffers through the opaque allocator (bzalloc by function pointer).
+	input := e.mallocBytes(inputLen)
+	work := e.mallocBytes(inputLen + 1024)
+	output := e.mallocBytes(inputLen + 2048)
+
+	// Synthesize compressible input (a "source tarball": runs + text).
+	for i := uint64(0); i < inputLen; i += 8 {
+		var w uint64
+		if e.randn(4) == 0 {
+			w = 0x2020202020202020 // run of spaces
+		} else {
+			w = e.rand() & 0x7F7F7F7F7F7F7F7F
+		}
+		e.st(e.gep(input.P, int64(i), input.B), w, 8, input.B)
+	}
+
+	// The uninstrumented stdio layer hands back legacy buffer pointers.
+	ioBuf := e.mallocLegacy(8192)
+	ioCell := e.mallocLegacy(8)
+	e.stp(ioCell.P, ioCell.B, ioBuf.P, ioBuf.B)
+
+	// The EState-style stream state: the compressor keeps its buffer
+	// pointers in this struct and reloads them constantly (s->block,
+	// s->arr1 ... in the original) — bzip2's valid promote stream.
+	state := e.mallocBytes(4 * 8)
+	e.stp(e.gep(state.P, 0, state.B), state.B, input.P, input.B)
+	// The work pointer is stored as a member-derived pointer: it carries
+	// a subobject index but the opaque allocation has no layout table, so
+	// every reload's narrowing coarsens to object bounds (§5.2.1: "50% of
+	// promote instructions" in bzip2 take subobject-indexed pointers).
+	e.stp(e.gep(state.P, 8, state.B), state.B, e.sub(work.P, 1), work.B)
+	e.stp(e.gep(state.P, 16, state.B), state.B, output.P, output.B)
+
+	var crc, outLen uint64
+	for blk := uint64(0); blk+4096 <= inputLen && e.err == nil; blk += 4096 {
+		// "Read" via the legacy FILE* (legacy promote per block).
+		buf, bb := e.ldp(ioCell.P, ioCell.B)
+		e.ld(buf, 8, bb)
+
+		// RLE pass into work: pointers into the work buffer carry
+		// subobject indices from the instrumented struct view of the
+		// stream state (narrowing coarsens — no layout table).
+		wp := e.sub(work.P, 1)
+		wp, wb := e.r.Promote(wp)
+		if !e.r.Instrumented() {
+			wp, wb = work.P, work.B
+		}
+		var wo int64
+		run := uint64(0)
+		prev := uint64(0xFFFF)
+		inP, inB := input.P, input.B
+		for i := int64(0); i < 4096 && e.err == nil; i++ {
+			// Reload the stream pointers from the state struct every 32
+			// bytes (register pressure in the original spills them), and
+			// probe the legacy I/O layer every 96.
+			if i%32 == 0 {
+				inP, inB = e.ldp(e.gep(state.P, 0, state.B), state.B)
+				wp, wb = e.ldp(e.gep(state.P, 8, state.B), state.B)
+			}
+			if i%96 == 0 {
+				lb, lbb := e.ldp(ioCell.P, ioCell.B)
+				e.ld(e.gep(lb, i%8000, lbb), 8, lbb)
+			}
+			ch := e.ld(e.gep(inP, int64(blk)+i, inB), 1, inB)
+			if ch == prev && run < 255 {
+				run++
+			} else {
+				e.st(e.gep(wp, wo, wb), prev&0xFF, 1, wb)
+				e.st(e.gep(wp, wo+1, wb), run&0xFF, 1, wb)
+				wo += 2
+				prev, run = ch, 1
+			}
+			crc = crc<<1 ^ e.ld(e.gep(crcTab.P, int64(ch)*8, crcTab.B), 8, crcTab.B)
+			e.tick(4)
+		}
+
+		// "Huffman" pass: fold work bytes into the output with a moving
+		// code table (pure compute + buffer traffic).
+		outP, outB := output.P, output.B
+		for i := int64(0); i < wo && e.err == nil; i += 2 {
+			if i%64 == 0 {
+				outP, outB = e.ldp(e.gep(state.P, 16, state.B), state.B)
+			}
+			sym := e.ld(e.gep(wp, i, wb), 1, wb)
+			cnt := e.ld(e.gep(wp, i+1, wb), 1, wb)
+			code := sym<<3 ^ cnt
+			e.st(e.gep(outP, int64(outLen), outB), code&0xFF, 1, outB)
+			outLen++
+			e.tick(6)
+		}
+	}
+	e.mix(crc)
+	e.mix(outLen)
+	e.free(input)
+	e.free(work)
+	e.free(output)
+	return e.sum, e.err
+}

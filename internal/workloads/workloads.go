@@ -1,0 +1,341 @@
+// Package workloads re-implements the paper's §5.2 benchmark programs —
+// the full Olden suite (bh, bisort, em3d, health, mst, perimeter, power,
+// treeadd, tsp, voronoi), four PtrDist programs (anagram, ft, ks, yacr2),
+// and the four "selected programs" (wolfcrypt-dh, sjeng, coremark, bzip2)
+// — as kernels operating on guest memory through the instrumented runtime
+// API.
+//
+// Every workload runs identically under every rt.Mode and returns a
+// checksum; baseline and instrumented runs must agree (instrumentation
+// must not change program semantics), which the test suite asserts. The
+// overhead experiments (Table 4, Figures 10-12) compare machine counters
+// between modes.
+//
+// Each kernel reproduces its original's pointer behaviour: allocation mix
+// (object counts and sizes, Table 4's left half), promote sources (child
+// pointers loaded from memory, NULL-heavy trees, legacy libc pointers),
+// and cache footprint, because those are the quantities the paper's
+// results are made of.
+package workloads
+
+import (
+	"fmt"
+
+	"infat/internal/layout"
+	"infat/internal/machine"
+	"infat/internal/rt"
+)
+
+// Workload is one registered benchmark.
+type Workload struct {
+	Name  string
+	Suite string // "olden", "ptrdist", "other"
+	// Run executes the kernel at the given scale (1 = the standard
+	// experiment size; tests use smaller) and returns a checksum that
+	// must be mode-independent.
+	Run func(r *rt.Runtime, scale int) (uint64, error)
+}
+
+// All lists every workload in the paper's Table-4 order.
+var All = []Workload{
+	{"bh", "olden", runBH},
+	{"bisort", "olden", runBisort},
+	{"em3d", "olden", runEM3D},
+	{"health", "olden", runHealth},
+	{"mst", "olden", runMST},
+	{"perimeter", "olden", runPerimeter},
+	{"power", "olden", runPower},
+	{"treeadd", "olden", runTreeAdd},
+	{"tsp", "olden", runTSP},
+	{"voronoi", "olden", runVoronoi},
+	{"anagram", "ptrdist", runAnagram},
+	{"ft", "ptrdist", runFT},
+	{"ks", "ptrdist", runKS},
+	{"yacr2", "ptrdist", runYacr2},
+	{"wolfcrypt-dh", "other", runWolfcryptDH},
+	{"sjeng", "other", runSjeng},
+	{"coremark", "other", runCoreMark},
+	{"bzip2", "other", runBzip2},
+}
+
+// ByName returns the named workload.
+func ByName(name string) (Workload, bool) {
+	for _, w := range All {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// env wraps a Runtime with sticky-error ergonomics and a deterministic RNG
+// so kernels read like the C originals instead of error-plumbing.
+type env struct {
+	r   *rt.Runtime
+	err error
+	rng uint64
+
+	fields map[*layout.Type]map[string]field
+	sum    uint64 // running checksum
+}
+
+type field struct {
+	off  int64
+	idx  uint16
+	size int
+}
+
+func newEnv(r *rt.Runtime) *env {
+	return &env{r: r, rng: 0x9E3779B97F4A7C15, fields: make(map[*layout.Type]map[string]field)}
+}
+
+func (e *env) fail(err error) {
+	if e.err == nil && err != nil {
+		e.err = err
+	}
+}
+
+// rand is xorshift64*: deterministic across modes and runs.
+func (e *env) rand() uint64 {
+	x := e.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	e.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+func (e *env) randn(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return e.rand() % n
+}
+
+func (e *env) mix(v uint64) { e.sum = (e.sum*1099511628211 ^ v) }
+
+// tick models plain computation instructions.
+func (e *env) tick(n uint64) { e.r.M.Tick(n) }
+
+// fieldOf resolves and caches a member's offset, subobject index, and
+// size. Paths address nested members the way the compiler's GEP
+// instrumentation would (layout-table paths like "array[].v3").
+func (e *env) fieldOf(t *layout.Type, path string) field {
+	if f, ok := e.fields[t][path]; ok {
+		return f
+	}
+	ft, off := resolvePath(t, path)
+	if ft == nil {
+		e.fail(fmt.Errorf("workloads: no field %q in %s", path, t.Name))
+		return field{}
+	}
+	var idx uint16
+	if e.r.Instrumented() {
+		if i, err := e.r.SubobjIndexOf(t, path); err == nil {
+			idx = i
+		}
+	}
+	f := field{off: off, idx: idx, size: int(ft.Size())}
+	if e.fields[t] == nil {
+		e.fields[t] = make(map[string]field)
+	}
+	e.fields[t][path] = f
+	return f
+}
+
+// resolvePath walks a dotted member path ("a.b[].c") returning the final
+// member's type and its offset from the start of the outermost element.
+// "[]" segments descend into array elements at offset 0.
+func resolvePath(t *layout.Type, path string) (*layout.Type, int64) {
+	cur := t
+	var off int64
+	start := 0
+	for i := 0; i <= len(path); i++ {
+		if i < len(path) && path[i] != '.' {
+			continue
+		}
+		seg := path[start:i]
+		start = i + 1
+		arr := false
+		if n := len(seg); n >= 2 && seg[n-2] == '[' && seg[n-1] == ']' {
+			seg, arr = seg[:n-2], true
+		}
+		if seg != "" {
+			if cur.Kind != layout.KindStruct {
+				return nil, 0
+			}
+			f, ok := cur.FieldByName(seg)
+			if !ok {
+				return nil, 0
+			}
+			off += int64(f.Offset)
+			cur = f.Type
+		}
+		if arr {
+			if cur.Kind != layout.KindArray {
+				return nil, 0
+			}
+			cur = cur.Elem
+		}
+	}
+	return cur, off
+}
+
+// --- access shorthands (sticky error) ---
+
+func (e *env) ld(p rt.Ptr, size int, b machine.BoundsReg) uint64 {
+	if e.err != nil {
+		return 0
+	}
+	v, err := e.r.Load(p, size, b)
+	e.fail(err)
+	return v
+}
+
+func (e *env) st(p rt.Ptr, v uint64, size int, b machine.BoundsReg) {
+	if e.err != nil {
+		return
+	}
+	e.fail(e.r.Store(p, v, size, b))
+}
+
+func (e *env) ldp(p rt.Ptr, b machine.BoundsReg) (rt.Ptr, machine.BoundsReg) {
+	if e.err != nil {
+		return 0, machine.Cleared
+	}
+	q, qb, err := e.r.LoadPtr(p, b)
+	e.fail(err)
+	return q, qb
+}
+
+func (e *env) stp(p rt.Ptr, b machine.BoundsReg, v rt.Ptr, vb machine.BoundsReg) {
+	if e.err != nil {
+		return
+	}
+	e.fail(e.r.StorePtr(p, b, v, vb))
+}
+
+func (e *env) gep(p rt.Ptr, delta int64, b machine.BoundsReg) rt.Ptr {
+	if e.err != nil {
+		return 0
+	}
+	return e.r.GEP(p, delta, b)
+}
+
+func (e *env) sub(p rt.Ptr, idx uint16) rt.Ptr {
+	if e.err != nil {
+		return 0
+	}
+	return e.r.SetSub(p, idx)
+}
+
+// fieldPtr derives a pointer to a member, emitting GEP + subobject-index
+// update exactly as the compiler instruments &p->member.
+func (e *env) fieldPtr(p rt.Ptr, b machine.BoundsReg, t *layout.Type, path string) rt.Ptr {
+	f := e.fieldOf(t, path)
+	return e.sub(e.gep(p, f.off, b), f.idx)
+}
+
+// ldf loads a member's scalar value (address computation + load; no
+// subobject-index update is needed for a transient access).
+func (e *env) ldf(p rt.Ptr, b machine.BoundsReg, t *layout.Type, path string) uint64 {
+	f := e.fieldOf(t, path)
+	return e.ld(e.gep(p, f.off, b), f.size, b)
+}
+
+// stf stores a member's scalar value.
+func (e *env) stf(p rt.Ptr, b machine.BoundsReg, t *layout.Type, path string, v uint64) {
+	f := e.fieldOf(t, path)
+	e.st(e.gep(p, f.off, b), v, f.size, b)
+}
+
+// ldpf loads a pointer member and promotes it.
+func (e *env) ldpf(p rt.Ptr, b machine.BoundsReg, t *layout.Type, path string) (rt.Ptr, machine.BoundsReg) {
+	f := e.fieldOf(t, path)
+	return e.ldp(e.gep(p, f.off, b), b)
+}
+
+// stpf stores a pointer member (demote + store).
+func (e *env) stpf(p rt.Ptr, b machine.BoundsReg, t *layout.Type, path string, v rt.Ptr, vb machine.BoundsReg) {
+	f := e.fieldOf(t, path)
+	e.stp(e.gep(p, f.off, b), b, v, vb)
+}
+
+// --- allocation shorthands ---
+
+func (e *env) malloc(t *layout.Type, n uint64) rt.Obj {
+	if e.err != nil {
+		return rt.Obj{}
+	}
+	o, err := e.r.Malloc(t, n)
+	e.fail(err)
+	return o
+}
+
+func (e *env) mallocBytes(n uint64) rt.Obj {
+	if e.err != nil {
+		return rt.Obj{}
+	}
+	o, err := e.r.MallocBytes(n)
+	e.fail(err)
+	return o
+}
+
+func (e *env) mallocLegacy(n uint64) rt.Obj {
+	if e.err != nil {
+		return rt.Obj{}
+	}
+	o, err := e.r.MallocLegacy(n)
+	e.fail(err)
+	return o
+}
+
+func (e *env) free(o rt.Obj) {
+	if e.err != nil {
+		return
+	}
+	e.fail(e.r.Free(o))
+}
+
+func (e *env) local(t *layout.Type) rt.Obj {
+	if e.err != nil {
+		return rt.Obj{}
+	}
+	o, err := e.r.AllocLocal(t)
+	e.fail(err)
+	return o
+}
+
+func (e *env) localBytes(n uint64) rt.Obj {
+	if e.err != nil {
+		return rt.Obj{}
+	}
+	o, err := e.r.AllocLocalBytes(n)
+	e.fail(err)
+	return o
+}
+
+func (e *env) unlocal(o rt.Obj) {
+	if e.err != nil {
+		return
+	}
+	e.fail(e.r.DeallocLocal(o))
+}
+
+func (e *env) global(t *layout.Type) rt.Obj {
+	if e.err != nil {
+		return rt.Obj{}
+	}
+	o, err := e.r.RegisterGlobal(t)
+	e.fail(err)
+	return o
+}
+
+func (e *env) globalBytes(n uint64) rt.Obj {
+	if e.err != nil {
+		return rt.Obj{}
+	}
+	o, err := e.r.RegisterGlobalBytes(n)
+	e.fail(err)
+	return o
+}
