@@ -44,6 +44,29 @@ func BenchmarkJulietSuite(b *testing.B) {
 	b.ReportMetric(float64(2*len(cases)), "cases/op")
 }
 
+// BenchmarkExperiments measures the full §5.2 grid end to end — all 18
+// workloads × 5 configurations plus the memory experiment — serial versus
+// fanned out over GOMAXPROCS workers. On a multi-core machine the
+// parallel variant's wall clock is the serial time divided by close to
+// the core count (every cell is an independent runtime); on one core the
+// two are equal. Compare with:
+//
+//	go test -bench 'Experiments' -benchtime 1x
+func BenchmarkExperiments(b *testing.B) {
+	for _, cfg := range []struct {
+		name     string
+		parallel int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ExperimentsParallel(1, cfg.parallel); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTable4 regenerates the dynamic-event-count rows: the metric is
 // each workload's dynamic instruction ratio (instrumented / baseline).
 func BenchmarkTable4(b *testing.B) {

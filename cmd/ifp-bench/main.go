@@ -5,15 +5,20 @@
 //
 // Usage:
 //
-//	ifp-bench [-scale N] [-table4] [-fig10] [-fig11] [-fig12] [-bench name]
+//	ifp-bench [-scale N] [-parallel N] [-table4] [-fig10] [-fig11] [-fig12] [-bench name]
 //
-// With no selection flags, everything is printed.
+// With no selection flags, everything is printed. The (workload ×
+// configuration) grid fans out over -parallel worker goroutines (default:
+// the number of CPUs); every cell runs in its own isolated runtime and
+// results are collected deterministically, so the output is byte-identical
+// at any worker count. -parallel 1 restores the fully serial run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"infat/internal/baseline"
 	"infat/internal/exp"
@@ -23,6 +28,7 @@ import (
 func main() {
 	scale := flag.Int("scale", 1, "workload scale factor (1 = standard run)")
 	memScale := flag.Int("memscale", exp.MemScale, "scale multiplier for the memory experiment (Figure 12)")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for the evaluation grid (1 = serial)")
 	table4 := flag.Bool("table4", false, "print Table 4 only")
 	fig10 := flag.Bool("fig10", false, "print Figure 10 only")
 	fig11 := flag.Bool("fig11", false, "print Figure 11 only")
@@ -50,7 +56,7 @@ func main() {
 	}
 
 	if *ablations {
-		out, err := exp.Ablations(*scale)
+		out, err := exp.AblationsN(*scale, *parallel)
 		if err != nil {
 			fail(err)
 		}
@@ -59,7 +65,7 @@ func main() {
 		return
 	}
 	if *hybrid {
-		out, err := exp.HybridReport(*scale)
+		out, err := exp.HybridReportN(*scale, *parallel)
 		if err != nil {
 			fail(err)
 		}
@@ -89,23 +95,19 @@ func main() {
 
 	var results []exp.Result
 	if needPerf {
-		for _, w := range selected {
-			r, err := exp.Run(w, *scale)
-			if err != nil {
-				fail(err)
-			}
-			results = append(results, r)
+		r, err := exp.RunSet(selected, *scale, *parallel)
+		if err != nil {
+			fail(err)
 		}
+		results = r
 	}
 	var mem []exp.MemResult
 	if needMem {
-		for _, w := range selected {
-			m, err := exp.RunMem(w, *scale**memScale)
-			if err != nil {
-				fail(err)
-			}
-			mem = append(mem, m)
+		m, err := exp.RunMemSet(selected, *scale**memScale, *parallel)
+		if err != nil {
+			fail(err)
 		}
+		mem = m
 	}
 
 	if !any || *table4 {

@@ -6,13 +6,19 @@
 //
 // Usage:
 //
-//	ifp-juliet [-mode subheap|wrapped|both] [-v] [-case name]
+//	ifp-juliet [-mode subheap|wrapped|both] [-parallel N] [-v] [-case name]
+//
+// Cases fan out over -parallel worker goroutines (default: the number of
+// CPUs); each case compiles and runs in its own isolated runtime, and the
+// summary is aggregated in case order, so the report is identical at any
+// worker count. -parallel 1 restores the fully serial run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"infat/internal/juliet"
 	"infat/internal/rt"
@@ -20,6 +26,7 @@ import (
 
 func main() {
 	modeFlag := flag.String("mode", "both", "allocator configuration: subheap, wrapped, or both")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for the case grid (1 = serial)")
 	verbose := flag.Bool("v", false, "list every case outcome")
 	caseName := flag.String("case", "", "run (and print) a single named case")
 	flag.Parse()
@@ -56,7 +63,7 @@ func main() {
 
 	exit := 0
 	for _, mode := range modes {
-		s := juliet.Run(cases, mode)
+		s := juliet.RunParallel(cases, mode, *parallel)
 		fmt.Printf("=== %v allocator ===\n%s", mode, s.Report())
 		if *verbose {
 			for _, o := range s.Outcomes {

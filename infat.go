@@ -116,13 +116,22 @@ func RunC(src string, mode Mode) (out []int64, exit int64, err error) {
 // Experiments runs the §5.2 application evaluation at the given scale and
 // returns the rendered Table 4 and Figures 10-12. Scale 1 is the standard
 // run (tens of seconds); the memory experiment runs at scale*4 (§5.2.3
-// needs multi-page footprints).
-func Experiments(scale int) (string, error) {
-	results, err := exp.RunAll(scale)
+// needs multi-page footprints). The (workload × configuration) grid fans
+// out over GOMAXPROCS worker goroutines; use ExperimentsParallel to
+// control the worker count.
+func Experiments(scale int) (string, error) { return ExperimentsParallel(scale, 0) }
+
+// ExperimentsParallel is Experiments with an explicit worker count:
+// parallel <= 0 selects GOMAXPROCS, 1 runs fully serially. Every cell of
+// the grid builds its own isolated runtime and results are collected in
+// deterministic order, so the report is byte-identical at any worker
+// count.
+func ExperimentsParallel(scale, parallel int) (string, error) {
+	results, err := exp.RunAllN(scale, parallel)
 	if err != nil {
 		return "", err
 	}
-	mem, err := exp.RunAllMem(scale * exp.MemScale)
+	mem, err := exp.RunAllMemN(scale*exp.MemScale, parallel)
 	if err != nil {
 		return "", err
 	}
@@ -130,9 +139,16 @@ func Experiments(scale int) (string, error) {
 }
 
 // JulietSuite runs the §5.1 functional evaluation in the given mode and
-// returns its summary.
-func JulietSuite(mode Mode) juliet.Summary {
-	return juliet.Run(juliet.Generate(), mode)
+// returns its summary. Cases fan out over GOMAXPROCS worker goroutines;
+// use JulietSuiteParallel to control the worker count.
+func JulietSuite(mode Mode) juliet.Summary { return JulietSuiteParallel(mode, 0) }
+
+// JulietSuiteParallel is JulietSuite with an explicit worker count:
+// parallel <= 0 selects GOMAXPROCS, 1 runs fully serially. Each case runs
+// in its own isolated runtime and the summary aggregates in case order,
+// so the result is identical at any worker count.
+func JulietSuiteParallel(mode Mode, parallel int) juliet.Summary {
+	return juliet.RunParallel(juliet.Generate(), mode, parallel)
 }
 
 // HardwareCost renders the Figure 13 area decomposition and the §5.3

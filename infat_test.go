@@ -61,6 +61,15 @@ func TestJulietSuiteAPI(t *testing.T) {
 	}
 }
 
+func TestJulietSuiteParallelMatchesSerial(t *testing.T) {
+	serial := JulietSuiteParallel(Wrapped, 1)
+	par := JulietSuiteParallel(Wrapped, 4)
+	if serial.Report() != par.Report() {
+		t.Errorf("parallel report differs:\n--- serial ---\n%s--- parallel ---\n%s",
+			serial.Report(), par.Report())
+	}
+}
+
 func TestHardwareCostAPI(t *testing.T) {
 	out := HardwareCost()
 	for _, want := range []string{"Figure 13", "IFP Unit", "Ablation"} {

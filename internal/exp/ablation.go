@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"infat/internal/pool"
 	"infat/internal/rt"
 	"infat/internal/stats"
 	"infat/internal/tag"
@@ -38,55 +39,84 @@ func runConfigured(name string, scale int, cfg func(*rt.Runtime)) (ModeResult, e
 	}, nil
 }
 
+// ablationRows are the ablation configurations, row 0 being the standard
+// subheap instrumentation the others' checksums are verified against.
+var ablationRows = []struct {
+	cfg   func(*rt.Runtime)
+	label string
+	note  string
+}{
+	{func(r *rt.Runtime) {}, "standard", ""},
+	{func(r *rt.Runtime) { r.M.NoNarrow = true }, "no-walker",
+		"object-granularity only (saves 3,059 LUTs)"},
+	{func(r *rt.Runtime) { r.ForceGlobalTable = true }, "global-only",
+		"single scheme; 4096-object cap; no narrowing"},
+	{func(r *rt.Runtime) { r.ExplicitChecks = true }, "explicit-chk",
+		"ifpchk per access instead of implicit"},
+}
+
 // Ablations runs the DESIGN.md §5 design-choice ablations on the subset
 // and renders a comparison: standard subheap instrumentation versus
 // (a) no layout walker, (b) global-table-only metadata, and (c) explicit
 // checks instead of implicit checking.
-func Ablations(scale int) (string, error) {
+func Ablations(scale int) (string, error) { return AblationsN(scale, 1) }
+
+// AblationsN is Ablations with the per-workload runs fanned over at most
+// workers goroutines. A configuration that fails to run renders as a
+// FAILED row (capacity exhaustion under global-only is itself a result
+// worth reporting), not a harness error, in parallel and serial alike.
+func AblationsN(scale, workers int) (string, error) {
+	type cell struct {
+		m   ModeResult
+		err error
+	}
+	// Per workload: one full baseline Run (the ratio denominators) plus
+	// one configured run per ablation row.
+	stride := 1 + len(ablationRows)
+	baselines := make([]Result, len(ablationWorkloads))
+	cells := make([]cell, len(ablationWorkloads)*len(ablationRows))
+	if err := pool.Map(workers, len(ablationWorkloads)*stride, func(c int) error {
+		wi, ti := c/stride, c%stride
+		name := ablationWorkloads[wi]
+		if ti == 0 {
+			r, err := Run(mustWorkload(name), scale)
+			if err != nil {
+				return err
+			}
+			baselines[wi] = r
+			return nil
+		}
+		m, err := runConfigured(name, scale, ablationRows[ti-1].cfg)
+		cells[wi*len(ablationRows)+ti-1] = cell{m, err}
+		return nil
+	}); err != nil {
+		return "", err
+	}
+
 	var t stats.Table
 	t.Add("Workload", "Config", "Instr ratio", "Cycle ratio", "NarrowOK", "NarrowCoarse", "Notes")
-
-	for _, name := range ablationWorkloads {
-		base, err := runConfigured(name, scale, func(r *rt.Runtime) {})
-		if err != nil {
-			return "", err
+	for wi, name := range ablationWorkloads {
+		std := cells[wi*len(ablationRows)]
+		if std.err != nil {
+			return "", std.err
 		}
-		baseBaseline, err := Run(mustWorkload(name), scale)
-		if err != nil {
-			return "", err
-		}
-		denomI := baseBaseline.Baseline.Counters.Instrs
-		denomC := baseBaseline.Baseline.Counters.Cycles
-
-		rows := []struct {
-			cfg   func(*rt.Runtime)
-			label string
-			note  string
-		}{
-			{func(r *rt.Runtime) {}, "standard", ""},
-			{func(r *rt.Runtime) { r.M.NoNarrow = true }, "no-walker",
-				"object-granularity only (saves 3,059 LUTs)"},
-			{func(r *rt.Runtime) { r.ForceGlobalTable = true }, "global-only",
-				"single scheme; 4096-object cap; no narrowing"},
-			{func(r *rt.Runtime) { r.ExplicitChecks = true }, "explicit-chk",
-				"ifpchk per access instead of implicit"},
-		}
-		for _, row := range rows {
-			m, err := runConfigured(name, scale, row.cfg)
-			if err != nil {
-				// Capacity exhaustion (global-only on allocation-heavy
-				// programs) is itself a result worth reporting.
-				t.Add(name, row.label, "-", "-", "-", "-", "FAILED: "+err.Error())
+		denomI := baselines[wi].Baseline.Counters.Instrs
+		denomC := baselines[wi].Baseline.Counters.Cycles
+		for ri, row := range ablationRows {
+			c := cells[wi*len(ablationRows)+ri]
+			if c.err != nil {
+				t.Add(name, row.label, "-", "-", "-", "-", "FAILED: "+c.err.Error())
 				continue
 			}
-			if m.Checksum != base.Checksum {
-				return "", fmt.Errorf("exp: %s/%s checksum diverged", name, row.label)
+			if c.m.Checksum != std.m.Checksum {
+				return "", fmt.Errorf("exp: %s/%s checksum %#x != standard %#x",
+					name, row.label, c.m.Checksum, std.m.Checksum)
 			}
 			t.Add(name, row.label,
-				fmt.Sprintf("%.2fx", stats.Ratio(m.Counters.Instrs, denomI)),
-				fmt.Sprintf("%.2fx", stats.Ratio(m.Counters.Cycles, denomC)),
-				fmt.Sprint(m.Counters.NarrowSuccess),
-				fmt.Sprint(m.Counters.NarrowCoarse),
+				fmt.Sprintf("%.2fx", stats.Ratio(c.m.Counters.Instrs, denomI)),
+				fmt.Sprintf("%.2fx", stats.Ratio(c.m.Counters.Cycles, denomC)),
+				fmt.Sprint(c.m.Counters.NarrowSuccess),
+				fmt.Sprint(c.m.Counters.NarrowCoarse),
 				row.note)
 		}
 	}

@@ -2,13 +2,22 @@
 // the five configurations the paper compares (baseline; subheap and
 // wrapped allocators; each with and without promote) and renders Table 4
 // and Figures 10, 11, and 12 from the collected machine counters.
+//
+// The grid is embarrassingly parallel — every (workload, configuration)
+// cell builds its own rt.Runtime, so cells share no mutable state — and
+// the harness fans cells out over a bounded worker pool (internal/pool).
+// Results land in pre-indexed slices, so report ordering, checksum
+// verification, and error text are identical at any worker count; a
+// worker count of 1 restores the fully serial path.
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"infat/internal/machine"
+	"infat/internal/pool"
 	"infat/internal/rt"
 	"infat/internal/stats"
 	"infat/internal/workloads"
@@ -52,45 +61,87 @@ func runOne(w workloads.Workload, mode rt.Mode, noPromote bool, scale int) (Mode
 	}, nil
 }
 
+// cellConfigs enumerates the five per-workload configurations in the
+// paper's comparison order; dst selects the slot a cell's result lands in.
+var cellConfigs = []struct {
+	label     string
+	mode      rt.Mode
+	noPromote bool
+	dst       func(*Result) *ModeResult
+}{
+	{"baseline", rt.Baseline, false, func(r *Result) *ModeResult { return &r.Baseline }},
+	{"subheap", rt.Subheap, false, func(r *Result) *ModeResult { return &r.Subheap }},
+	{"wrapped", rt.Wrapped, false, func(r *Result) *ModeResult { return &r.Wrapped }},
+	{"subheap-nopromote", rt.Subheap, true, func(r *Result) *ModeResult { return &r.SubheapNP }},
+	{"wrapped-nopromote", rt.Wrapped, true, func(r *Result) *ModeResult { return &r.WrappedNP }},
+}
+
+// verifyChecksums asserts the instrumented configurations reproduced the
+// baseline checksum, naming each diverging mode and both values.
+func (r *Result) verifyChecksums() error {
+	var errs []error
+	for _, cfg := range cellConfigs[1:] {
+		if got := cfg.dst(r).Checksum; got != r.Baseline.Checksum {
+			errs = append(errs, fmt.Errorf("%s: %s checksum %#x != baseline %#x",
+				r.Name, cfg.label, got, r.Baseline.Checksum))
+		}
+	}
+	return errors.Join(errs...)
+}
+
 // Run executes all five configurations of one workload and verifies the
 // checksums agree across modes.
 func Run(w workloads.Workload, scale int) (Result, error) {
-	res := Result{Name: w.Name, Suite: w.Suite}
-	var err error
-	if res.Baseline, err = runOne(w, rt.Baseline, false, scale); err != nil {
-		return res, err
+	res, err := RunSet([]workloads.Workload{w}, scale, 1)
+	if err != nil {
+		return Result{Name: w.Name, Suite: w.Suite}, err
 	}
-	if res.Subheap, err = runOne(w, rt.Subheap, false, scale); err != nil {
-		return res, err
-	}
-	if res.Wrapped, err = runOne(w, rt.Wrapped, false, scale); err != nil {
-		return res, err
-	}
-	if res.SubheapNP, err = runOne(w, rt.Subheap, true, scale); err != nil {
-		return res, err
-	}
-	if res.WrappedNP, err = runOne(w, rt.Wrapped, true, scale); err != nil {
-		return res, err
-	}
-	for _, m := range []ModeResult{res.Subheap, res.Wrapped, res.SubheapNP, res.WrappedNP} {
-		if m.Checksum != res.Baseline.Checksum {
-			return res, fmt.Errorf("%s: checksum mismatch across modes", w.Name)
-		}
-	}
-	return res, nil
+	return res[0], nil
 }
 
-// RunAll executes the full suite.
-func RunAll(scale int) ([]Result, error) {
-	out := make([]Result, 0, len(workloads.All))
-	for _, w := range workloads.All {
-		r, err := Run(w, scale)
+// RunSet executes the five configurations of each given workload, fanning
+// the (workload × configuration) cells over at most workers goroutines
+// (workers <= 0 selects GOMAXPROCS, 1 is fully serial). Results are
+// collected into a pre-indexed slice in the given workload order, so
+// output is byte-identical at any worker count; a failed cell does not
+// abort the rest of the grid — all cell and checksum errors are joined.
+func RunSet(ws []workloads.Workload, scale, workers int) ([]Result, error) {
+	out := make([]Result, len(ws))
+	for i, w := range ws {
+		out[i].Name, out[i].Suite = w.Name, w.Suite
+	}
+	err := pool.Map(workers, len(ws)*len(cellConfigs), func(c int) error {
+		wi, ci := c/len(cellConfigs), c%len(cellConfigs)
+		cfg := cellConfigs[ci]
+		m, err := runOne(ws[wi], cfg.mode, cfg.noPromote, scale)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, r)
+		*cfg.dst(&out[wi]) = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var errs []error
+	for i := range out {
+		if err := out[i].verifyChecksums(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// RunAll executes the full suite serially (the workers=1 path of
+// RunAllN, kept for API compatibility and as the equivalence reference).
+func RunAll(scale int) ([]Result, error) { return RunAllN(scale, 1) }
+
+// RunAllN executes the full suite over at most workers goroutines.
+func RunAllN(scale, workers int) ([]Result, error) {
+	return RunSet(workloads.All, scale, workers)
 }
 
 // Table4 renders the dynamic-event-count table: object instrumentation
@@ -119,8 +170,8 @@ func Table4(results []Result) string {
 	}
 	return "Table 4: Dynamic Event Counts on Object Instrumentation, Promotion, and Instructions Executed\n" +
 		t.String() +
-		fmt.Sprintf("geo-mean dynamic instruction increase: subheap %.2fx, wrapped %.2fx\n",
-			stats.Geomean(subR), stats.Geomean(wrapR))
+		fmt.Sprintf("geo-mean dynamic instruction increase: subheap %s, wrapped %s\n",
+			stats.GeomeanRatio(subR), stats.GeomeanRatio(wrapR))
 }
 
 // Fig10 renders the runtime-overhead figure: cycles of each instrumented
@@ -140,8 +191,8 @@ func Fig10(results []Result) string {
 	}
 	return "Figure 10: Performance Overhead of All Benchmarks (cycles vs baseline)\n" +
 		t.String() +
-		fmt.Sprintf("geo-mean overhead: subheap %+.1f%%, wrapped %+.1f%%\n",
-			stats.Overhead(stats.Geomean(sr)), stats.Overhead(stats.Geomean(wr)))
+		fmt.Sprintf("geo-mean overhead: subheap %s, wrapped %s\n",
+			stats.GeomeanOverhead(sr), stats.GeomeanOverhead(wr))
 }
 
 func pctCell(ratio float64) string { return fmt.Sprintf("%+.1f%%", stats.Overhead(ratio)) }
@@ -182,37 +233,56 @@ type MemResult struct {
 // must be large enough that page granularity does not dominate.
 const MemScale = 4
 
-// RunMem measures footprints at the given (already multiplied) scale.
-func RunMem(w workloads.Workload, scale int) (MemResult, error) {
-	res := MemResult{Name: w.Name}
-	for _, cfg := range []struct {
-		mode rt.Mode
-		dst  *uint64
-	}{
-		{rt.Baseline, &res.Baseline},
-		{rt.Subheap, &res.Subheap},
-		{rt.Wrapped, &res.Wrapped},
-	} {
-		m, err := runOne(w, cfg.mode, false, scale)
-		if err != nil {
-			return res, err
-		}
-		*cfg.dst = m.Footprint
-	}
-	return res, nil
+// memModes enumerates the three configurations the memory experiment
+// compares, in column order.
+var memModes = []struct {
+	mode rt.Mode
+	dst  func(*MemResult) *uint64
+}{
+	{rt.Baseline, func(m *MemResult) *uint64 { return &m.Baseline }},
+	{rt.Subheap, func(m *MemResult) *uint64 { return &m.Subheap }},
+	{rt.Wrapped, func(m *MemResult) *uint64 { return &m.Wrapped }},
 }
 
-// RunAllMem measures every workload's footprint.
-func RunAllMem(scale int) ([]MemResult, error) {
-	out := make([]MemResult, 0, len(workloads.All))
-	for _, w := range workloads.All {
-		r, err := RunMem(w, scale)
+// RunMem measures footprints at the given (already multiplied) scale.
+func RunMem(w workloads.Workload, scale int) (MemResult, error) {
+	res, err := RunMemSet([]workloads.Workload{w}, scale, 1)
+	if err != nil {
+		return MemResult{Name: w.Name}, err
+	}
+	return res[0], nil
+}
+
+// RunMemSet measures the given workloads' footprints, fanning the
+// (workload × mode) cells over at most workers goroutines with the same
+// deterministic collection scheme as RunSet.
+func RunMemSet(ws []workloads.Workload, scale, workers int) ([]MemResult, error) {
+	out := make([]MemResult, len(ws))
+	for i, w := range ws {
+		out[i].Name = w.Name
+	}
+	err := pool.Map(workers, len(ws)*len(memModes), func(c int) error {
+		wi, mi := c/len(memModes), c%len(memModes)
+		m, err := runOne(ws[wi], memModes[mi].mode, false, scale)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, r)
+		*memModes[mi].dst(&out[wi]) = m.Footprint
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// RunAllMem measures every workload's footprint serially.
+func RunAllMem(scale int) ([]MemResult, error) { return RunAllMemN(scale, 1) }
+
+// RunAllMemN measures every workload's footprint over at most workers
+// goroutines.
+func RunAllMemN(scale, workers int) ([]MemResult, error) {
+	return RunMemSet(workloads.All, scale, workers)
 }
 
 // Fig12 renders the memory-overhead figure. The paper excludes programs
@@ -235,8 +305,8 @@ func Fig12(results []MemResult) string {
 	}
 	return "Figure 12: Memory Overhead of Applicable Benchmarks (resident pages vs baseline)\n" +
 		t.String() +
-		fmt.Sprintf("geo-mean overhead: subheap %+.1f%%, wrapped %+.1f%%\n",
-			stats.Overhead(stats.Geomean(sr)), stats.Overhead(stats.Geomean(wr)))
+		fmt.Sprintf("geo-mean overhead: subheap %s, wrapped %s\n",
+			stats.GeomeanOverhead(sr), stats.GeomeanOverhead(wr))
 }
 
 // Report renders everything.

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -69,6 +70,103 @@ func TestRenderersContainRows(t *testing.T) {
 	}
 }
 
+func smallWorkloads(t *testing.T) []workloads.Workload {
+	t.Helper()
+	ws := make([]workloads.Workload, 0, len(small))
+	for _, name := range small {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			t.Fatalf("no workload %s", name)
+		}
+		ws = append(ws, w)
+	}
+	return ws
+}
+
+// TestParallelSerialEquivalence is the harness's isolation proof: the
+// full rendered report must be byte-identical at -parallel 1 and
+// -parallel N, for any N. Run under -race in CI.
+func TestParallelSerialEquivalence(t *testing.T) {
+	ws := smallWorkloads(t)
+	serialRes, err := RunSet(ws, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialMem, err := RunMemSet(ws, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := Report(serialRes, serialMem)
+	for _, workers := range []int{2, 4, 16} {
+		parRes, err := RunSet(ws, 1, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parMem, err := RunMemSet(ws, 2, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par := Report(parRes, parMem); par != serial {
+			t.Errorf("workers=%d: report differs from serial run\n--- serial ---\n%s\n--- parallel ---\n%s",
+				workers, serial, par)
+		}
+	}
+}
+
+// TestChecksumMismatchNamesMode pins the error format: a cross-mode
+// divergence must name the offending mode and both checksum values.
+func TestChecksumMismatchNamesMode(t *testing.T) {
+	divergent := workloads.Workload{
+		Name:  "divergent",
+		Suite: "test",
+		Run: func(r *rt.Runtime, scale int) (uint64, error) {
+			if r.Mode() == rt.Wrapped && !r.M.NoPromote {
+				return 0xbad, nil
+			}
+			return 0x900d, nil
+		},
+	}
+	_, err := RunSet([]workloads.Workload{divergent}, 1, 1)
+	if err == nil {
+		t.Fatal("divergent checksums undetected")
+	}
+	want := "divergent: wrapped checksum 0xbad != baseline 0x900d"
+	if !strings.Contains(err.Error(), want) {
+		t.Errorf("error = %q, want it to contain %q", err, want)
+	}
+	if strings.Contains(err.Error(), "subheap checksum") {
+		t.Errorf("error names non-diverging modes: %q", err)
+	}
+}
+
+// TestRunSetAggregatesErrors: a failed cell must not mask failures in
+// other cells, and the joined error must be deterministic.
+func TestRunSetAggregatesErrors(t *testing.T) {
+	failing := func(name string) workloads.Workload {
+		return workloads.Workload{
+			Name:  name,
+			Suite: "test",
+			Run: func(r *rt.Runtime, scale int) (uint64, error) {
+				if r.Instrumented() {
+					return 0, fmt.Errorf("%s exploded", name)
+				}
+				return 1, nil
+			},
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		_, err := RunSet([]workloads.Workload{failing("first"), failing("second")}, 1, workers)
+		if err == nil {
+			t.Fatal("errors lost")
+		}
+		for _, want := range []string{"first exploded", "second exploded"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("workers=%d: joined error %q missing %q", workers, err, want)
+			}
+		}
+	}
+}
+
 func TestRunMem(t *testing.T) {
 	w, _ := workloads.ByName("treeadd")
 	m, err := RunMem(w, 2)
@@ -94,6 +192,26 @@ func TestRunMem(t *testing.T) {
 	out = Fig12([]MemResult{{Name: "ks", Baseline: 1, Subheap: 1, Wrapped: 1}})
 	if strings.Contains(out, "\nks ") {
 		t.Error("fig12 included an excluded program")
+	}
+}
+
+// TestEmptySeriesGeomeanRendersNA: restricting the memory experiment to
+// an excluded workload (ifp-bench -bench coremark -fig12) leaves the
+// series empty; the geo-mean line must say "n/a", not -100.0%.
+func TestEmptySeriesGeomeanRendersNA(t *testing.T) {
+	out := Fig12([]MemResult{{Name: "coremark", Baseline: 5, Subheap: 5, Wrapped: 5}})
+	if !strings.Contains(out, "geo-mean overhead: subheap n/a, wrapped n/a") {
+		t.Errorf("fig12 geo-mean not guarded:\n%s", out)
+	}
+	if strings.Contains(out, "-100.0%") {
+		t.Errorf("fig12 printed bogus overhead:\n%s", out)
+	}
+	// Empty result sets guard the same way in the other renderers.
+	if out := Fig10(nil); !strings.Contains(out, "subheap n/a") {
+		t.Errorf("fig10 geo-mean not guarded:\n%s", out)
+	}
+	if out := Table4(nil); !strings.Contains(out, "subheap n/a") {
+		t.Errorf("table4 geo-mean not guarded:\n%s", out)
 	}
 }
 

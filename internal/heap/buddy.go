@@ -42,10 +42,13 @@ func NewBuddy(base uint64, regionLog2, minLog2 uint) *Buddy {
 	return b
 }
 
-// OrderFor returns the smallest order whose block fits size bytes.
+// OrderFor returns the smallest order whose block fits size bytes, or
+// maxOrder+1 when no block can (so Alloc reports ErrOutOfMemory). The
+// clamp also guards the shift: past o=63, uint64(1)<<o wraps to 0 and an
+// unclamped loop would never terminate for size > 1<<63.
 func (b *Buddy) OrderFor(size uint64) uint {
 	o := b.minOrder
-	for uint64(1)<<o < size {
+	for o <= b.maxOrder && uint64(1)<<o < size {
 		o++
 	}
 	return o

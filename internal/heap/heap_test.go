@@ -1,6 +1,7 @@
 package heap
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -219,6 +220,26 @@ func TestBuddyOrderFor(t *testing.T) {
 		if got := b.OrderFor(size); got != want {
 			t.Errorf("OrderFor(%d) = %d, want %d", size, got, want)
 		}
+	}
+}
+
+func TestBuddyOrderForOversized(t *testing.T) {
+	// Regression: sizes above the region (and in particular above 1<<63,
+	// where the probe shift wraps to 0) must clamp at maxOrder+1 instead
+	// of looping forever, and Alloc must report out-of-memory.
+	b := NewBuddy(0x4000_0000, 24, 12)
+	for _, size := range []uint64{(16 << 20) + 1, 1 << 40, 1<<63 + 1, ^uint64(0)} {
+		got := b.OrderFor(size)
+		if got != 25 {
+			t.Errorf("OrderFor(%#x) = %d, want maxOrder+1 (25)", size, got)
+		}
+		if _, err := b.Alloc(got); !errors.Is(err, ErrOutOfMemory) {
+			t.Errorf("Alloc(OrderFor(%#x)) = %v, want ErrOutOfMemory", size, err)
+		}
+	}
+	// The region-sized request itself still fits.
+	if got := b.OrderFor(16 << 20); got != 24 {
+		t.Errorf("OrderFor(16MiB) = %d, want 24", got)
 	}
 }
 

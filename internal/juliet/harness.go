@@ -7,6 +7,7 @@ import (
 
 	"infat/internal/machine"
 	"infat/internal/minic"
+	"infat/internal/pool"
 	"infat/internal/rt"
 )
 
@@ -88,19 +89,34 @@ func RunCase(c Case, mode rt.Mode) Outcome {
 	return o
 }
 
-// Run executes the whole suite in one mode.
-func Run(cases []Case, mode rt.Mode) Summary {
-	var s Summary
-	for _, c := range cases {
-		o := RunCase(c, mode)
-		s.Total++
+// Run executes the whole suite in one mode, serially (the workers=1 path
+// of RunParallel, kept as the equivalence reference).
+func Run(cases []Case, mode rt.Mode) Summary { return RunParallel(cases, mode, 1) }
+
+// RunParallel executes the whole suite in one mode, fanning the cases
+// over at most workers goroutines (workers <= 0 selects GOMAXPROCS, 1 is
+// fully serial). Each case compiles and runs in its own rt.Runtime, so
+// cases share no mutable state; outcomes land in a pre-indexed slice and
+// the summary is aggregated in case order, making the result identical at
+// any worker count.
+func RunParallel(cases []Case, mode rt.Mode, workers int) Summary {
+	outcomes := make([]Outcome, len(cases))
+	// RunCase never fails at the harness level — compile/runtime errors
+	// are classified into the outcome's verdict — so Map cannot error.
+	_ = pool.Map(workers, len(cases), func(i int) error {
+		outcomes[i] = RunCase(cases[i], mode)
+		return nil
+	})
+
+	s := Summary{Total: len(cases), Outcomes: outcomes}
+	for i, c := range cases {
 		if c.Bad {
 			s.BadCases++
-			if o.Verdict == Pass {
+			if outcomes[i].Verdict == Pass {
 				s.Detected++
 			}
 		}
-		switch o.Verdict {
+		switch outcomes[i].Verdict {
 		case Missed:
 			s.Missed++
 		case FalsePositive:
@@ -108,7 +124,6 @@ func Run(cases []Case, mode rt.Mode) Summary {
 		case Errored:
 			s.Errors++
 		}
-		s.Outcomes = append(s.Outcomes, o)
 	}
 	return s
 }

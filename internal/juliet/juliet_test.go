@@ -1,6 +1,7 @@
 package juliet
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -96,6 +97,24 @@ func TestFullDetection(t *testing.T) {
 		}
 		if rep := s.Report(); !strings.Contains(rep, "detected:") {
 			t.Error("report missing summary line")
+		}
+	}
+}
+
+// TestRunParallelEquivalence is the suite's isolation proof: the summary
+// (counts, per-case outcomes in case order, and the rendered report) must
+// be identical at workers=1 and workers=N. Run under -race in CI.
+func TestRunParallelEquivalence(t *testing.T) {
+	cases := Generate()
+	serial := Run(cases, rt.Subheap)
+	for _, workers := range []int{2, 8} {
+		par := RunParallel(cases, rt.Subheap, workers)
+		if !reflect.DeepEqual(serial, par) {
+			t.Errorf("workers=%d: summary differs from serial run", workers)
+		}
+		if serial.Report() != par.Report() {
+			t.Errorf("workers=%d: report differs:\n--- serial ---\n%s--- parallel ---\n%s",
+				workers, serial.Report(), par.Report())
 		}
 	}
 }

@@ -29,6 +29,27 @@ func Geomean(vals []float64) float64 {
 // Overhead converts a ratio to a percentage overhead: 1.12 -> +12.0%.
 func Overhead(ratio float64) float64 { return (ratio - 1) * 100 }
 
+// GeomeanRatio formats the geometric mean of a ratio series as "1.23x",
+// or "n/a" for an empty series — Geomean's zero return would otherwise
+// render as a bogus "0.00x".
+func GeomeanRatio(vals []float64) string {
+	if len(vals) == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2fx", Geomean(vals))
+}
+
+// GeomeanOverhead formats the geometric mean of a ratio series as a
+// signed percentage overhead, or "n/a" for an empty series — feeding
+// Geomean's zero return through Overhead would otherwise print -100.0%
+// (e.g. Figure 12 restricted to an excluded workload).
+func GeomeanOverhead(vals []float64) string {
+	if len(vals) == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", Overhead(Geomean(vals)))
+}
+
 // Ratio divides with a zero-denominator guard.
 func Ratio(num, den uint64) float64 {
 	if den == 0 {

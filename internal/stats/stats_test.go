@@ -46,6 +46,21 @@ func TestQuickGeomeanBounds(t *testing.T) {
 	}
 }
 
+func TestGeomeanFormattersGuardEmptySeries(t *testing.T) {
+	if got := GeomeanRatio(nil); got != "n/a" {
+		t.Errorf("GeomeanRatio(nil) = %q", got)
+	}
+	if got := GeomeanOverhead(nil); got != "n/a" {
+		t.Errorf("GeomeanOverhead(nil) = %q", got)
+	}
+	if got := GeomeanRatio([]float64{2, 8}); got != "4.00x" {
+		t.Errorf("GeomeanRatio(2,8) = %q", got)
+	}
+	if got := GeomeanOverhead([]float64{1.12}); got != "+12.0%" {
+		t.Errorf("GeomeanOverhead(1.12) = %q", got)
+	}
+}
+
 func TestOverheadAndRatio(t *testing.T) {
 	if Overhead(1.12) < 11.99 || Overhead(1.12) > 12.01 {
 		t.Errorf("overhead(1.12) = %g", Overhead(1.12))

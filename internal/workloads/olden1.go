@@ -13,6 +13,8 @@ import (
 // (bodies and tree cells, some with layout tables), and promotes that are
 // almost all valid (the tree is dense).
 
+// Node types here and below are package-level and shared across runs:
+// read-only after init (see the package comment's concurrency contract).
 var (
 	bhVecT  = layout.ArrayOf(layout.Double, 3)
 	bhBodyT = layout.StructOf("body",

@@ -14,6 +14,8 @@ import (
 // the instrumented run *faster* than baseline (Figure 10's negative
 // overhead).
 
+// Node types here and below are package-level and shared across runs:
+// read-only after init (see the package comment's concurrency contract).
 var perimNodeT = layout.StructOf("quad",
 	layout.F("color", layout.Long),
 	layout.F("child", layout.ArrayOf(layout.PointerTo(nil), 4)))

@@ -93,6 +93,8 @@ func runAnagram(r *rt.Runtime, scale int) (uint64, error) {
 // scattered per-object metadata nearly doubles the miss rate (Figure 10's
 // worst case together with health).
 
+// Node types here and below are package-level and shared across runs:
+// read-only after init (see the package comment's concurrency contract).
 var ftNodeT = layout.StructOf("ft_node",
 	layout.F("key", layout.Long),
 	layout.F("child", layout.PointerTo(nil)),

@@ -16,6 +16,18 @@
 // pointers loaded from memory, NULL-heavy trees, legacy libc pointers),
 // and cache footprint, because those are the quantities the paper's
 // results are made of.
+//
+// # Concurrency contract
+//
+// The package-level layout.Type values describing each kernel's node
+// types (bhBodyT, treeaddNodeT, ...) are constructed at package init and
+// are READ-ONLY afterwards — layout.Type is immutable after construction,
+// and the parallel evaluation harness (internal/exp, internal/pool)
+// shares them lock-free across worker goroutines on that basis. Workload
+// code must never mutate them; any per-run state belongs on the env
+// (RNG, field cache, checksum), which is created fresh for every run, as
+// is the rt.Runtime each cell executes against. See DESIGN.md
+// "Concurrency model".
 package workloads
 
 import (
