@@ -11,6 +11,10 @@ package infat
 // the full tables; EXPERIMENTS.md records paper-versus-measured values.
 
 import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 
 	"infat/internal/baseline"
@@ -18,6 +22,7 @@ import (
 	"infat/internal/hwcost"
 	"infat/internal/juliet"
 	"infat/internal/rt"
+	"infat/internal/server"
 	"infat/internal/stats"
 	"infat/internal/workloads"
 )
@@ -283,4 +288,58 @@ func BenchmarkAblations(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// serveSeq makes every cold-path source unique across sub-benchmark
+// re-runs (the harness re-enters the loop with growing b.N).
+var serveSeq atomic.Uint64
+
+// BenchmarkServeRunC measures the service layer's request latency over
+// the ifp-serve HTTP stack: cold (every request a distinct program, so
+// each one simulates) versus warm (identical requests served from the
+// result cache). The gap is the simulation cost the LRU removes from
+// repeated submissions — the service-layer perf trajectory baseline.
+func BenchmarkServeRunC(b *testing.B) {
+	ts := httptest.NewServer(server.New(server.Config{}))
+	defer ts.Close()
+	client := server.NewClient(ts.URL)
+	ctx := context.Background()
+	prog := func(n uint64) string {
+		return fmt.Sprintf(`int main() {
+	long i;
+	long acc = %d;
+	for (i = 0; i < 200; i = i + 1) { acc = acc + i; }
+	print(acc);
+	return 0;
+}`, n)
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			resp, cached, err := client.Run(ctx, server.RunRequest{Source: prog(serveSeq.Add(1))})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if cached || resp.Trap != nil {
+				b.Fatalf("cold request: cached=%v trap=%+v", cached, resp.Trap)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		src := prog(serveSeq.Add(1))
+		if _, _, err := client.Run(ctx, server.RunRequest{Source: src}); err != nil {
+			b.Fatal(err) // prime the cache
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, cached, err := client.Run(ctx, server.RunRequest{Source: src})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !cached {
+				b.Fatal("warm request missed the cache")
+			}
+		}
+	})
 }

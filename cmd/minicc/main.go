@@ -1,11 +1,16 @@
 // Command minicc compiles and runs a MiniC source file on the simulated
 // In-Fat Pointer machine — a drop-in way to test custom programs against
 // the defense, like the paper's wrapper scripts around the modified Clang
-// (§A.4). A spatial error terminates the run with the trap that caught it.
+// (§A.4). A guest trap terminates the run with a one-line classification
+// and a distinct exit code:
+//
+//	spatial (poison/bounds detection)  exit 3
+//	fuel    (-fuel budget exhausted)   exit 4
+//	other   (metadata/memory trap, runtime fault)  exit 5
 //
 // Usage:
 //
-//	minicc [-mode baseline|subheap|wrapped] [-stats] file.c
+//	minicc [-mode baseline|subheap|wrapped|hybrid] [-fuel CYCLES] [-stats] file.c
 package main
 
 import (
@@ -13,18 +18,20 @@ import (
 	"fmt"
 	"os"
 
+	"infat/internal/machine"
 	"infat/internal/minic"
 	"infat/internal/rt"
 )
 
 func main() {
 	modeFlag := flag.String("mode", "subheap", "baseline, subheap, wrapped, or hybrid")
+	fuel := flag.Uint64("fuel", 0, "cycle budget; 0 = unlimited (exhaustion is a fuel trap)")
 	stats := flag.Bool("stats", false, "print dynamic instruction statistics after the run")
 	dumpIR := flag.Bool("S", false, "print the instrumented IR listing instead of running")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: minicc [-mode m] [-stats] file.c")
+		fmt.Fprintln(os.Stderr, "usage: minicc [-mode m] [-fuel n] [-stats] file.c")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -33,18 +40,9 @@ func main() {
 		os.Exit(1)
 	}
 
-	var mode rt.Mode
-	switch *modeFlag {
-	case "baseline":
-		mode = rt.Baseline
-	case "subheap":
-		mode = rt.Subheap
-	case "wrapped":
-		mode = rt.Wrapped
-	case "hybrid":
-		mode = rt.Hybrid
-	default:
-		fmt.Fprintf(os.Stderr, "minicc: unknown mode %q\n", *modeFlag)
+	mode, err := rt.ParseMode(*modeFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "minicc:", err)
 		os.Exit(2)
 	}
 
@@ -63,18 +61,15 @@ func main() {
 		return
 	}
 	r := rt.New(mode)
+	r.M.FuelLimit = *fuel
 	vm, err := minic.NewVM(comp, r)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	exit, err := vm.Run()
+	exit, runErr := vm.Run()
 	for _, v := range vm.Out {
 		fmt.Println(v)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "minicc:", err)
-		os.Exit(1)
 	}
 	if *stats {
 		c := r.M.C
@@ -84,5 +79,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ifp arithmetic: %d  bounds ld/st: %d  checks: %d\n",
 			c.IfpArith(), c.IfpBoundsMem(), c.Checks)
 	}
+	if runErr != nil {
+		class, code := classify(runErr)
+		fmt.Fprintf(os.Stderr, "minicc: trap: %s: %v\n", class, runErr)
+		os.Exit(code)
+	}
 	os.Exit(int(exit) & 0xFF)
+}
+
+// classify maps a run error to the service-wide trap taxonomy (spatial /
+// fuel / other) and the exit code documented above.
+func classify(err error) (string, int) {
+	switch {
+	case machine.IsTrap(err, machine.TrapPoison) || machine.IsTrap(err, machine.TrapBounds):
+		return "spatial", 3
+	case machine.IsTrap(err, machine.TrapFuel):
+		return "fuel", 4
+	}
+	return "other", 5
 }

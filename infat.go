@@ -105,12 +105,29 @@ func IsSpatialTrap(err error) bool {
 	return machine.IsTrap(err, machine.TrapPoison) || machine.IsTrap(err, machine.TrapBounds)
 }
 
+// IsResourceTrap reports whether err is exhaustion of an execution
+// budget (RunCBudget's fuel limit) — a resource trap, distinct from the
+// spatial detections IsSpatialTrap classifies.
+func IsResourceTrap(err error) bool {
+	return machine.IsTrap(err, machine.TrapFuel)
+}
+
 // RunC compiles and executes a MiniC source program in the given mode,
 // returning the values it print()ed and main's exit code. Spatial memory
 // errors surface as *minic.RunError wrapping a machine trap (test with
 // IsSpatialTrap via errors.As / Unwrap).
 func RunC(src string, mode Mode) (out []int64, exit int64, err error) {
 	return minic.Execute(src, mode)
+}
+
+// RunCBudget is RunC with an execution budget: when fuel is non-zero the
+// run traps with a typed resource trap (IsResourceTrap) once it has
+// consumed that many simulated cycles, so untrusted or infinite-looping
+// programs terminate deterministically. Fuel 0 means unlimited. This is
+// the primitive ifp-serve builds its per-request hardening on.
+func RunCBudget(src string, mode Mode, fuel uint64) (out []int64, exit int64, err error) {
+	out, exit, _, err = minic.ExecuteBudget(src, mode, fuel)
+	return out, exit, err
 }
 
 // Experiments runs the §5.2 application evaluation at the given scale and

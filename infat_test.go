@@ -94,3 +94,34 @@ func TestWorkloadsListed(t *testing.T) {
 		t.Errorf("workloads = %d, want 18", len(Workloads()))
 	}
 }
+
+func TestRunCBudget(t *testing.T) {
+	// An infinite loop is cut off by the budget as a typed resource trap.
+	_, _, err := RunCBudget(`int main() { while (1) { } return 0; }`, Subheap, 100_000)
+	if !IsResourceTrap(err) {
+		t.Fatalf("err = %v, want resource trap", err)
+	}
+	if IsSpatialTrap(err) {
+		t.Fatal("resource trap misclassified as spatial")
+	}
+	// A run that fits its budget matches the unlimited variant.
+	out, exit, err := RunCBudget(`int main() { print(7); return 3; }`, Subheap, 10_000_000)
+	if err != nil || exit != 3 || len(out) != 1 || out[0] != 7 {
+		t.Fatalf("run = (%v, %d, %v)", out, exit, err)
+	}
+}
+
+func TestIsSpatialTrapClassifiesRunCErrors(t *testing.T) {
+	_, _, err := RunC(`
+int main() {
+	int buf[4];
+	buf[4] = 1;
+	return 0;
+}`, Subheap)
+	if !IsSpatialTrap(err) {
+		t.Fatalf("spatial trap not recognized through RunC's error wrapping: %v", err)
+	}
+	if IsResourceTrap(err) {
+		t.Fatal("spatial trap misclassified as resource trap")
+	}
+}

@@ -1,0 +1,41 @@
+package machine
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCheckFuel(t *testing.T) {
+	m := New()
+	if err := m.CheckFuel(); err != nil {
+		t.Fatalf("no limit: %v", err)
+	}
+	m.FuelLimit = 10
+	m.Tick(9)
+	if err := m.CheckFuel(); err != nil {
+		t.Fatalf("within budget (9/10 cycles): %v", err)
+	}
+	m.Tick(1)
+	err := m.CheckFuel()
+	if !IsTrap(err, TrapFuel) {
+		t.Fatalf("at budget: err = %v, want TrapFuel", err)
+	}
+	// A fuel trap is a resource trap, not a spatial detection.
+	if IsTrap(err, TrapPoison) || IsTrap(err, TrapBounds) {
+		t.Fatal("fuel trap classified as spatial")
+	}
+}
+
+func TestIsTrapUnwraps(t *testing.T) {
+	inner := &Trap{Kind: TrapBounds, Msg: "x"}
+	wrapped := fmt.Errorf("minic:3: %w", inner)
+	if !IsTrap(wrapped, TrapBounds) {
+		t.Fatal("IsTrap failed to unwrap")
+	}
+	if IsTrap(wrapped, TrapPoison) {
+		t.Fatal("IsTrap matched the wrong kind")
+	}
+	if IsTrap(nil, TrapBounds) || IsTrap(fmt.Errorf("plain"), TrapBounds) {
+		t.Fatal("IsTrap matched a non-trap error")
+	}
+}

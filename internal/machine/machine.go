@@ -11,6 +11,7 @@
 package machine
 
 import (
+	"errors"
 	"fmt"
 
 	"infat/internal/cache"
@@ -117,6 +118,14 @@ type Machine struct {
 	// area-saving ablation ("the IFP implementation may simplify or drop
 	// support for layout table"), trading subobject granularity away.
 	NoNarrow bool
+
+	// FuelLimit bounds a run's dynamic cost in cycles: when non-zero,
+	// CheckFuel trips a TrapFuel resource trap once C.Cycles reaches the
+	// limit. This is not an architectural feature of the paper's core —
+	// it is the execution budget the analysis service (internal/server)
+	// uses so that a guest infinite loop cannot pin a server worker. Zero
+	// means unlimited (the default for local CLI and experiment runs).
+	FuelLimit uint64
 }
 
 // New builds a machine with the default CVA6-like configuration.
@@ -142,6 +151,9 @@ const (
 	TrapMetadata
 	// TrapMemory is a memory-system fault (address wrap etc.).
 	TrapMemory
+	// TrapFuel is exhaustion of the run's execution budget (FuelLimit) —
+	// a resource trap, not a spatial detection.
+	TrapFuel
 )
 
 func (k TrapKind) String() string {
@@ -154,6 +166,8 @@ func (k TrapKind) String() string {
 		return "metadata"
 	case TrapMemory:
 		return "memory"
+	case TrapFuel:
+		return "fuel"
 	}
 	return fmt.Sprintf("trap(%d)", int(k))
 }
@@ -170,10 +184,25 @@ func (t *Trap) Error() string {
 	return fmt.Sprintf("trap[%s] ptr=%s size=%d: %s", t.Kind, tag.Format(t.Ptr), t.Size, t.Msg)
 }
 
-// IsTrap reports whether err is a Trap of the given kind.
+// IsTrap reports whether err is, or wraps (errors.As), a Trap of the
+// given kind — so it classifies both a raw machine trap and the
+// *minic.RunError the VM surfaces one inside.
 func IsTrap(err error, kind TrapKind) bool {
-	t, ok := err.(*Trap)
-	return ok && t.Kind == kind
+	var t *Trap
+	return errors.As(err, &t) && t.Kind == kind
+}
+
+// CheckFuel reports budget exhaustion: a TrapFuel trap once the machine
+// has consumed FuelLimit cycles (nil while within budget or when no
+// limit is set). The MiniC VM polls it once per interpreted step, so a
+// run is cut off on the first step at or past the limit — the trap may
+// land a few cycles after the exact boundary, never before it.
+func (m *Machine) CheckFuel() error {
+	if m.FuelLimit != 0 && m.C.Cycles >= m.FuelLimit {
+		return &Trap{Kind: TrapFuel,
+			Msg: fmt.Sprintf("execution budget of %d cycles exhausted", m.FuelLimit)}
+	}
+	return nil
 }
 
 // Tick models n ordinary (non-memory) baseline instructions: the ALU work

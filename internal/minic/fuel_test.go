@@ -1,0 +1,77 @@
+package minic
+
+import (
+	"errors"
+	"testing"
+
+	"infat/internal/machine"
+	"infat/internal/rt"
+)
+
+// TestExecuteBudgetInfiniteLoop is the service-layer guarantee: a guest
+// infinite loop terminates with the typed fuel trap — never a hang, and
+// never the untyped step backstop once a budget is set.
+func TestExecuteBudgetInfiniteLoop(t *testing.T) {
+	const fuel = 100_000
+	for _, mode := range []rt.Mode{rt.Baseline, rt.Subheap, rt.Wrapped} {
+		_, _, c, err := ExecuteBudget("int main() { while (1) { } return 0; }", mode, fuel)
+		if !machine.IsTrap(err, machine.TrapFuel) {
+			t.Fatalf("%v: err = %v, want fuel trap", mode, err)
+		}
+		var re *RunError
+		if !errors.As(err, &re) {
+			t.Fatalf("%v: fuel trap not wrapped in RunError: %v", mode, err)
+		}
+		if c.Cycles < fuel {
+			t.Fatalf("%v: trapped at %d cycles, before the %d budget", mode, c.Cycles, fuel)
+		}
+		if c.Cycles > fuel+1000 {
+			t.Fatalf("%v: trap landed %d cycles past the budget", mode, c.Cycles-fuel)
+		}
+	}
+}
+
+// TestExecuteBudgetUnaffectedRun: a program that fits its budget behaves
+// exactly like an unlimited run, counters included.
+func TestExecuteBudgetUnaffectedRun(t *testing.T) {
+	const src = `int main() {
+	long i;
+	long acc = 0;
+	for (i = 0; i < 100; i = i + 1) { acc = acc + i; }
+	print(acc);
+	return 0;
+}`
+	outFree, exitFree, err := Execute(src, rt.Subheap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, exit, c, err := ExecuteBudget(src, rt.Subheap, 100_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exit != exitFree || len(out) != 1 || out[0] != outFree[0] {
+		t.Fatalf("budgeted run diverged: out=%v exit=%d vs out=%v exit=%d",
+			out, exit, outFree, exitFree)
+	}
+	if c.Instrs == 0 || c.Cycles == 0 {
+		t.Fatal("counters not captured")
+	}
+}
+
+// TestExecuteBudgetSpatialTrapFirst: a spatial error inside the budget
+// still surfaces as the spatial trap, not fuel.
+func TestExecuteBudgetSpatialTrapFirst(t *testing.T) {
+	const src = `int main() {
+	char buf[8];
+	long i;
+	for (i = 0; i <= 8; i = i + 1) { buf[i] = 'A'; }
+	return 0;
+}`
+	_, _, _, err := ExecuteBudget(src, rt.Subheap, 100_000_000)
+	if !machine.IsTrap(err, machine.TrapPoison) && !machine.IsTrap(err, machine.TrapBounds) {
+		t.Fatalf("err = %v, want spatial trap", err)
+	}
+	if machine.IsTrap(err, machine.TrapFuel) {
+		t.Fatal("spatial error misreported as fuel")
+	}
+}

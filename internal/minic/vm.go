@@ -178,12 +178,18 @@ func (vm *VM) call(fnIdx int, args []value) (value, error) {
 			return value{}, fmt.Errorf("minic: pc %d out of range in %s", pc, fn.Name)
 		}
 		vm.steps++
-		if vm.steps > vm.maxSteps {
-			return value{}, fmt.Errorf("minic: step budget exhausted (infinite loop?)")
-		}
 		in := fn.Code[pc]
 		line := int(in.Line)
 		pc++
+		// The fuel budget is checked first so that, when a limit is set,
+		// exhaustion always surfaces as the typed machine trap rather
+		// than the untyped step backstop below.
+		if err := vm.R.M.CheckFuel(); err != nil {
+			return value{}, &RunError{line, err}
+		}
+		if vm.steps > vm.maxSteps {
+			return value{}, fmt.Errorf("minic: step budget exhausted (infinite loop?)")
+		}
 		switch in.Op {
 		case OpConst:
 			vm.R.M.Tick(1)
@@ -436,19 +442,42 @@ func signExtend(v uint64, size int) uint64 {
 // Execute compiles and runs src under the given mode, returning the
 // printed output and main's exit code.
 func Execute(src string, mode rt.Mode) (out []int64, exit int64, err error) {
+	out, exit, _, err = ExecuteBudget(src, mode, 0)
+	return out, exit, err
+}
+
+// ExecuteBudget is Execute with an execution budget and counter capture:
+// when fuel is non-zero the machine traps with machine.TrapFuel once the
+// run has consumed that many cycles (surfaced as a *RunError like any
+// other trap), so a guest infinite loop terminates deterministically.
+// Fuel 0 means unlimited — only the VM's untyped step backstop applies.
+// The machine counters are returned even for trapped runs: they describe
+// the work done up to the trap.
+func ExecuteBudget(src string, mode rt.Mode, fuel uint64) (out []int64, exit int64, c machine.Counters, err error) {
 	prog, err := Parse(src)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, c, err
 	}
 	comp, err := Compile(prog)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, c, err
 	}
 	r := rt.New(mode)
 	vm, err := NewVM(comp, r)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, r.M.C, err
+	}
+	if fuel > 0 {
+		r.M.FuelLimit = fuel
+		// Every interpreted step costs at least half a cycle (the only
+		// tick-free op is OpPop, and it cannot appear back-to-back with
+		// itself), so raising the step backstop to 2*fuel guarantees the
+		// typed fuel trap fires first.
+		vm.maxSteps = ^uint64(0)
+		if fuel < 1<<62 {
+			vm.maxSteps = 2*fuel + 1_000_000
+		}
 	}
 	exit, err = vm.Run()
-	return vm.Out, exit, err
+	return vm.Out, exit, r.M.C, err
 }

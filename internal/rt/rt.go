@@ -58,6 +58,20 @@ func (m Mode) String() string {
 	return fmt.Sprintf("mode(%d)", int(m))
 }
 
+// Modes lists every run configuration in declaration order.
+var Modes = []Mode{Baseline, Subheap, Wrapped, Hybrid}
+
+// ParseMode parses a mode name as spelled by the command-line flags and
+// the ifp-serve request API (the String form of each Mode).
+func ParseMode(s string) (Mode, error) {
+	for _, m := range Modes {
+		if s == m.String() {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown mode %q (want baseline, subheap, wrapped, or hybrid)", s)
+}
+
 // Guest address-space map. All regions are far apart; the memory is sparse
 // so only touched pages cost footprint.
 const (

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheEntry is one cached /v1/run response. An entry is inserted
+// *pending* (ready open) before the simulation runs, which is what
+// coalesces concurrent identical submissions: the first request in
+// becomes the leader and simulates; everyone else joining the same key
+// blocks on ready and is served the published bytes as a cache hit.
+type cacheEntry struct {
+	key    string
+	ready  chan struct{} // closed by finish
+	done   bool          // guarded by resultCache.mu; true once finished
+	status int
+	body   []byte
+}
+
+// resultCache is the size-bounded LRU of run responses, keyed by
+// (sha256(source), mode, fuel). Only deterministic outcomes stay cached
+// (simulation results and compile errors); deadline/admission failures
+// are published to any waiting followers but dropped from the cache.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses, evictions atomic.Uint64
+}
+
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// startOrJoin returns the entry for key and whether the caller is its
+// leader (responsible for simulating and calling finish). Joining an
+// existing entry — pending or complete — counts as a hit; creating one
+// counts as a miss.
+func (c *resultCache) startOrJoin(key string) (e *cacheEntry, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*cacheEntry), false
+	}
+	c.misses.Add(1)
+	e = &cacheEntry{key: key, ready: make(chan struct{})}
+	c.items[key] = c.order.PushFront(e)
+	c.evictLocked()
+	return e, true
+}
+
+// evictLocked drops least-recently-used *completed* entries until the
+// cache is within bounds. Pending entries are skipped — their leader
+// still has to publish — so the cache can transiently exceed max by the
+// number of in-flight distinct keys.
+func (c *resultCache) evictLocked() {
+	for c.order.Len() > c.max {
+		var victim *list.Element
+		for el := c.order.Back(); el != nil; el = el.Prev() {
+			if el.Value.(*cacheEntry).done {
+				victim = el
+				break
+			}
+		}
+		if victim == nil {
+			return
+		}
+		c.order.Remove(victim)
+		delete(c.items, victim.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// finish publishes the leader's response on e, waking all followers.
+// keep=false additionally drops the entry from the cache (used for
+// non-deterministic outcomes that must not be replayed to later
+// requests).
+func (c *resultCache) finish(e *cacheEntry, status int, body []byte, keep bool) {
+	c.mu.Lock()
+	e.status, e.body = status, body
+	e.done = true
+	if el, ok := c.items[e.key]; ok && el.Value.(*cacheEntry) == e && !keep {
+		c.order.Remove(el)
+		delete(c.items, e.key)
+	}
+	c.mu.Unlock()
+	close(e.ready)
+}
+
+func (c *resultCache) stats() (hits, misses, evictions, entries uint64) {
+	c.mu.Lock()
+	n := c.order.Len()
+	c.mu.Unlock()
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load(), uint64(n)
+}

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// fill inserts a completed entry.
+func fill(c *resultCache, key string) {
+	e, leader := c.startOrJoin(key)
+	if leader {
+		c.finish(e, 200, []byte(key), true)
+	}
+}
+
+// isLeader probes whether key is absent (the probe becomes its leader).
+// The probe entry is finished-and-dropped so it does not perturb the
+// cache contents.
+func isLeader(c *resultCache, key string) bool {
+	e, leader := c.startOrJoin(key)
+	if leader {
+		c.finish(e, 0, nil, false)
+	}
+	return leader
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	fill(c, "a")
+	fill(c, "b")
+	fill(c, "c") // evicts a (least recently used)
+	if _, _, evictions, entries := c.stats(); evictions != 1 || entries != 2 {
+		t.Fatalf("evictions=%d entries=%d, want 1, 2", evictions, entries)
+	}
+	if !isLeader(c, "a") {
+		t.Fatal("a survived eviction")
+	}
+}
+
+func TestCacheHitRefreshesRecency(t *testing.T) {
+	c := newResultCache(2)
+	fill(c, "a")
+	fill(c, "b")
+	fill(c, "a") // hit: a becomes most recent
+	fill(c, "c") // must evict b, not a
+	if isLeader(c, "a") {
+		t.Fatal("a was evicted despite being most recently used")
+	}
+	if !isLeader(c, "b") {
+		t.Fatal("b survived; expected it evicted")
+	}
+}
+
+func TestCacheHitRateAccounting(t *testing.T) {
+	c := newResultCache(8)
+	fill(c, "a")
+	for i := 0; i < 3; i++ {
+		fill(c, "a")
+	}
+	fill(c, "b")
+	hits, misses, _, _ := c.stats()
+	if hits != 3 || misses != 2 {
+		t.Fatalf("hits=%d misses=%d, want 3, 2", hits, misses)
+	}
+}
+
+func TestCachePendingEntriesNotEvicted(t *testing.T) {
+	c := newResultCache(1)
+	e1, _ := c.startOrJoin("p1")
+	e2, _ := c.startOrJoin("p2") // over capacity, but both pending: no eviction
+	if _, _, evictions, entries := c.stats(); evictions != 0 || entries != 2 {
+		t.Fatalf("evictions=%d entries=%d, want 0, 2", evictions, entries)
+	}
+	c.finish(e1, 200, nil, true)
+	c.finish(e2, 200, nil, true)
+	fill(c, "p3") // now eviction can proceed down to capacity
+	if _, _, _, entries := c.stats(); entries != 1 {
+		t.Fatalf("entries=%d, want 1", entries)
+	}
+}
+
+func TestCacheDropOnFinish(t *testing.T) {
+	c := newResultCache(4)
+	e, leader := c.startOrJoin("x")
+	if !leader {
+		t.Fatal("fresh key not leader")
+	}
+	c.finish(e, 503, nil, false) // non-deterministic outcome: dropped
+	if !isLeader(c, "x") {
+		t.Fatal("dropped entry still served")
+	}
+}
+
+func TestCacheCoalescing(t *testing.T) {
+	c := newResultCache(4)
+	e, leader := c.startOrJoin("k")
+	if !leader {
+		t.Fatal("first caller must lead")
+	}
+	const n = 4
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f, lead := c.startOrJoin("k")
+			if lead {
+				t.Error("follower became leader")
+				return
+			}
+			<-f.ready
+			if string(f.body) != "payload" {
+				t.Errorf("follower read %q", f.body)
+			}
+		}()
+	}
+	c.finish(e, 200, []byte("payload"), true)
+	wg.Wait()
+	hits, misses, _, _ := c.stats()
+	if misses != 1 || hits != n {
+		t.Fatalf("hits=%d misses=%d, want %d, 1", hits, misses, n)
+	}
+}
+
+func TestCacheManyKeysStayBounded(t *testing.T) {
+	c := newResultCache(16)
+	for i := 0; i < 200; i++ {
+		fill(c, fmt.Sprint("k", i))
+	}
+	if _, _, evictions, entries := c.stats(); entries != 16 || evictions != 200-16 {
+		t.Fatalf("entries=%d evictions=%d, want 16, %d", entries, evictions, 200-16)
+	}
+}

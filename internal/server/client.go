@@ -1,0 +1,159 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is a minimal Go client for ifp-serve, used by the handler
+// tests and the daemon's -selftest mode so the service can be exercised
+// end-to-end without curl.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP is the underlying client; nil selects a client with a
+	// conservative overall timeout.
+	HTTP *http.Client
+}
+
+// NewClient builds a client for the given base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{
+		BaseURL: strings.TrimRight(baseURL, "/"),
+		HTTP:    &http.Client{Timeout: 2 * DefaultRequestTimeout},
+	}
+}
+
+// APIError is a non-2xx response, carrying the decoded error body.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("ifp-serve: HTTP %d: %s", e.Status, e.Message)
+}
+
+// Run submits a MiniC program. cached reports whether the response was
+// served from the server's result cache (the CacheHeader).
+func (c *Client) Run(ctx context.Context, req RunRequest) (resp *RunResponse, cached bool, err error) {
+	resp = new(RunResponse)
+	hdr, err := c.post(ctx, "/v1/run", req, resp)
+	if err != nil {
+		return nil, false, err
+	}
+	return resp, hdr.Get(CacheHeader) == "hit", nil
+}
+
+// Juliet runs one generated Juliet case.
+func (c *Client) Juliet(ctx context.Context, req JulietRequest) (*JulietResponse, error) {
+	resp := new(JulietResponse)
+	if _, err := c.post(ctx, "/v1/juliet", req, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// JulietCases lists the generated case names.
+func (c *Client) JulietCases(ctx context.Context) ([]string, error) {
+	resp := new(JulietListResponse)
+	if err := c.get(ctx, "/v1/juliet", resp); err != nil {
+		return nil, err
+	}
+	return resp.Cases, nil
+}
+
+// Workload runs one cell of the §5.2 evaluation grid.
+func (c *Client) Workload(ctx context.Context, req WorkloadRequest) (*WorkloadResponse, error) {
+	resp := new(WorkloadResponse)
+	if _, err := c.post(ctx, "/v1/workload", req, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Healthz checks liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.get(ctx, "/healthz", &map[string]string{})
+}
+
+// Metrics fetches the counter snapshot.
+func (c *Client) Metrics(ctx context.Context) (*MetricsSnapshot, error) {
+	resp := new(MetricsSnapshot)
+	if err := c.get(ctx, "/metrics", resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// WaitReady polls /healthz until it answers or the deadline passes —
+// for callers that just started the daemon.
+func (c *Client) WaitReady(ctx context.Context, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	for {
+		if err := c.Healthz(ctx); err == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("ifp-serve: not ready within %v", timeout)
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+func (c *Client) post(ctx context.Context, path string, req, resp any) (http.Header, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	return c.do(hreq, resp)
+}
+
+func (c *Client) get(ctx context.Context, path string, resp any) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	_, err = c.do(hreq, resp)
+	return err
+}
+
+func (c *Client) do(req *http.Request, resp any) (http.Header, error) {
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	hresp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(hresp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	if hresp.StatusCode/100 != 2 {
+		var apiErr ErrorResponse
+		if json.Unmarshal(body, &apiErr) != nil || apiErr.Error == "" {
+			apiErr.Error = strings.TrimSpace(string(body))
+		}
+		return hresp.Header, &APIError{Status: hresp.StatusCode, Message: apiErr.Error}
+	}
+	if err := json.Unmarshal(body, resp); err != nil {
+		return hresp.Header, fmt.Errorf("ifp-serve: bad response body: %w", err)
+	}
+	return hresp.Header, nil
+}

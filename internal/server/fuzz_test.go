@@ -1,0 +1,51 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+
+	"infat/internal/rt"
+)
+
+// FuzzDecodeRunRequest fuzzes the /v1/run request decoder: whatever the
+// bytes, an accepted request must satisfy every invariant the handlers
+// rely on (non-empty bounded source, a real mode), and the decoder must
+// never panic.
+func FuzzDecodeRunRequest(f *testing.F) {
+	const maxSource = 4096
+	seeds := []string{
+		`{"source":"int main() { return 0; }","mode":"subheap"}`,
+		`{"source":"int main() { while (1) { } }","mode":"wrapped","fuel":100000}`,
+		`{"source":"x"}`,
+		`{"source":"x","mode":"hybrid","fuel":18446744073709551615}`,
+		`{"source":"","mode":"baseline"}`,
+		`{"source":"x","mode":"nope"}`,
+		`{"Source":"case-sensitivity","mode":"subheap"}`,
+		`{"unknown":1}`,
+		`{"source":"x"} {"source":"y"}`,
+		`{"source":"x","fuel":-1}`,
+		`{"source":"x","fuel":"12"}`,
+		`[{"source":"x"}]`,
+		`null`,
+		`{`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		job, err := decodeRunRequest(bytes.NewReader(data), maxSource)
+		if err != nil {
+			return // rejected input: nothing else to hold
+		}
+		if job.source == "" {
+			t.Fatalf("accepted empty source from %q", data)
+		}
+		if len(job.source) > maxSource {
+			t.Fatalf("accepted %d-byte source (limit %d)", len(job.source), maxSource)
+		}
+		if _, perr := rt.ParseMode(job.mode.String()); perr != nil {
+			t.Fatalf("accepted unparseable mode %v from %q", job.mode, data)
+		}
+	})
+}

@@ -1,0 +1,429 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"infat/internal/juliet"
+	"infat/internal/machine"
+	"infat/internal/minic"
+	"infat/internal/rt"
+	"infat/internal/workloads"
+)
+
+// Trap classes: the service's three-way verdict on a trapped run.
+const (
+	trapClassSpatial = "spatial" // an In-Fat Pointer detection (poison / bounds)
+	trapClassFuel    = "fuel"    // execution budget exhausted (resource trap)
+	trapClassOther   = "other"   // metadata/memory trap or non-trap runtime fault
+)
+
+// CacheHeader carries the cache disposition of a /v1/run response ("hit"
+// or "miss"). It is a header, not a body field, so that response bytes
+// for a given (source, mode, fuel) are identical whether simulated or
+// replayed from cache — and identical to a local RunC of the same input.
+const CacheHeader = "X-Ifp-Cache"
+
+// RunRequest is the POST /v1/run body: compile-and-run a MiniC program.
+type RunRequest struct {
+	// Source is the MiniC program text (required).
+	Source string `json:"source"`
+	// Mode is the run configuration: baseline, subheap (default),
+	// wrapped, or hybrid.
+	Mode string `json:"mode,omitempty"`
+	// Fuel overrides the server's per-run cycle budget. 0 keeps the
+	// server default; requests cannot disable the budget.
+	Fuel uint64 `json:"fuel,omitempty"`
+}
+
+// TrapInfo describes why a run stopped early.
+type TrapInfo struct {
+	// Class is the service verdict: spatial, fuel, or other.
+	Class string `json:"class"`
+	// Kind is the machine trap kind (poisoned-pointer, bounds, fuel,
+	// metadata, memory); empty for non-trap runtime faults.
+	Kind string `json:"kind,omitempty"`
+	// Message is the full error, including the MiniC source line.
+	Message string `json:"message"`
+}
+
+// RunResponse is the POST /v1/run result.
+type RunResponse struct {
+	Mode string `json:"mode"`
+	// Fuel is the effective cycle budget the run executed under.
+	Fuel   uint64    `json:"fuel"`
+	Output []int64   `json:"output"`
+	Exit   int64     `json:"exit"`
+	Trap   *TrapInfo `json:"trap,omitempty"`
+	// Counters is the machine's dynamic event counts, up to the trap for
+	// trapped runs.
+	Counters machine.Counters `json:"counters"`
+}
+
+// JulietRequest is the POST /v1/juliet body: run one generated case.
+type JulietRequest struct {
+	// Case is a case name from GET /v1/juliet.
+	Case string `json:"case"`
+	// Mode defaults to subheap.
+	Mode string `json:"mode,omitempty"`
+}
+
+// JulietResponse is the POST /v1/juliet result.
+type JulietResponse struct {
+	Case    string `json:"case"`
+	CWE     string `json:"cwe"`
+	Bad     bool   `json:"bad"`
+	Mode    string `json:"mode"`
+	Verdict string `json:"verdict"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// JulietListResponse is the GET /v1/juliet result.
+type JulietListResponse struct {
+	Count int      `json:"count"`
+	Cases []string `json:"cases"`
+}
+
+// WorkloadRequest is the POST /v1/workload body: run one cell of the
+// §5.2 evaluation grid.
+type WorkloadRequest struct {
+	// Name is a workload name from workloads.All (e.g. "treeadd").
+	Name string `json:"name"`
+	// Mode defaults to subheap.
+	Mode string `json:"mode,omitempty"`
+	// NoPromote selects the no-promote variant of an instrumented mode.
+	NoPromote bool `json:"no_promote,omitempty"`
+	// Scale defaults to 1; bounded by the server's MaxScale.
+	Scale int `json:"scale,omitempty"`
+}
+
+// WorkloadResponse is the POST /v1/workload result — the same
+// observables an exp grid cell records.
+type WorkloadResponse struct {
+	Name      string           `json:"name"`
+	Suite     string           `json:"suite"`
+	Mode      string           `json:"mode"`
+	NoPromote bool             `json:"no_promote"`
+	Scale     int              `json:"scale"`
+	Checksum  uint64           `json:"checksum"`
+	Footprint uint64           `json:"footprint"`
+	L1DMisses uint64           `json:"l1d_misses"`
+	Counters  machine.Counters `json:"counters"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+var errSourceTooLarge = errors.New("source exceeds the server's size limit")
+
+// runJob is a validated, defaulted run request.
+type runJob struct {
+	source string
+	mode   rt.Mode
+	fuel   uint64
+}
+
+// decodeRunRequest parses and validates a /v1/run body: strict JSON
+// (unknown fields and trailing data rejected), non-empty bounded source,
+// known mode. It returns the job with the mode resolved but the fuel
+// default (0) still unapplied, so the decoder is a pure function of the
+// bytes — the property the fuzz target checks.
+func decodeRunRequest(r io.Reader, maxSource int) (runJob, error) {
+	var req RunRequest
+	if err := decodeStrict(r, &req); err != nil {
+		return runJob{}, err
+	}
+	if req.Source == "" {
+		return runJob{}, errors.New("source must be non-empty")
+	}
+	if len(req.Source) > maxSource {
+		return runJob{}, errSourceTooLarge
+	}
+	mode, err := parseModeDefault(req.Mode)
+	if err != nil {
+		return runJob{}, err
+	}
+	return runJob{source: req.Source, mode: mode, fuel: req.Fuel}, nil
+}
+
+// decodeStrict decodes one JSON object, rejecting unknown fields and
+// trailing data.
+func decodeStrict(r io.Reader, dst any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("bad request body: trailing data after request object")
+	}
+	return nil
+}
+
+// parseModeDefault resolves a request mode string, defaulting to subheap.
+func parseModeDefault(s string) (rt.Mode, error) {
+	if s == "" {
+		return rt.Subheap, nil
+	}
+	return rt.ParseMode(s)
+}
+
+// runKey is the cache key: content hash of the program plus every knob
+// that changes the result.
+func runKey(job runJob) string {
+	h := sha256.Sum256([]byte(job.source))
+	return fmt.Sprintf("%x|%s|%d", h, job.mode, job.fuel)
+}
+
+// classifyTrap maps a run error to its service trap class and machine
+// trap kind (empty kind for non-trap faults like division by zero).
+func classifyTrap(err error) (class, kind string) {
+	var t *machine.Trap
+	if !errors.As(err, &t) {
+		return trapClassOther, ""
+	}
+	switch t.Kind {
+	case machine.TrapPoison, machine.TrapBounds:
+		return trapClassSpatial, t.Kind.String()
+	case machine.TrapFuel:
+		return trapClassFuel, t.Kind.String()
+	}
+	return trapClassOther, t.Kind.String()
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxSourceBytes)+64<<10)
+	job, err := decodeRunRequest(body, s.cfg.MaxSourceBytes)
+	if err != nil {
+		s.metrics.badRequests.Add(1)
+		writeError(w, decodeStatus(err), err)
+		return
+	}
+	if job.fuel == 0 {
+		job.fuel = s.cfg.Fuel
+	}
+
+	e, leader := s.cache.startOrJoin(runKey(job))
+	if !leader {
+		// Coalesced: wait for the leader's published bytes (or give up
+		// at our own deadline — never re-simulate).
+		select {
+		case <-e.ready:
+			writeRaw(w, e.status, e.body, "hit")
+		case <-r.Context().Done():
+			s.metrics.deadline.Add(1)
+			writeError(w, http.StatusGatewayTimeout,
+				errors.New("deadline exceeded waiting for in-flight identical submission"))
+		}
+		return
+	}
+
+	status, respBody, ok := s.dispatch(r.Context(), func() (int, []byte) {
+		return s.executeRun(job)
+	})
+	if !ok {
+		// Admission or deadline failure: non-deterministic, so publish
+		// to any waiting followers but drop the entry from the cache.
+		respBody = errorBody(statusMessage(status))
+		s.cache.finish(e, status, respBody, false)
+		writeRaw(w, status, respBody, "miss")
+		return
+	}
+	// Simulation results and compile verdicts are deterministic in
+	// (source, mode, fuel): keep them.
+	s.cache.finish(e, status, respBody, true)
+	writeRaw(w, status, respBody, "miss")
+}
+
+// executeRun performs the simulation for one run job and renders the
+// response bytes. Runs on a worker slot.
+func (s *Server) executeRun(job runJob) (int, []byte) {
+	out, exit, counters, err := minic.ExecuteBudget(job.source, job.mode, job.fuel)
+	if err != nil {
+		var re *minic.RunError
+		if !errors.As(err, &re) {
+			// Front-end failure (parse/compile/setup): the program never
+			// ran, so there is no verdict to report.
+			return http.StatusUnprocessableEntity, errorBody(err.Error())
+		}
+	}
+	if out == nil {
+		out = []int64{}
+	}
+	resp := RunResponse{
+		Mode:     job.mode.String(),
+		Fuel:     job.fuel,
+		Output:   out,
+		Exit:     exit,
+		Counters: counters,
+	}
+	class := ""
+	if err != nil {
+		var kind string
+		class, kind = classifyTrap(err)
+		resp.Trap = &TrapInfo{Class: class, Kind: kind, Message: err.Error()}
+	}
+	s.metrics.countTrap(class)
+	b, merr := json.Marshal(resp)
+	if merr != nil {
+		return http.StatusInternalServerError, errorBody(merr.Error())
+	}
+	return http.StatusOK, b
+}
+
+func (s *Server) handleJuliet(w http.ResponseWriter, r *http.Request) {
+	var req JulietRequest
+	if err := decodeStrict(http.MaxBytesReader(w, r.Body, 64<<10), &req); err != nil {
+		s.metrics.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	mode, err := parseModeDefault(req.Mode)
+	if err != nil {
+		s.metrics.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	c, ok := s.julietCases[req.Case]
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("unknown case %q (GET /v1/juliet lists the %d cases)", req.Case, len(s.julietNames)))
+		return
+	}
+	status, body, ok := s.dispatch(r.Context(), func() (int, []byte) {
+		o := juliet.RunCase(c, mode)
+		return http.StatusOK, mustJSON(JulietResponse{
+			Case:    c.Name,
+			CWE:     c.CWE,
+			Bad:     c.Bad,
+			Mode:    mode.String(),
+			Verdict: o.Verdict.String(),
+			Detail:  o.Detail,
+		})
+	})
+	if !ok {
+		writeError(w, status, errors.New(statusMessage(status)))
+		return
+	}
+	writeRaw(w, status, body, "")
+}
+
+func (s *Server) handleJulietList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, JulietListResponse{Count: len(s.julietNames), Cases: s.julietNames})
+}
+
+func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
+	var req WorkloadRequest
+	if err := decodeStrict(http.MaxBytesReader(w, r.Body, 64<<10), &req); err != nil {
+		s.metrics.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	mode, err := parseModeDefault(req.Mode)
+	if err != nil {
+		s.metrics.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Scale == 0 {
+		req.Scale = 1
+	}
+	if req.Scale < 1 || req.Scale > s.cfg.MaxScale {
+		s.metrics.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("scale %d out of range [1, %d]", req.Scale, s.cfg.MaxScale))
+		return
+	}
+	wl, ok := workloads.ByName(req.Name)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown workload %q", req.Name))
+		return
+	}
+	status, body, ok := s.dispatch(r.Context(), func() (int, []byte) {
+		run := rt.New(mode)
+		run.M.NoPromote = req.NoPromote
+		sum, err := wl.Run(run, req.Scale)
+		if err != nil {
+			return http.StatusInternalServerError, errorBody(err.Error())
+		}
+		return http.StatusOK, mustJSON(WorkloadResponse{
+			Name:      wl.Name,
+			Suite:     wl.Suite,
+			Mode:      mode.String(),
+			NoPromote: req.NoPromote,
+			Scale:     req.Scale,
+			Checksum:  sum,
+			Footprint: run.Footprint(),
+			L1DMisses: run.M.L1D.Stats().Misses,
+			Counters:  run.M.C,
+		})
+	})
+	if !ok {
+		writeError(w, status, errors.New(statusMessage(status)))
+		return
+	}
+	writeRaw(w, status, body, "")
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.snapshot())
+}
+
+// decodeStatus maps a decode failure to its HTTP status.
+func decodeStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.Is(err, errSourceTooLarge) || errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+func statusMessage(status int) string {
+	switch status {
+	case http.StatusServiceUnavailable:
+		return "server at capacity: deadline exceeded before a worker was available"
+	case http.StatusGatewayTimeout:
+		return "deadline exceeded during simulation"
+	}
+	return http.StatusText(status)
+}
+
+func errorBody(msg string) []byte { return mustJSON(ErrorResponse{Error: msg}) }
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// All response types are plain data; a marshal failure is a
+		// programming error.
+		panic(err)
+	}
+	return b
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) { writeRaw(w, status, mustJSON(v), "") }
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeRaw(w, status, errorBody(err.Error()), "")
+}
+
+// writeRaw sends pre-rendered JSON; cacheState, when non-empty, is
+// exposed via the CacheHeader.
+func writeRaw(w http.ResponseWriter, status int, body []byte, cacheState string) {
+	w.Header().Set("Content-Type", "application/json")
+	if cacheState != "" {
+		w.Header().Set(CacheHeader, cacheState)
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+	w.Write([]byte("\n"))
+}

@@ -1,0 +1,125 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the upper edges of the request-latency histogram.
+// Requests slower than the last edge land in the overflow bucket.
+var latencyBuckets = []time.Duration{
+	time.Millisecond,
+	10 * time.Millisecond,
+	100 * time.Millisecond,
+	time.Second,
+	10 * time.Second,
+}
+
+// latencyLabels are the snapshot keys of each histogram bucket, in
+// bucket order, overflow last.
+var latencyLabels = []string{"le_1ms", "le_10ms", "le_100ms", "le_1s", "le_10s", "gt_10s"}
+
+// metrics is the service's expvar-style counter set. Every field is an
+// atomic: handlers update them lock-free on the request path and
+// /metrics renders a consistent-enough snapshot without stopping the
+// world. Cache counters live on the cache itself and are merged into the
+// snapshot.
+type metrics struct {
+	reqRun      atomic.Uint64
+	reqJuliet   atomic.Uint64
+	reqWorkload atomic.Uint64
+	reqHealthz  atomic.Uint64
+	reqMetrics  atomic.Uint64
+
+	inFlight    atomic.Int64
+	badRequests atomic.Uint64 // malformed/rejected request bodies (4xx)
+	rejected    atomic.Uint64 // admission control: deadline hit while queued
+	deadline    atomic.Uint64 // deadline hit while simulating
+
+	trapSpatial atomic.Uint64
+	trapFuel    atomic.Uint64
+	trapOther   atomic.Uint64
+	trapNone    atomic.Uint64 // simulations that completed clean
+
+	latency [6]atomic.Uint64 // len(latencyBuckets) + 1 overflow slot
+}
+
+func (m *metrics) observeLatency(d time.Duration) {
+	for i, edge := range latencyBuckets {
+		if d <= edge {
+			m.latency[i].Add(1)
+			return
+		}
+	}
+	m.latency[len(latencyBuckets)].Add(1)
+}
+
+// countTrap records one simulation verdict under its trap class ("" for
+// a clean run).
+func (m *metrics) countTrap(class string) {
+	switch class {
+	case trapClassSpatial:
+		m.trapSpatial.Add(1)
+	case trapClassFuel:
+		m.trapFuel.Add(1)
+	case "":
+		m.trapNone.Add(1)
+	default:
+		m.trapOther.Add(1)
+	}
+}
+
+// MetricsSnapshot is the /metrics response. Maps marshal with sorted
+// keys, so the rendered JSON is deterministic for a given state.
+type MetricsSnapshot struct {
+	Requests  map[string]uint64 `json:"requests"` // per endpoint + "total"
+	InFlight  int64             `json:"in_flight"`
+	Admission map[string]uint64 `json:"admission"` // bad_request, rejected, deadline
+	Cache     map[string]uint64 `json:"cache"`     // hits, misses, evictions, entries
+	Traps     map[string]uint64 `json:"traps"`     // spatial, fuel, other, none
+	Latency   map[string]uint64 `json:"latency_ms"`
+}
+
+func (s *Server) snapshot() MetricsSnapshot {
+	m := &s.metrics
+	req := map[string]uint64{
+		"run":      m.reqRun.Load(),
+		"juliet":   m.reqJuliet.Load(),
+		"workload": m.reqWorkload.Load(),
+		"healthz":  m.reqHealthz.Load(),
+		"metrics":  m.reqMetrics.Load(),
+	}
+	var total uint64
+	for _, v := range req {
+		total += v
+	}
+	req["total"] = total
+
+	hits, misses, evictions, entries := s.cache.stats()
+	lat := make(map[string]uint64, len(latencyLabels))
+	for i, label := range latencyLabels {
+		lat[label] = m.latency[i].Load()
+	}
+	return MetricsSnapshot{
+		Requests: req,
+		InFlight: m.inFlight.Load(),
+		Admission: map[string]uint64{
+			"bad_request": m.badRequests.Load(),
+			"rejected":    m.rejected.Load(),
+			"deadline":    m.deadline.Load(),
+		},
+		Cache: map[string]uint64{
+			"hits":      hits,
+			"misses":    misses,
+			"evictions": evictions,
+			"entries":   entries,
+		},
+		Traps: map[string]uint64{
+			"spatial": m.trapSpatial.Load(),
+			"fuel":    m.trapFuel.Load(),
+			"other":   m.trapOther.Load(),
+			"none":    m.trapNone.Load(),
+		},
+		Latency: lat,
+	}
+}

@@ -1,0 +1,193 @@
+// Package server is the analysis-as-a-service layer over the In-Fat
+// Pointer simulator: a hardened HTTP/JSON daemon (cmd/ifp-serve) that
+// accepts MiniC programs, Juliet cases, and workload cells over the
+// network and answers with the spatial-safety verdict, trap
+// classification, and machine counters a local run would produce.
+//
+// Hardening, because the guest programs are untrusted input:
+//
+//   - Admission control: simulations run under a bounded worker pool
+//     (one semaphore slot per worker, internal/pool's sizing rule), so a
+//     burst cannot fork unbounded simulator goroutines. Waiting is
+//     bounded by the request deadline.
+//   - Execution budget: every run carries a cycle fuel limit
+//     (machine.FuelLimit); a guest infinite loop trips a typed resource
+//     trap instead of pinning a worker.
+//   - Request deadlines: each request gets a context deadline; if it
+//     expires the client receives 503/504 while the worker, bounded by
+//     fuel, finishes and frees its slot in the background.
+//   - Result cache: run responses are kept in a size-bounded LRU keyed
+//     by (sha256(source), mode, fuel); repeated and concurrent identical
+//     submissions are served from it without re-simulation.
+//
+// Endpoints: POST /v1/run, POST /v1/juliet (GET lists cases),
+// POST /v1/workload, GET /healthz, GET /metrics.
+package server
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"infat/internal/juliet"
+	"infat/internal/pool"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultRequestTimeout = 30 * time.Second
+	DefaultCacheEntries   = 256
+	// DefaultFuel is the per-run cycle budget when a request does not set
+	// its own: generous for every real program the repo runs (the whole
+	// Juliet suite stays far below it per case) while bounding an
+	// infinite loop to a few seconds of wall clock.
+	DefaultFuel           = 200_000_000
+	DefaultMaxSourceBytes = 1 << 20
+	DefaultMaxScale       = 4
+)
+
+// Config parameterizes a Server. The zero value is a working production
+// configuration; every field has a documented default.
+type Config struct {
+	// Workers caps concurrent simulations (admission control). <= 0
+	// selects GOMAXPROCS, the throughput optimum for the CPU-bound
+	// simulator (see DESIGN.md "Concurrency model").
+	Workers int
+	// RequestTimeout is the per-request context deadline (0 =
+	// DefaultRequestTimeout). It covers queueing and simulation.
+	RequestTimeout time.Duration
+	// CacheEntries bounds the run-result LRU (0 = DefaultCacheEntries).
+	CacheEntries int
+	// Fuel is the cycle budget applied to runs that do not request their
+	// own (0 = DefaultFuel). The budget is what guarantees a guest
+	// infinite loop cannot hold a worker.
+	Fuel uint64
+	// MaxSourceBytes bounds submitted program size (0 =
+	// DefaultMaxSourceBytes).
+	MaxSourceBytes int
+	// MaxScale bounds the workload-cell scale parameter (0 =
+	// DefaultMaxScale).
+	MaxScale int
+}
+
+func (c Config) withDefaults() Config {
+	c.Workers = pool.Workers(c.Workers)
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = DefaultRequestTimeout
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = DefaultCacheEntries
+	}
+	if c.Fuel == 0 {
+		c.Fuel = DefaultFuel
+	}
+	if c.MaxSourceBytes <= 0 {
+		c.MaxSourceBytes = DefaultMaxSourceBytes
+	}
+	if c.MaxScale <= 0 {
+		c.MaxScale = DefaultMaxScale
+	}
+	return c
+}
+
+// Server is the service: an http.Handler plus the worker semaphore,
+// result cache, metrics, and the interned Juliet suite. Construct with
+// New; the zero value is not usable.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	sem     chan struct{}
+	cache   *resultCache
+	metrics metrics
+
+	julietNames []string
+	julietCases map[string]juliet.Case
+}
+
+// New builds a Server from cfg (zero fields take defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:         cfg,
+		mux:         http.NewServeMux(),
+		sem:         make(chan struct{}, cfg.Workers),
+		cache:       newResultCache(cfg.CacheEntries),
+		julietCases: make(map[string]juliet.Case),
+	}
+	for _, c := range juliet.Generate() {
+		s.julietNames = append(s.julietNames, c.Name)
+		s.julietCases[c.Name] = c
+	}
+	s.mux.HandleFunc("POST /v1/run", s.instrument(&s.metrics.reqRun, true, s.handleRun))
+	s.mux.HandleFunc("POST /v1/juliet", s.instrument(&s.metrics.reqJuliet, true, s.handleJuliet))
+	s.mux.HandleFunc("GET /v1/juliet", s.instrument(&s.metrics.reqJuliet, false, s.handleJulietList))
+	s.mux.HandleFunc("POST /v1/workload", s.instrument(&s.metrics.reqWorkload, true, s.handleWorkload))
+	s.mux.HandleFunc("GET /healthz", s.instrument(&s.metrics.reqHealthz, false, s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument(&s.metrics.reqMetrics, false, s.handleMetrics))
+	return s
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// ServeHTTP dispatches to the endpoint handlers.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// instrument wraps a handler with the request counter, in-flight gauge,
+// latency histogram, and — for simulation endpoints — the per-request
+// deadline.
+func (s *Server) instrument(counter interface{ Add(uint64) uint64 }, deadline bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		counter.Add(1)
+		s.metrics.inFlight.Add(1)
+		start := time.Now()
+		defer func() {
+			s.metrics.inFlight.Add(-1)
+			s.metrics.observeLatency(time.Since(start))
+		}()
+		if deadline {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(w, r)
+	}
+}
+
+// dispatch runs job on a worker slot under ctx. It returns the job's
+// (status, body) or an HTTP error status when the deadline expires
+// first: 503 while still queued (admission rejection), 504 once running.
+// A job that outlives its request keeps its slot until it finishes —
+// bounded by the fuel budget — so the semaphore always reflects real
+// load.
+func (s *Server) dispatch(ctx context.Context, job func() (int, []byte)) (status int, body []byte, ok bool) {
+	// Checked before the select so an already-expired deadline is always
+	// a rejection, even when a worker slot happens to be free.
+	if ctx.Err() != nil {
+		s.metrics.rejected.Add(1)
+		return http.StatusServiceUnavailable, nil, false
+	}
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.metrics.rejected.Add(1)
+		return http.StatusServiceUnavailable, nil, false
+	}
+	type result struct {
+		status int
+		body   []byte
+	}
+	ch := make(chan result, 1)
+	go func() {
+		defer func() { <-s.sem }()
+		st, b := job()
+		ch <- result{st, b}
+	}()
+	select {
+	case res := <-ch:
+		return res.status, res.body, true
+	case <-ctx.Done():
+		s.metrics.deadline.Add(1)
+		return http.StatusGatewayTimeout, nil, false
+	}
+}

@@ -1,0 +1,424 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"infat/internal/minic"
+	"infat/internal/rt"
+)
+
+const cleanProg = `int main() {
+	long i;
+	long acc = 0;
+	long *p = (long*)malloc(8 * sizeof(long));
+	for (i = 0; i < 8; i = i + 1) { p[i] = i * i; }
+	for (i = 0; i < 8; i = i + 1) { acc = acc + p[i]; }
+	free(p);
+	print(acc);
+	return 3;
+}`
+
+const overflowProg = `int main() {
+	char buf[8];
+	long i;
+	for (i = 0; i <= 8; i = i + 1) { buf[i] = 'A'; }
+	return 0;
+}`
+
+const loopProg = `int main() { while (1) { } return 0; }`
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *Client, func()) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s)
+	return s, NewClient(ts.URL), ts.Close
+}
+
+// TestRunMatchesLocal checks the acceptance contract: for every mode,
+// the service's verdict, output, exit code, and counters equal a local
+// run of the same (source, mode) under the same fuel.
+func TestRunMatchesLocal(t *testing.T) {
+	_, c, done := newTestServer(t, Config{})
+	defer done()
+	ctx := context.Background()
+	for _, mode := range []rt.Mode{rt.Baseline, rt.Subheap, rt.Wrapped, rt.Hybrid} {
+		resp, cached, err := c.Run(ctx, RunRequest{Source: cleanProg, Mode: mode.String()})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if cached {
+			t.Fatalf("%v: first submission reported as cache hit", mode)
+		}
+		out, exit, counters, err := minic.ExecuteBudget(cleanProg, mode, DefaultFuel)
+		if err != nil {
+			t.Fatalf("%v: local run: %v", mode, err)
+		}
+		if resp.Trap != nil || resp.Exit != exit || !reflect.DeepEqual(resp.Output, out) {
+			t.Fatalf("%v: server (out=%v exit=%d trap=%+v) != local (out=%v exit=%d)",
+				mode, resp.Output, resp.Exit, resp.Trap, out, exit)
+		}
+		if resp.Counters != counters {
+			t.Fatalf("%v: server counters %+v != local %+v", mode, resp.Counters, counters)
+		}
+	}
+}
+
+// TestRunResponseBytesStable checks byte-level determinism: a cache hit
+// replays exactly the cold bytes, and an independent server instance
+// produces the same bytes for the same request.
+func TestRunResponseBytesStable(t *testing.T) {
+	post := func(ts *httptest.Server) (string, []byte) {
+		resp, err := http.Post(ts.URL+"/v1/run", "application/json",
+			strings.NewReader(`{"source":`+encodeJSONString(cleanProg)+`,"mode":"subheap"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		return resp.Header.Get(CacheHeader), body
+	}
+	ts1 := httptest.NewServer(New(Config{}))
+	defer ts1.Close()
+	ts2 := httptest.NewServer(New(Config{}))
+	defer ts2.Close()
+
+	state1, cold := post(ts1)
+	state2, warm := post(ts1)
+	_, other := post(ts2)
+	if state1 != "miss" || state2 != "hit" {
+		t.Fatalf("cache states = %q, %q; want miss, hit", state1, state2)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("warm bytes differ from cold bytes:\n%s\n%s", cold, warm)
+	}
+	if !bytes.Equal(cold, other) {
+		t.Fatalf("bytes differ across server instances:\n%s\n%s", cold, other)
+	}
+}
+
+func encodeJSONString(s string) string { return string(mustJSON(s)) }
+
+// TestHandlerErrors is the table-driven bad-input sweep.
+func TestHandlerErrors(t *testing.T) {
+	s := New(Config{MaxSourceBytes: 256})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	big := `{"source":"` + strings.Repeat("x", 512) + `"}`
+	tests := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		want   int
+	}{
+		{"bad json", "POST", "/v1/run", `{"source":`, http.StatusBadRequest},
+		{"unknown field", "POST", "/v1/run", `{"source":"int main(){return 0;}","mod":"subheap"}`, http.StatusBadRequest},
+		{"trailing data", "POST", "/v1/run", `{"source":"x"} {"source":"y"}`, http.StatusBadRequest},
+		{"empty source", "POST", "/v1/run", `{"source":""}`, http.StatusBadRequest},
+		{"null body", "POST", "/v1/run", `null`, http.StatusBadRequest},
+		{"oversized source", "POST", "/v1/run", big, http.StatusRequestEntityTooLarge},
+		{"unknown mode", "POST", "/v1/run", `{"source":"x","mode":"fat"}`, http.StatusBadRequest},
+		{"compile error", "POST", "/v1/run", `{"source":"int main() { return }"}`, http.StatusUnprocessableEntity},
+		{"wrong method run", "GET", "/v1/run", "", http.StatusMethodNotAllowed},
+		{"unknown juliet case", "POST", "/v1/juliet", `{"case":"CWE999_nope"}`, http.StatusNotFound},
+		{"juliet bad mode", "POST", "/v1/juliet", `{"case":"x","mode":"fat"}`, http.StatusBadRequest},
+		{"unknown workload", "POST", "/v1/workload", `{"name":"nope"}`, http.StatusNotFound},
+		{"scale out of range", "POST", "/v1/workload", `{"name":"treeadd","scale":99}`, http.StatusBadRequest},
+		{"negative scale", "POST", "/v1/workload", `{"name":"treeadd","scale":-1}`, http.StatusBadRequest},
+		{"unknown path", "GET", "/v1/nope", "", http.StatusNotFound},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.want)
+			}
+		})
+	}
+}
+
+// TestDeadlineExceeded: with an expired per-request deadline the request
+// is turned away by admission control — never simulated — and the
+// outcome is not cached.
+func TestDeadlineExceeded(t *testing.T) {
+	s, c, done := newTestServer(t, Config{RequestTimeout: time.Nanosecond})
+	defer done()
+	_, _, err := c.Run(context.Background(), RunRequest{Source: cleanProg})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want 503 APIError", err)
+	}
+	if _, _, _, entries := s.cache.stats(); entries != 0 {
+		t.Fatalf("failed request left %d cache entries", entries)
+	}
+	if got := s.metrics.rejected.Load(); got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+}
+
+// TestConcurrentDedup checks that concurrent identical submissions
+// coalesce through the cache: one simulation, everyone else a hit, all
+// responses byte-identical.
+func TestConcurrentDedup(t *testing.T) {
+	s, _, done := newTestServer(t, Config{})
+	defer done()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	const n = 8
+	body := `{"source":` + encodeJSONString(cleanProg) + `,"mode":"wrapped"}`
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			b, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d: %s", resp.StatusCode, b)
+				return
+			}
+			bodies[i] = b
+		}(i)
+	}
+	wg.Wait()
+	hits, misses, _, _ := s.cache.stats()
+	if misses != 1 || hits != n-1 {
+		t.Fatalf("cache hits/misses = %d/%d, want %d/1", hits, misses, n-1)
+	}
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("response %d differs:\n%s\n%s", i, bodies[0], bodies[i])
+		}
+	}
+}
+
+// TestFuelTrap: a guest infinite loop comes back as a typed fuel trap,
+// not a hang, and the counters show the budget was honoured.
+func TestFuelTrap(t *testing.T) {
+	_, c, done := newTestServer(t, Config{})
+	defer done()
+	const fuel = 200_000
+	start := time.Now()
+	resp, _, err := c.Run(context.Background(), RunRequest{Source: loopProg, Fuel: fuel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trap == nil || resp.Trap.Class != trapClassFuel || resp.Trap.Kind != "fuel" {
+		t.Fatalf("trap = %+v, want fuel", resp.Trap)
+	}
+	if resp.Counters.Cycles < fuel {
+		t.Fatalf("trapped at %d cycles, before the %d budget", resp.Counters.Cycles, fuel)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("fuel trap took %v", elapsed)
+	}
+}
+
+// TestSpatialTrap: the canonical overflow is classified spatial in both
+// instrumented modes and missed by baseline.
+func TestSpatialTrap(t *testing.T) {
+	_, c, done := newTestServer(t, Config{})
+	defer done()
+	ctx := context.Background()
+	for _, mode := range []string{"subheap", "wrapped"} {
+		resp, _, err := c.Run(ctx, RunRequest{Source: overflowProg, Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Trap == nil || resp.Trap.Class != trapClassSpatial {
+			t.Fatalf("%s: trap = %+v, want spatial", mode, resp.Trap)
+		}
+	}
+	resp, _, err := c.Run(ctx, RunRequest{Source: overflowProg, Mode: "baseline"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trap != nil {
+		t.Fatalf("baseline flagged the overflow: %+v", resp.Trap)
+	}
+}
+
+// TestJulietAndWorkloadEndpoints drives the remaining simulation
+// endpoints through the client.
+func TestJulietAndWorkloadEndpoints(t *testing.T) {
+	_, c, done := newTestServer(t, Config{})
+	defer done()
+	ctx := context.Background()
+
+	names, err := c.JulietCases(ctx)
+	if err != nil || len(names) == 0 {
+		t.Fatalf("JulietCases: %v (%d names)", err, len(names))
+	}
+	jr, err := c.Juliet(ctx, JulietRequest{Case: "CWE122_heap_ptr_arith_bad", Mode: "subheap"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jr.Verdict != "pass" || !jr.Bad || jr.CWE != "CWE122" {
+		t.Fatalf("juliet response %+v", jr)
+	}
+
+	wr, err := c.Workload(ctx, WorkloadRequest{Name: "treeadd", Mode: "subheap"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := c.Workload(ctx, WorkloadRequest{Name: "treeadd", Mode: "baseline"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr.Checksum != wb.Checksum {
+		t.Fatalf("instrumented checksum %#x != baseline %#x", wr.Checksum, wb.Checksum)
+	}
+	if wr.Counters.Promote == 0 || wb.Counters.Promote != 0 {
+		t.Fatalf("promote counters: subheap %d (want > 0), baseline %d (want 0)",
+			wr.Counters.Promote, wb.Counters.Promote)
+	}
+}
+
+// TestMixedConcurrentRequests is the acceptance scenario: a concurrent
+// mixed request stream where every run response must match the local
+// verdict for its (source, mode).
+func TestMixedConcurrentRequests(t *testing.T) {
+	_, c, done := newTestServer(t, Config{})
+	defer done()
+	ctx := context.Background()
+
+	type runCase struct {
+		src, mode string
+		wantTrap  string // "" for clean
+	}
+	cases := []runCase{
+		{cleanProg, "subheap", ""},
+		{cleanProg, "wrapped", ""},
+		{overflowProg, "subheap", trapClassSpatial},
+		{overflowProg, "wrapped", trapClassSpatial},
+		{overflowProg, "baseline", ""},
+	}
+	// Precompute the local expectations.
+	type local struct {
+		out  []int64
+		exit int64
+	}
+	want := make([]local, len(cases))
+	for i, tc := range cases {
+		mode, err := rt.ParseMode(tc.mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, exit, _, _ := minic.ExecuteBudget(tc.src, mode, DefaultFuel)
+		if out == nil {
+			out = []int64{}
+		}
+		want[i] = local{out, exit}
+	}
+
+	var wg sync.WaitGroup
+	for round := 0; round < 4; round++ {
+		for i, tc := range cases {
+			wg.Add(1)
+			go func(i int, tc runCase) {
+				defer wg.Done()
+				resp, _, err := c.Run(ctx, RunRequest{Source: tc.src, Mode: tc.mode})
+				if err != nil {
+					t.Errorf("%s/%s: %v", tc.mode, tc.wantTrap, err)
+					return
+				}
+				gotTrap := ""
+				if resp.Trap != nil {
+					gotTrap = resp.Trap.Class
+				}
+				if gotTrap != tc.wantTrap {
+					t.Errorf("%s: trap class %q, want %q", tc.mode, gotTrap, tc.wantTrap)
+				}
+				if !reflect.DeepEqual(resp.Output, want[i].out) || resp.Exit != want[i].exit {
+					t.Errorf("%s: out=%v exit=%d, want out=%v exit=%d",
+						tc.mode, resp.Output, resp.Exit, want[i].out, want[i].exit)
+				}
+			}(i, tc)
+		}
+		// Interleave the other endpoints.
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Juliet(ctx, JulietRequest{Case: "CWE121_stack_direct_bad"}); err != nil {
+				t.Error(err)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if err := c.Healthz(ctx); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestMetricsSnapshot checks /metrics moves with traffic and the
+// in-flight gauge settles back to zero.
+func TestMetricsSnapshot(t *testing.T) {
+	_, c, done := newTestServer(t, Config{})
+	defer done()
+	ctx := context.Background()
+
+	if _, _, err := c.Run(ctx, RunRequest{Source: cleanProg}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Run(ctx, RunRequest{Source: cleanProg}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Run(ctx, RunRequest{Source: loopProg, Fuel: 100_000}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests["run"] != 3 || m.Requests["total"] < 3 {
+		t.Fatalf("request counters %v", m.Requests)
+	}
+	if m.Cache["hits"] != 1 || m.Cache["misses"] != 2 || m.Cache["entries"] != 2 {
+		t.Fatalf("cache counters %v", m.Cache)
+	}
+	if m.Traps["none"] != 1 || m.Traps["fuel"] != 1 {
+		t.Fatalf("trap counters %v", m.Traps)
+	}
+	if m.InFlight != 1 { // the in-flight /metrics request itself
+		t.Fatalf("in_flight = %d, want 1 (the metrics request)", m.InFlight)
+	}
+	var total uint64
+	for _, v := range m.Latency {
+		total += v
+	}
+	if total != 3 { // latency is observed after the response is written
+		t.Fatalf("latency histogram total = %d, want 3 completed requests", total)
+	}
+}
