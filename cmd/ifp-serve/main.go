@@ -8,10 +8,12 @@
 // Usage:
 //
 //	ifp-serve [-addr :8080] [-workers N] [-cache N] [-fuel CYCLES]
-//	          [-timeout D] [-max-source BYTES] [-selftest]
+//	          [-max-fuel CYCLES] [-timeout D] [-max-source BYTES]
+//	          [-selftest]
 //
 // Every run executes under a cycle fuel budget, so a submitted infinite
-// loop traps (class "fuel") instead of pinning a worker. SIGINT/SIGTERM
+// loop traps (class "fuel") instead of pinning a worker; request-chosen
+// budgets are clamped to -max-fuel. SIGINT/SIGTERM
 // trigger a graceful shutdown: the listener closes, in-flight requests
 // drain (bounded by -timeout and the fuel budget), then the process
 // exits. -selftest starts the server on a loopback port, drives every
@@ -39,6 +41,7 @@ func main() {
 	workers := flag.Int("workers", 0, "max concurrent simulations (0 = number of CPUs)")
 	cacheN := flag.Int("cache", server.DefaultCacheEntries, "run-result LRU capacity (entries)")
 	fuel := flag.Uint64("fuel", server.DefaultFuel, "default per-run cycle budget")
+	maxFuel := flag.Uint64("max-fuel", server.DefaultMaxFuel, "cap on request-chosen cycle budgets")
 	timeout := flag.Duration("timeout", server.DefaultRequestTimeout, "per-request deadline")
 	maxSource := flag.Int("max-source", server.DefaultMaxSourceBytes, "max submitted source size (bytes)")
 	selftest := flag.Bool("selftest", false, "start on a loopback port, exercise every endpoint, exit")
@@ -49,6 +52,7 @@ func main() {
 		RequestTimeout: *timeout,
 		CacheEntries:   *cacheN,
 		Fuel:           *fuel,
+		MaxFuel:        *maxFuel,
 		MaxSourceBytes: *maxSource,
 	}
 	if *selftest {

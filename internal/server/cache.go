@@ -12,11 +12,16 @@ import (
 // becomes the leader and simulates; everyone else joining the same key
 // blocks on ready and is served the published bytes as a cache hit.
 type cacheEntry struct {
-	key    string
-	ready  chan struct{} // closed by finish
-	done   bool          // guarded by resultCache.mu; true once finished
-	status int
-	body   []byte
+	key     string
+	ready   chan struct{} // closed by finish
+	done    bool          // guarded by resultCache.mu; true once finished
+	waiters uint64        // guarded by resultCache.mu; pending joins so far
+	status  int
+	body    []byte
+	// keep records the leader's verdict: true for a deterministic outcome
+	// that stayed cached. Written by finish before ready closes, so
+	// followers may read it after <-ready without the lock.
+	keep bool
 }
 
 // resultCache is the size-bounded LRU of run responses, keyed by
@@ -37,16 +42,24 @@ func newResultCache(max int) *resultCache {
 }
 
 // startOrJoin returns the entry for key and whether the caller is its
-// leader (responsible for simulating and calling finish). Joining an
-// existing entry — pending or complete — counts as a hit; creating one
-// counts as a miss.
+// leader (responsible for simulating and calling finish). Joining a
+// completed entry counts as a hit immediately; joining a pending one is
+// counted only at publication, and only if the leader's outcome was kept
+// — followers coalesced onto a failed leader are served its error body
+// but are neither hits nor misses, so error coalescing cannot inflate
+// the hit rate. Creating an entry counts as a miss.
 func (c *resultCache) startOrJoin(key string) (e *cacheEntry, leader bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
+		e = el.Value.(*cacheEntry)
 		c.order.MoveToFront(el)
-		c.hits.Add(1)
-		return el.Value.(*cacheEntry), false
+		if e.done {
+			c.hits.Add(1)
+		} else {
+			e.waiters++
+		}
+		return e, false
 	}
 	c.misses.Add(1)
 	e = &cacheEntry{key: key, ready: make(chan struct{})}
@@ -80,11 +93,25 @@ func (c *resultCache) evictLocked() {
 // finish publishes the leader's response on e, waking all followers.
 // keep=false additionally drops the entry from the cache (used for
 // non-deterministic outcomes that must not be replayed to later
-// requests).
+// requests). finish is idempotent: calls after the first are no-ops, so
+// a handler can install a deferred abandonment finish as a safety net —
+// a leader that exits without publishing (e.g. a panic recovered by
+// net/http) still wakes its followers and frees the key instead of
+// poisoning it until restart.
 func (c *resultCache) finish(e *cacheEntry, status int, body []byte, keep bool) {
 	c.mu.Lock()
+	if e.done {
+		c.mu.Unlock()
+		return
+	}
 	e.status, e.body = status, body
+	e.keep = keep
 	e.done = true
+	// Followers that coalesced onto this pending entry become hits only
+	// now that a replayable result exists.
+	if keep {
+		c.hits.Add(e.waiters)
+	}
 	if el, ok := c.items[e.key]; ok && el.Value.(*cacheEntry) == e && !keep {
 		c.order.Remove(el)
 		delete(c.items, e.key)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 // fill inserts a completed entry.
@@ -120,6 +121,99 @@ func TestCacheCoalescing(t *testing.T) {
 	hits, misses, _, _ := c.stats()
 	if misses != 1 || hits != n {
 		t.Fatalf("hits=%d misses=%d, want %d, 1", hits, misses, n)
+	}
+}
+
+// waitWaiters blocks until n followers have joined e's pending entry.
+func waitWaiters(c *resultCache, e *cacheEntry, n uint64) {
+	for {
+		c.mu.Lock()
+		joined := e.waiters
+		c.mu.Unlock()
+		if joined >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCacheErrorCoalescingNotCountedAsHit: followers that coalesce onto
+// a leader whose outcome is dropped (keep=false) are served the error
+// bytes but must not inflate the hit counter — and the entry must not
+// survive to be "hit" later.
+func TestCacheErrorCoalescingNotCountedAsHit(t *testing.T) {
+	c := newResultCache(4)
+	e, leader := c.startOrJoin("k")
+	if !leader {
+		t.Fatal("first caller must lead")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f, lead := c.startOrJoin("k")
+			if lead {
+				t.Error("follower became leader")
+				return
+			}
+			<-f.ready
+			if f.keep || f.status != 503 {
+				t.Errorf("follower saw keep=%v status=%d, want dropped 503", f.keep, f.status)
+			}
+		}()
+	}
+	// All three must have joined the pending entry before it is dropped;
+	// a late joiner would lead a fresh entry instead of coalescing.
+	waitWaiters(c, e, 3)
+	c.finish(e, 503, []byte("busy"), false)
+	wg.Wait()
+	hits, misses, _, entries := c.stats()
+	if hits != 0 || misses != 1 || entries != 0 {
+		t.Fatalf("hits=%d misses=%d entries=%d, want 0, 1, 0", hits, misses, entries)
+	}
+}
+
+// TestCacheFinishIdempotent: the first finish wins; a later (e.g.
+// deferred abandonment) finish neither republishes nor drops a kept
+// entry.
+func TestCacheFinishIdempotent(t *testing.T) {
+	c := newResultCache(4)
+	e, _ := c.startOrJoin("k")
+	c.finish(e, 200, []byte("real"), true)
+	c.finish(e, 500, []byte("abandoned"), false) // must be a no-op
+	if e.status != 200 || string(e.body) != "real" || !e.keep {
+		t.Fatalf("second finish overwrote the entry: status=%d body=%q keep=%v",
+			e.status, e.body, e.keep)
+	}
+	if f, leader := c.startOrJoin("k"); leader || f.status != 200 {
+		t.Fatalf("kept entry dropped by the no-op finish (leader=%v status=%d)", leader, f.status)
+	}
+}
+
+// TestCacheAbandonedLeaderFreesKey: a leader that never reaches its
+// normal finish (the deferred abandonment path in handleRun) wakes
+// followers with the abandonment status and leaves the key free for
+// re-simulation — not poisoned until restart.
+func TestCacheAbandonedLeaderFreesKey(t *testing.T) {
+	c := newResultCache(4)
+	e, _ := c.startOrJoin("k")
+	woke := make(chan int, 1)
+	go func() {
+		f, _ := c.startOrJoin("k")
+		<-f.ready
+		woke <- f.status
+	}()
+	waitWaiters(c, e, 1)
+	c.finish(e, 500, []byte("abandoned"), false) // what the deferred net does
+	if st := <-woke; st != 500 {
+		t.Fatalf("follower woke with status %d, want 500", st)
+	}
+	if _, leader := c.startOrJoin("k"); !leader {
+		t.Fatal("key still occupied after abandonment; next submission cannot re-simulate")
+	}
+	if hits, _, _, _ := c.stats(); hits != 0 {
+		t.Fatalf("abandonment counted %d hits", hits)
 	}
 }
 

@@ -36,7 +36,9 @@ type RunRequest struct {
 	// wrapped, or hybrid.
 	Mode string `json:"mode,omitempty"`
 	// Fuel overrides the server's per-run cycle budget. 0 keeps the
-	// server default; requests cannot disable the budget.
+	// server default; non-zero values are clamped to the server's MaxFuel
+	// cap, so requests can neither disable nor inflate the budget. The
+	// response's Fuel field reports the effective budget.
 	Fuel uint64 `json:"fuel,omitempty"`
 }
 
@@ -198,24 +200,39 @@ func classifyTrap(err error) (class, kind string) {
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	body := http.MaxBytesReader(w, r.Body, int64(s.cfg.MaxSourceBytes)+64<<10)
+	// The body cap is sized for the worst-case JSON escaping of a
+	// maximum-size source (every byte a \u00XX sequence), so no source
+	// decodeRunRequest would accept is rejected for its encoding alone.
+	body := http.MaxBytesReader(w, r.Body, 6*int64(s.cfg.MaxSourceBytes)+64<<10)
 	job, err := decodeRunRequest(body, s.cfg.MaxSourceBytes)
 	if err != nil {
 		s.metrics.badRequests.Add(1)
 		writeError(w, decodeStatus(err), err)
 		return
 	}
+	// Default and clamp the budget before the cache key is computed, so
+	// every over-limit request shares the MaxFuel entry. The clamp is the
+	// DoS guarantee: client fuel can never exceed the server's cap, so a
+	// worker slot is always released in bounded time.
 	if job.fuel == 0 {
 		job.fuel = s.cfg.Fuel
+	} else if job.fuel > s.cfg.MaxFuel {
+		job.fuel = s.cfg.MaxFuel
 	}
 
 	e, leader := s.cache.startOrJoin(runKey(job))
 	if !leader {
 		// Coalesced: wait for the leader's published bytes (or give up
-		// at our own deadline — never re-simulate).
+		// at our own deadline — never re-simulate). Only a kept (cached,
+		// deterministic) result is reported as a hit; a coalesced error
+		// is passed through as a miss.
 		select {
 		case <-e.ready:
-			writeRaw(w, e.status, e.body, "hit")
+			state := "miss"
+			if e.keep {
+				state = "hit"
+			}
+			writeRaw(w, e.status, e.body, state)
 		case <-r.Context().Done():
 			s.metrics.deadline.Add(1)
 			writeError(w, http.StatusGatewayTimeout,
@@ -223,6 +240,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	// Safety net: if this leader exits without publishing (a panic
+	// recovered by net/http), wake the followers with an error and free
+	// the key. A no-op on the normal paths below — finish is idempotent.
+	defer s.cache.finish(e, http.StatusInternalServerError,
+		errorBody("internal error: request abandoned"), false)
 
 	status, respBody, ok := s.dispatch(r.Context(), func() (int, []byte) {
 		return s.executeRun(job)

@@ -12,7 +12,9 @@
 //     bounded by the request deadline.
 //   - Execution budget: every run carries a cycle fuel limit
 //     (machine.FuelLimit); a guest infinite loop trips a typed resource
-//     trap instead of pinning a worker.
+//     trap instead of pinning a worker. Request-supplied fuel is clamped
+//     to the server's MaxFuel cap, so a client cannot restore the
+//     unbounded behaviour the budget exists to prevent.
 //   - Request deadlines: each request gets a context deadline; if it
 //     expires the client receives 503/504 while the worker, bounded by
 //     fuel, finishes and frees its slot in the background.
@@ -41,7 +43,11 @@ const (
 	// its own: generous for every real program the repo runs (the whole
 	// Juliet suite stays far below it per case) while bounding an
 	// infinite loop to a few seconds of wall clock.
-	DefaultFuel           = 200_000_000
+	DefaultFuel = 200_000_000
+	// DefaultMaxFuel caps the budget a request may ask for: ten defaults,
+	// enough headroom for any legitimately long run while keeping the
+	// worst-case worker hold time bounded to tens of seconds.
+	DefaultMaxFuel        = 10 * DefaultFuel
 	DefaultMaxSourceBytes = 1 << 20
 	DefaultMaxScale       = 4
 )
@@ -62,6 +68,11 @@ type Config struct {
 	// own (0 = DefaultFuel). The budget is what guarantees a guest
 	// infinite loop cannot hold a worker.
 	Fuel uint64
+	// MaxFuel caps the budget a request may set (0 = DefaultMaxFuel,
+	// raised to Fuel if smaller). Request fuel above the cap is clamped,
+	// never honoured — without the cap a client could name an effectively
+	// unbounded budget and pin workers indefinitely.
+	MaxFuel uint64
 	// MaxSourceBytes bounds submitted program size (0 =
 	// DefaultMaxSourceBytes).
 	MaxSourceBytes int
@@ -80,6 +91,13 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Fuel == 0 {
 		c.Fuel = DefaultFuel
+	}
+	if c.MaxFuel == 0 {
+		c.MaxFuel = DefaultMaxFuel
+	}
+	// The operator's default budget is always admissible.
+	if c.MaxFuel < c.Fuel {
+		c.MaxFuel = c.Fuel
 	}
 	if c.MaxSourceBytes <= 0 {
 		c.MaxSourceBytes = DefaultMaxSourceBytes

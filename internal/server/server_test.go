@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -240,6 +241,69 @@ func TestFuelTrap(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 30*time.Second {
 		t.Fatalf("fuel trap took %v", elapsed)
+	}
+}
+
+// TestFuelClampedToMaxFuel is the DoS guarantee the fuel budget exists
+// for: a request naming an effectively unbounded budget (2^64-1 — far
+// past the 2^62 threshold where the VM would lift its step limit
+// entirely) is clamped to the server's MaxFuel cap, so the infinite
+// loop still fuel-traps instead of pinning the worker forever.
+func TestFuelClampedToMaxFuel(t *testing.T) {
+	const maxFuel = 300_000
+	_, c, done := newTestServer(t, Config{Fuel: 100_000, MaxFuel: maxFuel})
+	defer done()
+	resp, _, err := c.Run(context.Background(), RunRequest{Source: loopProg, Fuel: math.MaxUint64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trap == nil || resp.Trap.Class != trapClassFuel {
+		t.Fatalf("trap = %+v, want fuel", resp.Trap)
+	}
+	if resp.Fuel != maxFuel {
+		t.Fatalf("effective fuel = %d, want clamped to %d", resp.Fuel, maxFuel)
+	}
+	// An in-range override is still honoured as-is.
+	resp, _, err = c.Run(context.Background(), RunRequest{Source: loopProg, Fuel: 200_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Fuel != 200_000 {
+		t.Fatalf("effective fuel = %d, want the requested 200000", resp.Fuel)
+	}
+}
+
+// TestMaxFuelNeverBelowFuel: the defaulting rule keeps the operator's
+// own default budget admissible even when -max-fuel is set lower.
+func TestMaxFuelNeverBelowFuel(t *testing.T) {
+	cfg := New(Config{Fuel: 5_000_000, MaxFuel: 1_000}).Config()
+	if cfg.MaxFuel != 5_000_000 {
+		t.Fatalf("MaxFuel = %d, want raised to Fuel (5000000)", cfg.MaxFuel)
+	}
+	if def := New(Config{}).Config().MaxFuel; def != DefaultMaxFuel {
+		t.Fatalf("MaxFuel default = %d, want %d", def, DefaultMaxFuel)
+	}
+}
+
+// TestEscapedSourceWithinBodyCap: a legal source just under
+// MaxSourceBytes made of newlines doubles in size when JSON-escaped;
+// the body cap must still admit it (the request fails in the compiler,
+// not with 413).
+func TestEscapedSourceWithinBodyCap(t *testing.T) {
+	const maxSource = 1 << 20
+	_, c, done := newTestServer(t, Config{MaxSourceBytes: maxSource})
+	defer done()
+	_, _, err := c.Run(context.Background(),
+		RunRequest{Source: strings.Repeat("\n", maxSource-1)})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want an APIError", err)
+	}
+	if apiErr.Status == http.StatusRequestEntityTooLarge {
+		t.Fatal("escaped in-limit source rejected 413 by the body cap")
+	}
+	if apiErr.Status != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422 (compile failure)", apiErr.Status)
 	}
 }
 
