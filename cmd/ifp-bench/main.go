@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ifp-bench [-scale N] [-parallel N] [-table4] [-fig10] [-fig11] [-fig12] [-bench name]
+//	ifp-bench [-scale N] [-parallel N] [-table4] [-fig10] [-fig11] [-fig12] [-bench name] [-chaos]
 //
 // With no selection flags, everything is printed. The (workload ×
 // configuration) grid fans out over -parallel worker goroutines (default:
@@ -21,6 +21,7 @@ import (
 	"runtime"
 
 	"infat/internal/baseline"
+	"infat/internal/chaos"
 	"infat/internal/exp"
 	"infat/internal/workloads"
 )
@@ -35,6 +36,7 @@ func main() {
 	fig12 := flag.Bool("fig12", false, "print Figure 12 only")
 	bench := flag.String("bench", "", "run a single named workload")
 	ablations := flag.Bool("ablations", false, "print the design-choice ablations and tag-layout trade-off")
+	chaosFlag := flag.Bool("chaos", false, "run the fault-injection campaign (DESIGN.md §10); exit 1 on any internal outcome")
 	hybrid := flag.Bool("hybrid", false, "print the hybrid (dynamic allocator selection) comparison")
 	asic := flag.Bool("asic", false, "print the §5.2.4 ASIC extrapolation sweep")
 	related := flag.Bool("related", false, "print the related-work comparison")
@@ -55,6 +57,15 @@ func main() {
 		selected = []workloads.Workload{w}
 	}
 
+	if *chaosFlag {
+		outcomes := exp.ChaosCampaignN(*scale, *parallel)
+		fmt.Println(chaos.Report(outcomes))
+		if internal := chaos.Summarize(outcomes).Internal; internal > 0 {
+			fmt.Fprintf(os.Stderr, "ifp-bench: %d internal outcomes (simulator bugs)\n", internal)
+			os.Exit(1)
+		}
+		return
+	}
 	if *ablations {
 		out, err := exp.AblationsN(*scale, *parallel)
 		if err != nil {

@@ -1,0 +1,38 @@
+package infat
+
+import (
+	"testing"
+)
+
+// FuzzRunC feeds arbitrary byte strings to the MiniC pipeline under a
+// small execution budget. The contract is the fault model's first rule
+// (DESIGN.md §10): no guest input may panic the simulator — every
+// outcome is a clean run, a parse/compile error, or a typed trap.
+// RunCBudget recovers escaped panics into an internal trap, so the
+// assertion is simply that IsInternalTrap never fires.
+func FuzzRunC(f *testing.F) {
+	seeds := []string{
+		``,
+		`int main() { return 0; }`,
+		`int main() { print(1 + 2 * 3); return 0; }`,
+		`int main() { int b[4]; b[4] = 1; return 0; }`,
+		`int main() { while (1) { } return 0; }`,
+		`struct S { int a; int b; }; int main() { struct S s; s.a = 1; return s.a; }`,
+		`int f(int n) { if (n < 2) { return n; } return f(n-1) + f(n-2); } int main() { return f(10); }`,
+		`int main() { int *p; *p = 1; return 0; }`,
+		`int main() { int b[4; return 0; }`,
+		"int main() { return 0; } \x00\xff",
+		`int main() { char *p = malloc(8); p[7] = 1; free(p); return 0; }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		for _, mode := range []Mode{Subheap, Wrapped} {
+			_, _, err := RunCBudget(src, mode, 2_000_000)
+			if IsInternalTrap(err) {
+				t.Fatalf("mode %v: guest input reached a simulator panic: %v", mode, err)
+			}
+		}
+	})
+}

@@ -106,10 +106,19 @@ func IsSpatialTrap(err error) bool {
 }
 
 // IsResourceTrap reports whether err is exhaustion of an execution
-// budget (RunCBudget's fuel limit) — a resource trap, distinct from the
-// spatial detections IsSpatialTrap classifies.
+// budget (RunCBudget's fuel limit) or an allocator failure (arena/buddy
+// exhaustion, global-table full, injected fault) — a resource trap,
+// distinct from the spatial detections IsSpatialTrap classifies.
 func IsResourceTrap(err error) bool {
-	return machine.IsTrap(err, machine.TrapFuel)
+	return machine.IsTrap(err, machine.TrapFuel) || machine.IsTrap(err, machine.TrapAlloc)
+}
+
+// IsInternalTrap reports whether err is a recovered simulator panic — a
+// bug in the simulator itself, never a guest-program condition. RunC and
+// RunCBudget convert escaped panics into this trap kind so no guest
+// program can crash the host process.
+func IsInternalTrap(err error) bool {
+	return machine.IsTrap(err, machine.TrapInternal)
 }
 
 // RunC compiles and executes a MiniC source program in the given mode,
@@ -117,6 +126,7 @@ func IsResourceTrap(err error) bool {
 // errors surface as *minic.RunError wrapping a machine trap (test with
 // IsSpatialTrap via errors.As / Unwrap).
 func RunC(src string, mode Mode) (out []int64, exit int64, err error) {
+	defer machine.RecoverInternal(&err)
 	return minic.Execute(src, mode)
 }
 
@@ -126,6 +136,7 @@ func RunC(src string, mode Mode) (out []int64, exit int64, err error) {
 // programs terminate deterministically. Fuel 0 means unlimited. This is
 // the primitive ifp-serve builds its per-request hardening on.
 func RunCBudget(src string, mode Mode, fuel uint64) (out []int64, exit int64, err error) {
+	defer machine.RecoverInternal(&err)
 	out, exit, _, err = minic.ExecuteBudget(src, mode, fuel)
 	return out, exit, err
 }
@@ -153,6 +164,26 @@ func ExperimentsParallel(scale, parallel int) (string, error) {
 		return "", err
 	}
 	return exp.Report(results, mem), nil
+}
+
+// ChaosCampaign runs the fault-injection campaign (DESIGN.md §10) at the
+// given scale: every (metadata scheme × fault kind) cell is run with
+// 8*scale seeds, and each injected fault is classified as detected (typed
+// trap), tolerated (documented-by-design escape), or internal (recovered
+// panic or untyped error — a simulator bug). It returns the rendered
+// report and the internal-outcome count, which a healthy simulator keeps
+// at zero. The grid fans out over GOMAXPROCS worker goroutines; use
+// ChaosCampaignParallel to control the worker count.
+func ChaosCampaign(scale int) (report string, internal int) {
+	return ChaosCampaignParallel(scale, 0)
+}
+
+// ChaosCampaignParallel is ChaosCampaign with an explicit worker count:
+// parallel <= 0 selects GOMAXPROCS, 1 runs fully serially. Every cell
+// builds its own isolated runtime and results collect in deterministic
+// order, so the report is byte-identical at any worker count.
+func ChaosCampaignParallel(scale, parallel int) (report string, internal int) {
+	return exp.ChaosReport(scale, parallel)
 }
 
 // JulietSuite runs the §5.1 functional evaluation in the given mode and

@@ -3,6 +3,8 @@ package infat
 import (
 	"strings"
 	"testing"
+
+	"infat/internal/machine"
 )
 
 func TestSystemEndToEnd(t *testing.T) {
@@ -123,5 +125,31 @@ int main() {
 	}
 	if IsResourceTrap(err) {
 		t.Fatal("spatial trap misclassified as resource trap")
+	}
+}
+
+func TestIsInternalTrap(t *testing.T) {
+	// Internal traps come from recovered simulator panics, never from
+	// guest behavior — a spatial detection must not classify as one.
+	_, _, err := RunC(`int main() { int b[2]; b[5] = 1; return 0; }`, Subheap)
+	if IsInternalTrap(err) {
+		t.Fatalf("spatial trap misclassified as internal: %v", err)
+	}
+	if !IsInternalTrap(&machine.Trap{Kind: machine.TrapInternal, Msg: "recovered panic: x"}) {
+		t.Fatal("IsInternalTrap missed a TrapInternal")
+	}
+}
+
+func TestChaosCampaignDeterministicAcrossWorkers(t *testing.T) {
+	serial, internal := ChaosCampaignParallel(1, 1)
+	if internal != 0 {
+		t.Fatalf("campaign reported %d internal outcomes:\n%s", internal, serial)
+	}
+	parallel, _ := ChaosCampaignParallel(1, 0)
+	if serial != parallel {
+		t.Fatal("chaos report differs between serial and parallel runs")
+	}
+	if !strings.Contains(serial, "Per-scheme detection rate") {
+		t.Error("report missing per-scheme summary")
 	}
 }

@@ -1,0 +1,162 @@
+package chaos
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// grid runs the full campaign grid at the given seeds-per-cell count.
+func grid(seeds uint64) []Outcome {
+	var out []Outcome
+	for _, s := range Schemes {
+		for _, f := range Faults {
+			for seed := uint64(0); seed < seeds; seed++ {
+				out = append(out, Run(s, f, seed))
+			}
+		}
+	}
+	return out
+}
+
+func TestRunDeterministic(t *testing.T) {
+	for _, s := range Schemes {
+		for _, f := range Faults {
+			a := Run(s, f, 7)
+			b := Run(s, f, 7)
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("%v/%v: outcomes differ:\n  %+v\n  %+v", s, f, a, b)
+			}
+		}
+	}
+}
+
+func TestGridHasNoInternalOutcomes(t *testing.T) {
+	for _, o := range grid(4) {
+		if o.Bucket == Internal {
+			t.Errorf("%v/%v seed %d: internal outcome: %s", o.Scheme, o.Fault, o.Seed, o.Detail)
+		}
+	}
+}
+
+// TestBucketExpectations pins the detection guarantees the campaign
+// proves: allocator faults are always typed traps, MAC-protected schemes
+// always catch a key swap, and the documented escapes land in Tolerated
+// with a reason (never silently).
+func TestBucketExpectations(t *testing.T) {
+	for _, o := range grid(8) {
+		switch {
+		case o.Fault == Exhaust || o.Fault == OOMAt:
+			if o.Bucket != Detected {
+				t.Errorf("%v/%v seed %d: allocator fault not detected: %s",
+					o.Scheme, o.Fault, o.Seed, o.Detail)
+			}
+		case o.Fault == SwapKey && o.Scheme != SchemeGlobal:
+			if o.Bucket != Detected {
+				t.Errorf("%v/swap-mac-key seed %d: key swap escaped a MAC-protected scheme: %s",
+					o.Scheme, o.Seed, o.Detail)
+			}
+		case o.Fault == SwapKey && o.Scheme == SchemeGlobal:
+			// The global table carries no MAC by design (§3.3.3).
+			if o.Bucket != Tolerated {
+				t.Errorf("global-table/swap-mac-key seed %d: bucket %v, want tolerated: %s",
+					o.Seed, o.Bucket, o.Detail)
+			}
+		case o.Fault == CorruptLayout && o.Scheme == SchemeGlobal:
+			// Global-table pointers cannot narrow, so the layout table is
+			// never consulted.
+			if o.Bucket != Tolerated {
+				t.Errorf("global-table/corrupt-layout seed %d: bucket %v, want tolerated: %s",
+					o.Seed, o.Bucket, o.Detail)
+			}
+		}
+		if o.Bucket == Tolerated && o.Detail == "" {
+			t.Errorf("%v/%v seed %d: tolerated without a reason", o.Scheme, o.Fault, o.Seed)
+		}
+	}
+}
+
+// TestFlipMetaDetectedOrCoarsened: a flipped subobject index must either
+// trap or land on the §3.4 coarsening guarantee — never silently narrow
+// to the wrong subobject's bounds while the sweep still passes.
+func TestFlipMetaDetectedOrCoarsened(t *testing.T) {
+	for _, s := range Schemes {
+		for seed := uint64(0); seed < 16; seed++ {
+			o := Run(s, FlipMeta, seed)
+			if o.Bucket == Detected {
+				continue
+			}
+			if o.Bucket != Tolerated || !strings.Contains(o.Detail, "§3.4") && !strings.Contains(o.Detail, "retrieved bounds") {
+				t.Errorf("%v/flip-meta seed %d: %v: %s", s, seed, o.Bucket, o.Detail)
+			}
+		}
+	}
+}
+
+func TestRunRecoversPanicsIntoInternal(t *testing.T) {
+	o := Run(Scheme(99), FlipPoison, 0)
+	if o.Bucket != Internal {
+		t.Fatalf("bucket = %v, want Internal", o.Bucket)
+	}
+	if !strings.Contains(o.Detail, "panic:") {
+		t.Errorf("detail does not mention the panic: %s", o.Detail)
+	}
+}
+
+// TestReportOrderIndependent: the report is a pure function of the
+// outcome *set* — reversing the slice must render byte-identical output.
+// This is what makes the parallel campaign reproducible at any worker
+// count.
+func TestReportOrderIndependent(t *testing.T) {
+	outcomes := grid(4)
+	rev := make([]Outcome, len(outcomes))
+	for i, o := range outcomes {
+		rev[len(outcomes)-1-i] = o
+	}
+	a, b := Report(outcomes), Report(rev)
+	if a != b {
+		t.Error("report depends on outcome order")
+	}
+	if !strings.Contains(a, "Tolerated escapes") {
+		t.Error("report missing tolerated-escape enumeration")
+	}
+	if strings.Contains(a, "INTERNAL OUTCOMES") {
+		t.Error("clean grid rendered an internal-outcomes section")
+	}
+}
+
+func TestReportFlagsInternalOutcomes(t *testing.T) {
+	out := []Outcome{
+		{Scheme: SchemeLocal, Fault: FlipPoison, Bucket: Detected, Detail: "x: poisoned-pointer trap"},
+		{Scheme: SchemeLocal, Fault: FlipPoison, Bucket: Internal, Detail: "panic: oops"},
+	}
+	r := Report(out)
+	if !strings.Contains(r, "INTERNAL OUTCOMES") || !strings.Contains(r, "panic: oops") {
+		t.Errorf("internal outcome not surfaced:\n%s", r)
+	}
+	s := Summarize(out)
+	if s.Detected != 1 || s.Internal != 1 || s.Total() != 2 {
+		t.Errorf("Summarize = %+v", s)
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	for _, s := range Schemes {
+		if strings.Contains(s.String(), "scheme(") {
+			t.Errorf("scheme %d has no name", int(s))
+		}
+	}
+	for _, f := range Faults {
+		if strings.Contains(f.String(), "fault(") {
+			t.Errorf("fault %d has no name", int(f))
+		}
+	}
+	for _, b := range []Bucket{Detected, Tolerated, Internal} {
+		if strings.Contains(b.String(), "bucket(") {
+			t.Errorf("bucket %d has no name", int(b))
+		}
+	}
+	if Scheme(99).String() != "scheme(99)" || Fault(99).String() != "fault(99)" || Bucket(99).String() != "bucket(99)" {
+		t.Error("out-of-range enum formatting")
+	}
+}

@@ -1,0 +1,139 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"infat/internal/stats"
+)
+
+// Summary aggregates a campaign's outcomes.
+type Summary struct {
+	Detected, Tolerated, Internal int
+}
+
+// Total returns the number of cells summarized.
+func (s Summary) Total() int { return s.Detected + s.Tolerated + s.Internal }
+
+// Summarize buckets a result set.
+func Summarize(outcomes []Outcome) Summary {
+	var s Summary
+	for _, o := range outcomes {
+		switch o.Bucket {
+		case Detected:
+			s.Detected++
+		case Tolerated:
+			s.Tolerated++
+		default:
+			s.Internal++
+		}
+	}
+	return s
+}
+
+// Report renders a campaign result set: a per-(scheme, fault) table with
+// detection rates, then a deterministic enumeration of every distinct
+// tolerated escape, then any internal outcomes (which indicate simulator
+// bugs). The output is a pure function of the outcome set — independent
+// of input order and worker count.
+func Report(outcomes []Outcome) string {
+	type cellKey struct {
+		s Scheme
+		f Fault
+	}
+	cells := make(map[cellKey]Summary)
+	for _, o := range outcomes {
+		k := cellKey{o.Scheme, o.Fault}
+		c := cells[k]
+		switch o.Bucket {
+		case Detected:
+			c.Detected++
+		case Tolerated:
+			c.Tolerated++
+		default:
+			c.Internal++
+		}
+		cells[k] = c
+	}
+
+	var b strings.Builder
+	b.WriteString("Fault-injection campaign (DESIGN.md §10)\n\n")
+	t := &stats.Table{}
+	t.Add("Scheme", "Fault", "Detected", "Tolerated", "Internal", "Det-rate")
+	perScheme := make(map[Scheme]Summary)
+	for _, s := range Schemes {
+		for _, f := range Faults {
+			c, ok := cells[cellKey{s, f}]
+			if !ok {
+				continue
+			}
+			t.AddF(s, f, c.Detected, c.Tolerated, c.Internal,
+				stats.Pct(uint64(c.Detected), uint64(c.Total())))
+			ps := perScheme[s]
+			ps.Detected += c.Detected
+			ps.Tolerated += c.Tolerated
+			ps.Internal += c.Internal
+			perScheme[s] = ps
+		}
+	}
+	b.WriteString(t.String())
+
+	b.WriteString("\nPer-scheme detection rate:\n")
+	st := &stats.Table{}
+	st.Add("Scheme", "Detected", "Tolerated", "Internal", "Det-rate")
+	for _, s := range Schemes {
+		ps, ok := perScheme[s]
+		if !ok {
+			continue
+		}
+		st.AddF(s, ps.Detected, ps.Tolerated, ps.Internal,
+			stats.Pct(uint64(ps.Detected), uint64(ps.Total())))
+	}
+	b.WriteString(st.String())
+
+	total := Summarize(outcomes)
+	fmt.Fprintf(&b, "\nTotal: %d cells, %d detected, %d tolerated, %d internal\n",
+		total.Total(), total.Detected, total.Tolerated, total.Internal)
+
+	// Distinct tolerated escapes, deterministically ordered, with counts.
+	// Every line here must correspond to a documented escape class in
+	// DESIGN.md §10.
+	if reasons := distinct(outcomes, Tolerated); len(reasons) > 0 {
+		b.WriteString("\nTolerated escapes (documented by design):\n")
+		for _, r := range reasons {
+			fmt.Fprintf(&b, "  %4dx %s\n", r.n, r.detail)
+		}
+	}
+
+	if internals := distinct(outcomes, Internal); len(internals) > 0 {
+		b.WriteString("\nINTERNAL OUTCOMES (simulator bugs — investigate):\n")
+		for _, r := range internals {
+			fmt.Fprintf(&b, "  %4dx %s\n", r.n, r.detail)
+		}
+	}
+	return b.String()
+}
+
+type detailCount struct {
+	detail string
+	n      int
+}
+
+// distinct collects the distinct detail strings of a bucket, prefixed
+// with scheme/fault, sorted for deterministic output.
+func distinct(outcomes []Outcome, bucket Bucket) []detailCount {
+	counts := make(map[string]int)
+	for _, o := range outcomes {
+		if o.Bucket != bucket {
+			continue
+		}
+		counts[fmt.Sprintf("[%v/%v] %s", o.Scheme, o.Fault, o.Detail)]++
+	}
+	out := make([]detailCount, 0, len(counts))
+	for d, n := range counts {
+		out = append(out, detailCount{d, n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].detail < out[j].detail })
+	return out
+}

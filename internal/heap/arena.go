@@ -16,6 +16,15 @@ import (
 // ErrOutOfMemory is returned when an arena or allocator is exhausted.
 var ErrOutOfMemory = errors.New("heap: out of memory")
 
+// ErrBadRelease is returned by Arena.Release for a mark outside the
+// arena's live range — a corrupted or stale mark. Guest-reachable (a
+// corrupted stack mark reaches it), so it is a typed error, not a panic.
+var ErrBadRelease = errors.New("heap: release mark out of range")
+
+// ErrBadConfig is returned by allocator constructors for impossible
+// geometry (order/alignment violations).
+var ErrBadConfig = errors.New("heap: invalid allocator configuration")
+
 // Arena is a bump region of guest address space.
 type Arena struct {
 	base  uint64
@@ -59,13 +68,15 @@ func (a *Arena) Used() uint64 { return a.brk - a.base }
 // as the guest stack).
 func (a *Arena) Mark() uint64 { return a.brk }
 
-// Release moves the break back to a previous Mark. It panics on a mark
-// outside the arena's life range, which is a programming error.
-func (a *Arena) Release(mark uint64) {
+// Release moves the break back to a previous Mark. A mark outside the
+// arena's live range (corrupted, stale, or never issued by Mark) is
+// rejected with ErrBadRelease and leaves the arena unchanged.
+func (a *Arena) Release(mark uint64) error {
 	if mark < a.base || mark > a.brk {
-		panic(fmt.Sprintf("heap: release to %#x outside [%#x,%#x]", mark, a.base, a.brk))
+		return fmt.Errorf("%w: release to %#x outside [%#x,%#x]", ErrBadRelease, mark, a.base, a.brk)
 	}
 	a.brk = mark
+	return nil
 }
 
 // Base returns the arena's start address.

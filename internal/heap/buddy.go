@@ -20,13 +20,16 @@ type Buddy struct {
 
 // NewBuddy builds a buddy allocator over [base, base+2^regionLog2), with
 // blocks from 2^minLog2 up to 2^regionLog2 bytes. base must be aligned to
-// the region size.
-func NewBuddy(base uint64, regionLog2, minLog2 uint) *Buddy {
+// the region size; impossible geometry is rejected with ErrBadConfig.
+func NewBuddy(base uint64, regionLog2, minLog2 uint) (*Buddy, error) {
+	if regionLog2 > 63 {
+		return nil, fmt.Errorf("%w: buddy region order %d exceeds address space", ErrBadConfig, regionLog2)
+	}
 	if minLog2 > regionLog2 {
-		panic("heap: buddy min order exceeds region")
+		return nil, fmt.Errorf("%w: buddy min order %d exceeds region order %d", ErrBadConfig, minLog2, regionLog2)
 	}
 	if base&(uint64(1)<<regionLog2-1) != 0 {
-		panic("heap: buddy base not aligned to region size")
+		return nil, fmt.Errorf("%w: buddy base %#x not aligned to region size 2^%d", ErrBadConfig, base, regionLog2)
 	}
 	b := &Buddy{
 		base:     base,
@@ -39,7 +42,7 @@ func NewBuddy(base uint64, regionLog2, minLog2 uint) *Buddy {
 		b.free[o] = make(map[uint64]struct{})
 	}
 	b.free[regionLog2][base] = struct{}{}
-	return b
+	return b, nil
 }
 
 // OrderFor returns the smallest order whose block fits size bytes, or

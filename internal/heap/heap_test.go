@@ -170,7 +170,7 @@ func TestFreeListExhaustion(t *testing.T) {
 }
 
 func TestBuddySplitAndCoalesce(t *testing.T) {
-	b := NewBuddy(0x4000_0000, 20, 12) // 1 MiB region, 4 KiB min blocks
+	b := mustBuddy(t, 0x4000_0000, 20, 12) // 1 MiB region, 4 KiB min blocks
 	p1, err := b.Alloc(12)
 	if err != nil {
 		t.Fatal(err)
@@ -201,7 +201,7 @@ func TestBuddySplitAndCoalesce(t *testing.T) {
 }
 
 func TestBuddyAlignment(t *testing.T) {
-	b := NewBuddy(0x4000_0000, 24, 12)
+	b := mustBuddy(t, 0x4000_0000, 24, 12)
 	for order := uint(12); order <= 16; order++ {
 		p, err := b.Alloc(order)
 		if err != nil {
@@ -214,7 +214,7 @@ func TestBuddyAlignment(t *testing.T) {
 }
 
 func TestBuddyOrderFor(t *testing.T) {
-	b := NewBuddy(0x4000_0000, 24, 12)
+	b := mustBuddy(t, 0x4000_0000, 24, 12)
 	cases := map[uint64]uint{1: 12, 4096: 12, 4097: 13, 100 << 10: 17}
 	for size, want := range cases {
 		if got := b.OrderFor(size); got != want {
@@ -227,7 +227,7 @@ func TestBuddyOrderForOversized(t *testing.T) {
 	// Regression: sizes above the region (and in particular above 1<<63,
 	// where the probe shift wraps to 0) must clamp at maxOrder+1 instead
 	// of looping forever, and Alloc must report out-of-memory.
-	b := NewBuddy(0x4000_0000, 24, 12)
+	b := mustBuddy(t, 0x4000_0000, 24, 12)
 	for _, size := range []uint64{(16 << 20) + 1, 1 << 40, 1<<63 + 1, ^uint64(0)} {
 		got := b.OrderFor(size)
 		if got != 25 {
@@ -244,7 +244,7 @@ func TestBuddyOrderForOversized(t *testing.T) {
 }
 
 func TestBuddyErrors(t *testing.T) {
-	b := NewBuddy(0x4000_0000, 13, 12) // 8 KiB region
+	b := mustBuddy(t, 0x4000_0000, 13, 12) // 8 KiB region
 	if _, err := b.Alloc(14); err == nil {
 		t.Error("oversized order succeeded")
 	}
@@ -262,24 +262,68 @@ func TestBuddyErrors(t *testing.T) {
 	_ = p2
 }
 
+// mustBuddy builds a buddy allocator from known-good geometry.
+func mustBuddy(t testing.TB, base uint64, regionLog2, minLog2 uint) *Buddy {
+	t.Helper()
+	b, err := NewBuddy(base, regionLog2, minLog2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
 func TestBuddyBadConstruction(t *testing.T) {
-	for i, f := range []func(){
-		func() { NewBuddy(0x4000_0000, 10, 12) }, // min > region
-		func() { NewBuddy(0x4000_0800, 20, 12) }, // misaligned base
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("case %d: no panic", i)
-				}
-			}()
-			f()
-		}()
+	// Impossible geometry is a typed configuration error, not a panic:
+	// construction parameters can be derived from inputs, and the chaos
+	// fault model requires every reachable failure to be classifiable.
+	cases := []struct {
+		name               string
+		base               uint64
+		regionLog2, minLog2 uint
+	}{
+		{"min order exceeds region", 0x4000_0000, 10, 12},
+		{"misaligned base", 0x4000_0800, 20, 12},
+		{"region order exceeds address space", 0, 64, 12},
+	}
+	for _, tc := range cases {
+		b, err := NewBuddy(tc.base, tc.regionLog2, tc.minLog2)
+		if !errors.Is(err, ErrBadConfig) {
+			t.Errorf("%s: err = %v, want ErrBadConfig", tc.name, err)
+		}
+		if b != nil {
+			t.Errorf("%s: got non-nil allocator alongside error", tc.name)
+		}
+	}
+}
+
+func TestArenaReleaseOutOfRange(t *testing.T) {
+	a := NewArena(0x1000, 0x1000)
+	p, err := a.Sbrk(256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mark := a.Mark()
+	// Marks outside [base, brk] are corrupted or stale: typed rejection,
+	// arena untouched.
+	for _, bad := range []uint64{0xFFF, a.Mark() + 16, 0, ^uint64(0)} {
+		if err := a.Release(bad); !errors.Is(err, ErrBadRelease) {
+			t.Errorf("Release(%#x) = %v, want ErrBadRelease", bad, err)
+		}
+		if a.Mark() != mark {
+			t.Fatalf("failed release moved the break to %#x", a.Mark())
+		}
+	}
+	// A legitimate mark still releases.
+	if err := a.Release(p); err != nil {
+		t.Fatal(err)
+	}
+	if a.Mark() != p {
+		t.Errorf("break after release = %#x, want %#x", a.Mark(), p)
 	}
 }
 
 func TestBuddyHighWater(t *testing.T) {
-	b := NewBuddy(0x4000_0000, 20, 12)
+	b := mustBuddy(t, 0x4000_0000, 20, 12)
 	p, _ := b.Alloc(13)
 	_ = b.Free(p)
 	if b.HighWater() != 8192 {
@@ -329,7 +373,7 @@ func TestQuickFreeListNoOverlap(t *testing.T) {
 // Property: buddy blocks of the same order never overlap and stay aligned.
 func TestQuickBuddySoundness(t *testing.T) {
 	f := func(orders []uint8) bool {
-		b := NewBuddy(0x4000_0000, 22, 12)
+		b := mustBuddy(t, 0x4000_0000, 22, 12)
 		allocated := map[uint64]uint{}
 		for _, o8 := range orders {
 			order := 12 + uint(o8%6)
@@ -379,7 +423,7 @@ func BenchmarkFreeListMallocFree(b *testing.B) {
 }
 
 func BenchmarkBuddyAllocFree(b *testing.B) {
-	bd := NewBuddy(0x4000_0000, 28, 12)
+	bd := mustBuddy(b, 0x4000_0000, 28, 12)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		p, err := bd.Alloc(12)

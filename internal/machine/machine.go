@@ -154,6 +154,17 @@ const (
 	// TrapFuel is exhaustion of the run's execution budget (FuelLimit) —
 	// a resource trap, not a spatial detection.
 	TrapFuel
+	// TrapAlloc is an allocator failure (arena/buddy exhaustion, metadata
+	// table full, an injected fault): the runtime could not produce the
+	// requested object. Like TrapFuel it is a resource trap, not a
+	// spatial detection.
+	TrapAlloc
+	// TrapInternal is a recovered simulator panic: a bug in the simulator
+	// itself, never a legitimate guest-visible outcome. RunC*/server
+	// boundaries convert escaped panics into this kind so a hostile input
+	// yields a classified error instead of killing the process; any
+	// occurrence is counted and treated as a defect.
+	TrapInternal
 )
 
 func (k TrapKind) String() string {
@@ -168,6 +179,10 @@ func (k TrapKind) String() string {
 		return "memory"
 	case TrapFuel:
 		return "fuel"
+	case TrapAlloc:
+		return "alloc"
+	case TrapInternal:
+		return "internal"
 	}
 	return fmt.Sprintf("trap(%d)", int(k))
 }
@@ -178,11 +193,18 @@ type Trap struct {
 	Ptr  uint64 // offending pointer (tagged)
 	Size int    // access size, if applicable
 	Msg  string
+	// Cause is the underlying error, if the trap wraps one (allocator
+	// traps keep the heap error that triggered them). Exposed through
+	// Unwrap so errors.Is/errors.As see through the trap.
+	Cause error
 }
 
 func (t *Trap) Error() string {
 	return fmt.Sprintf("trap[%s] ptr=%s size=%d: %s", t.Kind, tag.Format(t.Ptr), t.Size, t.Msg)
 }
+
+// Unwrap exposes the trap's underlying cause to the errors package.
+func (t *Trap) Unwrap() error { return t.Cause }
 
 // IsTrap reports whether err is, or wraps (errors.As), a Trap of the
 // given kind — so it classifies both a raw machine trap and the
@@ -190,6 +212,19 @@ func (t *Trap) Error() string {
 func IsTrap(err error, kind TrapKind) bool {
 	var t *Trap
 	return errors.As(err, &t) && t.Kind == kind
+}
+
+// RecoverInternal converts an escaped panic into a TrapInternal error.
+// Use it as `defer machine.RecoverInternal(&err)` at the outermost
+// simulator boundaries (infat.RunC*, server workers): a simulator bug
+// then surfaces as a typed, countable error instead of killing the
+// process. The message records only the panic value — no stack, no
+// goroutine IDs — so recovered traps stay deterministic across runs.
+// Errors already in flight are left untouched.
+func RecoverInternal(err *error) {
+	if r := recover(); r != nil {
+		*err = &Trap{Kind: TrapInternal, Msg: fmt.Sprintf("recovered panic: %v", r)}
+	}
 }
 
 // CheckFuel reports budget exhaustion: a TrapFuel trap once the machine

@@ -1,0 +1,80 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestTrapKindStrings(t *testing.T) {
+	want := map[TrapKind]string{
+		TrapPoison:   "poisoned-pointer",
+		TrapBounds:   "bounds",
+		TrapMetadata: "metadata",
+		TrapMemory:   "memory",
+		TrapFuel:     "fuel",
+		TrapAlloc:    "alloc",
+		TrapInternal: "internal",
+		TrapKind(99): "trap(99)",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}
+
+func TestTrapUnwrapsCause(t *testing.T) {
+	sentinel := errors.New("allocator says no")
+	trap := &Trap{Kind: TrapAlloc, Msg: sentinel.Error(), Cause: sentinel}
+	wrapped := fmt.Errorf("run: %w", trap)
+	// errors.Is sees through the trap to its cause...
+	if !errors.Is(wrapped, sentinel) {
+		t.Error("errors.Is did not reach the trap's cause")
+	}
+	// ...and IsTrap still classifies the trap itself.
+	if !IsTrap(wrapped, TrapAlloc) {
+		t.Error("IsTrap failed on a cause-carrying trap")
+	}
+	// A trap without a cause unwraps to nil and matches nothing extra.
+	if errors.Is(&Trap{Kind: TrapBounds}, sentinel) {
+		t.Error("cause-less trap matched a foreign sentinel")
+	}
+}
+
+func TestRecoverInternal(t *testing.T) {
+	boom := func() (err error) {
+		defer RecoverInternal(&err)
+		panic("simulated simulator bug")
+	}
+	err := boom()
+	if !IsTrap(err, TrapInternal) {
+		t.Fatalf("err = %v, want TrapInternal", err)
+	}
+	if !strings.Contains(err.Error(), "simulated simulator bug") {
+		t.Errorf("panic value not preserved: %v", err)
+	}
+
+	// Deterministic: the same panic recovers to the same message (no
+	// stack traces, no goroutine IDs).
+	if err2 := boom(); err2.Error() != err.Error() {
+		t.Errorf("recovered messages differ: %q vs %q", err.Error(), err2.Error())
+	}
+
+	// No panic: err passes through untouched.
+	calm := func() (err error) {
+		defer RecoverInternal(&err)
+		return errors.New("ordinary failure")
+	}
+	if err := calm(); err == nil || IsTrap(err, TrapInternal) {
+		t.Errorf("calm path err = %v", err)
+	}
+	quiet := func() (err error) {
+		defer RecoverInternal(&err)
+		return nil
+	}
+	if err := quiet(); err != nil {
+		t.Errorf("quiet path err = %v", err)
+	}
+}

@@ -413,7 +413,7 @@ func (c *compiler) compileStmt(s Stmt) error {
 		}
 		return nil
 	case *IfStmt:
-		if _, err := c.compileExpr(v.Cond); err != nil {
+		if _, err := c.compileValue(v.Cond); err != nil {
 			return err
 		}
 		jz := c.emit(Insn{Op: OpJz})
@@ -433,7 +433,7 @@ func (c *compiler) compileStmt(s Stmt) error {
 		return nil
 	case *WhileStmt:
 		top := len(c.fn.Code)
-		if _, err := c.compileExpr(v.Cond); err != nil {
+		if _, err := c.compileValue(v.Cond); err != nil {
 			return err
 		}
 		jz := c.emit(Insn{Op: OpJz})
@@ -452,7 +452,7 @@ func (c *compiler) compileStmt(s Stmt) error {
 			return err
 		}
 		condAt := len(c.fn.Code)
-		if _, err := c.compileExpr(v.Cond); err != nil {
+		if _, err := c.compileValue(v.Cond); err != nil {
 			return err
 		}
 		c.emit(Insn{Op: OpJnz, Imm: int64(top)})
@@ -469,7 +469,7 @@ func (c *compiler) compileStmt(s Stmt) error {
 		top := len(c.fn.Code)
 		jz := -1
 		if v.Cond != nil {
-			if _, err := c.compileExpr(v.Cond); err != nil {
+			if _, err := c.compileValue(v.Cond); err != nil {
 				return err
 			}
 			jz = c.emit(Insn{Op: OpJz})
@@ -503,7 +503,7 @@ func (c *compiler) compileStmt(s Stmt) error {
 		return nil
 	case *ReturnStmt:
 		if v.E != nil {
-			if _, err := c.compileExpr(v.E); err != nil {
+			if _, err := c.compileValue(v.E); err != nil {
 				return err
 			}
 			c.emit(Insn{Op: OpRet, Sub: 1, Line: int32(v.Line)})
@@ -552,7 +552,7 @@ func (c *compiler) popLoop(breakTarget, contTarget int) {
 // `continue` binds to the enclosing loop, so only the break list is
 // scoped here.
 func (c *compiler) compileSwitch(v *SwitchStmt) error {
-	if _, err := c.compileExpr(v.Scrut); err != nil {
+	if _, err := c.compileValue(v.Scrut); err != nil {
 		return err
 	}
 	// Dispatch chain: the scrutinee stays on the stack while each label

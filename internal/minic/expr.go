@@ -54,7 +54,7 @@ func (c *compiler) compileAddr(e Expr) (addrInfo, error) {
 		if v.Op != "*" {
 			return addrInfo{}, c.errf(v.Line, "expression is not an lvalue")
 		}
-		t, err := c.compileExpr(v.E)
+		t, err := c.compileValue(v.E)
 		if err != nil {
 			return addrInfo{}, err
 		}
@@ -105,7 +105,7 @@ func (c *compiler) compileIndexAddr(v *IndexExpr) (addrInfo, error) {
 	if elem == nil {
 		return addrInfo{}, c.errf(v.Line, "indexing void pointer")
 	}
-	if _, err := c.compileExpr(v.Idx); err != nil {
+	if _, err := c.compileValue(v.Idx); err != nil {
 		return addrInfo{}, err
 	}
 	// Array elements share the array's layout entry: no ifpidx needed
@@ -131,7 +131,7 @@ func (c *compiler) compileArrayOrPointer(e Expr) (*layout.Type, addrInfo, error)
 		return info.typ, info, nil
 	}
 	// Pointer rvalue: chain restarts at the pointee type.
-	pt, err := c.compileExpr(e)
+	pt, err := c.compileValue(e)
 	if err != nil {
 		return nil, addrInfo{}, err
 	}
@@ -144,7 +144,7 @@ func (c *compiler) compileArrayOrPointer(e Expr) (*layout.Type, addrInfo, error)
 func (c *compiler) compileMemberAddr(v *MemberExpr) (addrInfo, error) {
 	var base addrInfo
 	if v.Arrow {
-		pt, err := c.compileExpr(v.Base)
+		pt, err := c.compileValue(v.Base)
 		if err != nil {
 			return addrInfo{}, err
 		}
@@ -258,6 +258,21 @@ func (c *compiler) staticType(e Expr) *layout.Type {
 	return nil
 }
 
+// compileValue compiles e in a position that consumes its value. A void
+// expression (a call to a void function) pushes nothing, so accepting it
+// here would underflow the VM's operand stack at runtime — reject it at
+// compile time instead (found by FuzzRunC).
+func (c *compiler) compileValue(e Expr) (*layout.Type, error) {
+	t, err := c.compileExpr(e)
+	if err != nil {
+		return nil, err
+	}
+	if t == layout.Void {
+		return nil, c.errf(e.exprLine(), "void value used in expression")
+	}
+	return t, nil
+}
+
 // compileExpr compiles an rvalue, leaving (value, bounds) on the stack,
 // and returns the expression's type.
 func (c *compiler) compileExpr(e Expr) (*layout.Type, error) {
@@ -294,19 +309,19 @@ func (c *compiler) compileExpr(e Expr) (*layout.Type, error) {
 			}
 			return c.loadFrom(info, v.Line)
 		case "-":
-			if _, err := c.compileExpr(v.E); err != nil {
+			if _, err := c.compileValue(v.E); err != nil {
 				return nil, err
 			}
 			c.emit(Insn{Op: OpNeg, Line: int32(v.Line)})
 			return layout.Long, nil
 		case "!":
-			if _, err := c.compileExpr(v.E); err != nil {
+			if _, err := c.compileValue(v.E); err != nil {
 				return nil, err
 			}
 			c.emit(Insn{Op: OpNot, Line: int32(v.Line)})
 			return layout.Int, nil
 		case "~":
-			if _, err := c.compileExpr(v.E); err != nil {
+			if _, err := c.compileValue(v.E); err != nil {
 				return nil, err
 			}
 			c.emit(Insn{Op: OpBnot, Line: int32(v.Line)})
@@ -339,7 +354,7 @@ func (c *compiler) compileExpr(e Expr) (*layout.Type, error) {
 		if call, ok := v.E.(*CallExpr); ok && (call.Name == "malloc" || c.wrappers[call.Name]) {
 			return c.compileCall(call, v.Type)
 		}
-		t, err := c.compileExpr(v.E)
+		t, err := c.compileValue(v.E)
 		if err != nil {
 			return nil, err
 		}
@@ -384,7 +399,7 @@ func (c *compiler) loadFrom(info addrInfo, line int) (*layout.Type, error) {
 }
 
 func (c *compiler) compileAssignTo(lhs Expr, rhs Expr, line int) error {
-	t, err := c.compileExpr(rhs)
+	t, err := c.compileValue(rhs)
 	if err != nil {
 		return err
 	}
@@ -409,7 +424,7 @@ func (c *compiler) compileBinary(v *BinaryExpr) (*layout.Type, error) {
 	switch v.Op {
 	case "&&", "||":
 		// Short circuit with jumps; result is 0/1.
-		if _, err := c.compileExpr(v.L); err != nil {
+		if _, err := c.compileValue(v.L); err != nil {
 			return nil, err
 		}
 		c.emit(Insn{Op: OpNot})
@@ -423,7 +438,7 @@ func (c *compiler) compileBinary(v *BinaryExpr) (*layout.Type, error) {
 			j = c.emit(Insn{Op: OpJz, Line: int32(v.Line)})
 		}
 		c.emit(Insn{Op: OpPop})
-		if _, err := c.compileExpr(v.R); err != nil {
+		if _, err := c.compileValue(v.R); err != nil {
 			return nil, err
 		}
 		c.emit(Insn{Op: OpNot})
@@ -449,7 +464,7 @@ func (c *compiler) compileBinary(v *BinaryExpr) (*layout.Type, error) {
 		if elem == nil {
 			return nil, c.errf(v.Line, "arithmetic on void pointer")
 		}
-		if _, err := c.compileExpr(v.R); err != nil {
+		if _, err := c.compileValue(v.R); err != nil {
 			return nil, err
 		}
 		if v.Op == "-" {
@@ -459,11 +474,11 @@ func (c *compiler) compileBinary(v *BinaryExpr) (*layout.Type, error) {
 		return layout.PointerTo(elem), nil
 	}
 	if v.Op == "-" && lp && rp {
-		if _, err := c.compileExpr(v.L); err != nil {
+		if _, err := c.compileValue(v.L); err != nil {
 			return nil, err
 		}
 		c.emit(Insn{Op: OpAddr})
-		if _, err := c.compileExpr(v.R); err != nil {
+		if _, err := c.compileValue(v.R); err != nil {
 			return nil, err
 		}
 		c.emit(Insn{Op: OpAddr})
@@ -476,13 +491,13 @@ func (c *compiler) compileBinary(v *BinaryExpr) (*layout.Type, error) {
 		return layout.Long, nil
 	}
 
-	if _, err := c.compileExpr(v.L); err != nil {
+	if _, err := c.compileValue(v.L); err != nil {
 		return nil, err
 	}
 	if lp {
 		c.emit(Insn{Op: OpAddr})
 	}
-	if _, err := c.compileExpr(v.R); err != nil {
+	if _, err := c.compileValue(v.R); err != nil {
 		return nil, err
 	}
 	if rp {
@@ -514,7 +529,7 @@ func (c *compiler) compileCall(v *CallExpr, castType *layout.Type) (*layout.Type
 		if len(v.Args) != 1 {
 			return nil, c.errf(v.Line, "malloc takes one argument")
 		}
-		if _, err := c.compileExpr(v.Args[0]); err != nil {
+		if _, err := c.compileValue(v.Args[0]); err != nil {
 			return nil, err
 		}
 		// Allocation-type deduction (§4.2.1): from the enclosing cast,
@@ -536,7 +551,7 @@ func (c *compiler) compileCall(v *CallExpr, castType *layout.Type) (*layout.Type
 		if len(v.Args) != 1 {
 			return nil, c.errf(v.Line, "free takes one argument")
 		}
-		if _, err := c.compileExpr(v.Args[0]); err != nil {
+		if _, err := c.compileValue(v.Args[0]); err != nil {
 			return nil, err
 		}
 		c.emit(Insn{Op: OpFree, Line: int32(v.Line)})
@@ -546,7 +561,7 @@ func (c *compiler) compileCall(v *CallExpr, castType *layout.Type) (*layout.Type
 			return nil, c.errf(v.Line, "memset takes three arguments")
 		}
 		for _, a := range v.Args {
-			if _, err := c.compileExpr(a); err != nil {
+			if _, err := c.compileValue(a); err != nil {
 				return nil, err
 			}
 		}
@@ -557,7 +572,7 @@ func (c *compiler) compileCall(v *CallExpr, castType *layout.Type) (*layout.Type
 			return nil, c.errf(v.Line, "memcpy takes three arguments")
 		}
 		for _, a := range v.Args {
-			if _, err := c.compileExpr(a); err != nil {
+			if _, err := c.compileValue(a); err != nil {
 				return nil, err
 			}
 		}
@@ -567,7 +582,7 @@ func (c *compiler) compileCall(v *CallExpr, castType *layout.Type) (*layout.Type
 		if len(v.Args) != 1 {
 			return nil, c.errf(v.Line, "print takes one argument")
 		}
-		if _, err := c.compileExpr(v.Args[0]); err != nil {
+		if _, err := c.compileValue(v.Args[0]); err != nil {
 			return nil, err
 		}
 		c.emit(Insn{Op: OpPrint, Line: int32(v.Line)})
@@ -583,7 +598,7 @@ func (c *compiler) compileCall(v *CallExpr, castType *layout.Type) (*layout.Type
 		return nil, c.errf(v.Line, "%s expects %d arguments, got %d", v.Name, callee.NParams, len(v.Args))
 	}
 	for _, a := range v.Args {
-		if _, err := c.compileExpr(a); err != nil {
+		if _, err := c.compileValue(a); err != nil {
 			return nil, err
 		}
 	}

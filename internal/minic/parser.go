@@ -25,8 +25,27 @@ type parser struct {
 	prog *Program
 }
 
-func (p *parser) cur() Token  { return p.toks[p.pos] }
-func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) cur() Token { return p.toks[p.pos] }
+
+// peek returns the token n positions ahead, clamped to the trailing EOF
+// sentinel so lookahead near the end of input stays in bounds.
+func (p *parser) peek(n int) Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+
+// next consumes and returns the current token. The EOF sentinel is never
+// consumed: error paths that read past a truncated program keep seeing
+// EOF instead of running the cursor off the token slice.
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
 
 func (p *parser) errf(format string, args ...interface{}) error {
 	return &SyntaxError{p.cur().Line, fmt.Sprintf(format, args...)}
@@ -118,7 +137,7 @@ func (p *parser) parseDeclarator(base *layout.Type) (string, *layout.Type, error
 
 func (p *parser) parseProgram() error {
 	for p.cur().Kind != TokEOF {
-		if p.cur().Text == "struct" && p.toks[p.pos+2].Text == "{" {
+		if p.cur().Text == "struct" && p.peek(2).Text == "{" {
 			if err := p.parseStructDef(); err != nil {
 				return err
 			}
@@ -619,7 +638,7 @@ func (p *parser) isCastAhead() bool {
 	if p.cur().Text != "(" {
 		return false
 	}
-	t := p.toks[p.pos+1]
+	t := p.peek(1)
 	if t.Kind != TokKeyword {
 		return false
 	}

@@ -115,7 +115,7 @@ func (vm *VM) call(fnIdx int, args []value) (value, error) {
 	// Frame teardown order (LIFO defers): metadata cleanup first
 	// (Listing 2's IFP_Deregister), then the stack pop. Errors during
 	// unwind after a trap are moot.
-	defer func() { vm.R.StackRelease(fr.mark) }()
+	defer func() { _ = vm.R.StackRelease(fr.mark) }() // marks are VM-managed; unwind errors are moot
 
 	// Allocate and register locals (IFP_Register for aggregates and
 	// address-taken scalars).

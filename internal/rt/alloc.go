@@ -22,12 +22,14 @@ func (r *Runtime) Malloc(t *layout.Type, n uint64) (Obj, error) {
 	if err != nil {
 		return Obj{}, err
 	}
-	return r.mallocSized(t.Size()*n, layoutPtr)
+	o, err := r.mallocSized(t.Size()*n, layoutPtr)
+	return o, wrapAlloc(err)
 }
 
 // MallocBytes allocates an untyped heap object (no layout table).
 func (r *Runtime) MallocBytes(size uint64) (Obj, error) {
-	return r.mallocSized(size, 0)
+	o, err := r.mallocSized(size, 0)
+	return o, wrapAlloc(err)
 }
 
 // MallocLegacy models an allocation made by uninstrumented code (libc
@@ -37,9 +39,12 @@ func (r *Runtime) MallocLegacy(size uint64) (Obj, error) {
 	if size == 0 {
 		size = 1
 	}
+	if err := r.allocFaultCheck(); err != nil {
+		return Obj{}, wrapAlloc(err)
+	}
 	p, err := r.fl.Malloc(size)
 	if err != nil {
-		return Obj{}, err
+		return Obj{}, wrapAlloc(err)
 	}
 	return Obj{P: p, Size: size, Kind: KindLegacy}, nil
 }
@@ -47,6 +52,9 @@ func (r *Runtime) MallocLegacy(size uint64) (Obj, error) {
 func (r *Runtime) mallocSized(size uint64, layoutPtr uint64) (Obj, error) {
 	if size == 0 {
 		size = 1
+	}
+	if err := r.allocFaultCheck(); err != nil {
+		return Obj{}, err
 	}
 	switch {
 	case r.mode == Baseline:
@@ -286,7 +294,7 @@ func (r *Runtime) newBlock(pl *pool) (*block, error) {
 	crIdx, ok := r.crOfBits[uint8(order)]
 	if !ok {
 		if r.nextCR >= tag.NumSubheapCRs {
-			return nil, fmt.Errorf("rt: out of subheap control registers")
+			return nil, ErrNoCRs
 		}
 		crIdx = uint16(r.nextCR)
 		r.nextCR++

@@ -1,0 +1,74 @@
+package rt
+
+import (
+	"errors"
+
+	"infat/internal/heap"
+	"infat/internal/machine"
+)
+
+// Typed allocator-failure sentinels. They are wrapped into
+// machine.TrapAlloc traps by the public allocation API, so callers can
+// classify with machine.IsTrap(err, machine.TrapAlloc) and still reach
+// the precise cause through errors.Is.
+var (
+	// ErrTableFull is global metadata table exhaustion (§3.3.3: the
+	// table's 4096-row capacity is a real constraint).
+	ErrTableFull = errors.New("rt: global metadata table full")
+	// ErrNoCRs is subheap control-register exhaustion (§3.3.2: 16 CRs).
+	ErrNoCRs = errors.New("rt: out of subheap control registers")
+	// ErrInjectedAllocFault is the failure InjectAllocFault arms: a
+	// deterministic stand-in for transient allocator failure (OOM at a
+	// chosen point), used by the chaos campaign.
+	ErrInjectedAllocFault = errors.New("rt: injected allocator fault")
+)
+
+// InjectAllocFault arms a one-shot deterministic allocator fault: the
+// n-th heap allocation from now (1 = the very next Malloc/MallocBytes/
+// MallocLegacy) fails with ErrInjectedAllocFault wrapped in a
+// machine.TrapAlloc trap, then the hook disarms. n <= 0 disarms an
+// armed fault. The runtime must stay fully usable after the injected
+// failure — that invariant is what the chaos campaign checks.
+func (r *Runtime) InjectAllocFault(n int) {
+	if n <= 0 {
+		r.allocFaultAt = 0
+		return
+	}
+	r.allocFaultAt = n
+}
+
+// allocFaultCheck decrements the armed countdown and fires on zero.
+func (r *Runtime) allocFaultCheck() error {
+	if r.allocFaultAt == 0 {
+		return nil
+	}
+	r.allocFaultAt--
+	if r.allocFaultAt == 0 {
+		return ErrInjectedAllocFault
+	}
+	return nil
+}
+
+// wrapAlloc converts allocator-layer failures (arena/buddy exhaustion,
+// metadata-table or CR exhaustion, bad release marks, injected faults)
+// into typed machine.TrapAlloc traps. Errors that are already traps, or
+// that are not allocator failures (argument validation, layout-build
+// errors), pass through unchanged.
+func wrapAlloc(err error) error {
+	if err == nil {
+		return nil
+	}
+	var t *machine.Trap
+	if errors.As(err, &t) {
+		return err
+	}
+	for _, sentinel := range []error{
+		heap.ErrOutOfMemory, heap.ErrBadRelease, heap.ErrBadConfig,
+		ErrTableFull, ErrNoCRs, ErrInjectedAllocFault,
+	} {
+		if errors.Is(err, sentinel) {
+			return &machine.Trap{Kind: machine.TrapAlloc, Msg: err.Error(), Cause: err}
+		}
+	}
+	return err
+}

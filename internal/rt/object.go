@@ -99,27 +99,34 @@ func (r *Runtime) layoutFor(t *layout.Type) (uint64, error) {
 // stack-pointer arithmetic.
 func (r *Runtime) StackRaw(size uint64) (uint64, error) {
 	r.M.Tick(1)
-	return r.stackArena.Sbrk(size)
+	p, err := r.stackArena.Sbrk(size)
+	return p, wrapAlloc(err)
 }
 
 // StackMark snapshots the stack break for LIFO release of local frames.
 func (r *Runtime) StackMark() uint64 { return r.stackArena.Mark() }
 
 // StackRelease pops local frames back to a mark (function return). Pages
-// stay mapped, like real stack RSS.
-func (r *Runtime) StackRelease(mark uint64) { r.stackArena.Release(mark) }
+// stay mapped, like real stack RSS. A mark outside the stack's live
+// range (corrupted or stale) is rejected with a typed allocator trap and
+// leaves the stack unchanged.
+func (r *Runtime) StackRelease(mark uint64) error {
+	return wrapAlloc(r.stackArena.Release(mark))
+}
 
 // AllocLocal places a local variable of type t on the stack and registers
 // it (Listing 2's IFP_Register on `boo`). The compiler prefers the
 // local-offset scheme and falls back to the global table for oversized
 // locals (§4.2.2). In baseline mode it is a plain stack bump.
 func (r *Runtime) AllocLocal(t *layout.Type) (Obj, error) {
-	return r.allocLocalSized(t, t.Size())
+	o, err := r.allocLocalSized(t, t.Size())
+	return o, wrapAlloc(err)
 }
 
 // AllocLocalBytes places an untyped local buffer (no layout table).
 func (r *Runtime) AllocLocalBytes(size uint64) (Obj, error) {
-	return r.allocLocalSized(nil, size)
+	o, err := r.allocLocalSized(nil, size)
+	return o, wrapAlloc(err)
 }
 
 func (r *Runtime) allocLocalSized(t *layout.Type, size uint64) (Obj, error) {
@@ -194,12 +201,14 @@ func (r *Runtime) DeallocLocal(o Obj) error {
 // eagerly at startup, which is equivalent for accounting). Small globals
 // use the local-offset scheme; large ones the global table.
 func (r *Runtime) RegisterGlobal(t *layout.Type) (Obj, error) {
-	return r.registerGlobalSized(t, t.Size())
+	o, err := r.registerGlobalSized(t, t.Size())
+	return o, wrapAlloc(err)
 }
 
 // RegisterGlobalBytes registers an untyped global buffer.
 func (r *Runtime) RegisterGlobalBytes(size uint64) (Obj, error) {
-	return r.registerGlobalSized(nil, size)
+	o, err := r.registerGlobalSized(nil, size)
+	return o, wrapAlloc(err)
 }
 
 func (r *Runtime) registerGlobalSized(t *layout.Type, size uint64) (Obj, error) {

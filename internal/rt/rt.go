@@ -157,6 +157,10 @@ type Runtime struct {
 	// has seen, for Hybrid mode's graduation policy.
 	sigCount map[poolKey]int
 
+	// allocFaultAt is the one-shot injected-fault countdown armed by
+	// InjectAllocFault (0 = disarmed).
+	allocFaultAt int
+
 	Stats Stats
 }
 
@@ -168,6 +172,13 @@ type ltInfo struct {
 // New creates a runtime in the given mode with a fresh machine.
 func New(mode Mode) *Runtime {
 	m := machine.New()
+	// The buddy geometry is a package constant; a construction error here
+	// is a provably-internal invariant violation (a broken address-space
+	// map), never a guest-reachable condition — so panicking is correct.
+	buddy, err := heap.NewBuddy(buddyBase, buddyLog2, buddyMin)
+	if err != nil {
+		panic(err)
+	}
 	r := &Runtime{
 		M:            m,
 		mode:         mode,
@@ -175,7 +186,7 @@ func New(mode Mode) *Runtime {
 		globalArena:  heap.NewArena(globalsBase, globalsSize),
 		stackArena:   heap.NewArena(stackBase, stackSize),
 		fl:           heap.NewFreeList(m, heap.NewArena(flHeapBase, flHeapSize)),
-		buddy:        heap.NewBuddy(buddyBase, buddyLog2, buddyMin),
+		buddy:        buddy,
 		tables:       make(map[*layout.Type]*ltInfo),
 		pools:        make(map[poolKey]*pool),
 		blocks:       make(map[uint64]*block),
@@ -252,7 +263,7 @@ func (r *Runtime) allocRow() (uint16, error) {
 		return idx, nil
 	}
 	if int(r.nextRow) >= globalTableCap {
-		return 0, fmt.Errorf("rt: global metadata table full (%d rows)", globalTableCap)
+		return 0, fmt.Errorf("%w (%d rows)", ErrTableFull, globalTableCap)
 	}
 	idx := r.nextRow
 	r.nextRow++

@@ -1,8 +1,10 @@
 package rt
 
 import (
+	"errors"
 	"testing"
 
+	"infat/internal/heap"
 	"infat/internal/layout"
 	"infat/internal/machine"
 	"infat/internal/tag"
@@ -174,10 +176,109 @@ func TestStackMarkRelease(t *testing.T) {
 	if r.StackMark() == m0 {
 		t.Error("stack did not grow")
 	}
-	r.StackRelease(m0)
+	if err := r.StackRelease(m0); err != nil {
+		t.Fatal(err)
+	}
 	o2, _ := r.AllocLocalBytes(128)
 	if o2.Base() != o.Base() {
 		t.Error("stack frame not reused after release")
+	}
+}
+
+func TestStackReleaseBadMark(t *testing.T) {
+	// A corrupted or stale mark is rejected with a typed allocator trap
+	// (never a panic) and the stack is left untouched.
+	r := New(Subheap)
+	if _, err := r.AllocLocalBytes(64); err != nil {
+		t.Fatal(err)
+	}
+	live := r.StackMark()
+	for _, bad := range []uint64{0, live + 4096, ^uint64(0)} {
+		err := r.StackRelease(bad)
+		if !machine.IsTrap(err, machine.TrapAlloc) {
+			t.Errorf("StackRelease(%#x) = %v, want TrapAlloc", bad, err)
+		}
+		if !errors.Is(err, heap.ErrBadRelease) {
+			t.Errorf("StackRelease(%#x) cause = %v, want ErrBadRelease", bad, err)
+		}
+		if r.StackMark() != live {
+			t.Fatalf("failed release moved the stack break")
+		}
+	}
+}
+
+func TestInjectAllocFault(t *testing.T) {
+	for _, mode := range []Mode{Wrapped, Subheap, Hybrid, Baseline} {
+		r := New(mode)
+		r.InjectAllocFault(3)
+		var objs []Obj
+		for i := 0; i < 5; i++ {
+			o, err := r.MallocBytes(64)
+			if i == 2 {
+				// The armed ordinal fails with a typed allocator trap
+				// carrying the injected-fault sentinel.
+				if !machine.IsTrap(err, machine.TrapAlloc) || !errors.Is(err, ErrInjectedAllocFault) {
+					t.Fatalf("%v: alloc %d err = %v, want injected TrapAlloc", mode, i, err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%v: alloc %d unexpectedly failed: %v", mode, i, err)
+			}
+			objs = append(objs, o)
+		}
+		// The runtime stays fully usable: earlier objects remain live and
+		// freeable after the injected failure.
+		for _, o := range objs {
+			if err := r.Free(o); err != nil {
+				t.Fatalf("%v: free after injected fault: %v", mode, err)
+			}
+		}
+		// Disarming works.
+		r.InjectAllocFault(1)
+		r.InjectAllocFault(0)
+		if _, err := r.MallocBytes(64); err != nil {
+			t.Fatalf("%v: disarmed fault still fired: %v", mode, err)
+		}
+	}
+}
+
+func TestAllocExhaustionIsTypedTrap(t *testing.T) {
+	// Driving any allocator to exhaustion yields a typed TrapAlloc, never
+	// a panic or an untyped error: stack arena, free list, and the global
+	// metadata table.
+	r := New(Subheap)
+	var stackErr error
+	for i := 0; i < 10_000; i++ {
+		if _, stackErr = r.StackRaw(1 << 20); stackErr != nil {
+			break
+		}
+	}
+	if !machine.IsTrap(stackErr, machine.TrapAlloc) || !errors.Is(stackErr, heap.ErrOutOfMemory) {
+		t.Errorf("stack exhaustion = %v, want TrapAlloc wrapping ErrOutOfMemory", stackErr)
+	}
+
+	r2 := New(Wrapped)
+	var flErr error
+	for i := 0; i < 10_000; i++ {
+		if _, flErr = r2.MallocBytes(16 << 20); flErr != nil {
+			break
+		}
+	}
+	if !machine.IsTrap(flErr, machine.TrapAlloc) || !errors.Is(flErr, heap.ErrOutOfMemory) {
+		t.Errorf("free-list exhaustion = %v, want TrapAlloc wrapping ErrOutOfMemory", flErr)
+	}
+
+	r3 := New(Wrapped)
+	r3.ForceGlobalTable = true
+	var rowErr error
+	for i := 0; i < 10_000; i++ {
+		if _, rowErr = r3.MallocBytes(16); rowErr != nil {
+			break
+		}
+	}
+	if !machine.IsTrap(rowErr, machine.TrapAlloc) || !errors.Is(rowErr, ErrTableFull) {
+		t.Errorf("table exhaustion = %v, want TrapAlloc wrapping ErrTableFull", rowErr)
 	}
 }
 

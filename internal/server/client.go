@@ -4,22 +4,50 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
+)
+
+// Client retry defaults.
+const (
+	// DefaultMaxAttempts is the per-call attempt cap when Client.MaxAttempts
+	// is zero: one initial try plus three retries.
+	DefaultMaxAttempts = 4
+	// DefaultRetryBase is the first backoff delay; it doubles per retry.
+	DefaultRetryBase = 50 * time.Millisecond
+	// maxRetryDelay caps the exponential backoff so late attempts stay
+	// responsive to the request context.
+	maxRetryDelay = 2 * time.Second
 )
 
 // Client is a minimal Go client for ifp-serve, used by the handler
 // tests and the daemon's -selftest mode so the service can be exercised
 // end-to-end without curl.
+//
+// Transient failures — 503 (admission rejection), 429, and transport
+// errors like a connection refused during daemon startup — are retried
+// with exponential backoff and jitter, bounded by MaxAttempts and the
+// request context. Context cancellation and every other HTTP status
+// (including 504: the work may have run) are never retried.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
 	// HTTP is the underlying client; nil selects a client with a
 	// conservative overall timeout.
 	HTTP *http.Client
+	// MaxAttempts caps tries per call (0 = DefaultMaxAttempts, 1 = no
+	// retries).
+	MaxAttempts int
+	// RetryBase is the first backoff delay (0 = DefaultRetryBase).
+	RetryBase time.Duration
+	// NoRetry disables retrying entirely (equivalent to MaxAttempts 1).
+	NoRetry bool
 }
 
 // NewClient builds a client for the given base URL.
@@ -93,20 +121,20 @@ func (c *Client) Metrics(ctx context.Context) (*MetricsSnapshot, error) {
 }
 
 // WaitReady polls /healthz until it answers or the deadline passes —
-// for callers that just started the daemon.
+// for callers that just started the daemon. It is the retry loop with
+// the attempt cap effectively removed: a refused connection keeps
+// retrying (with small, capped backoff) until the context deadline.
 func (c *Client) WaitReady(ctx context.Context, timeout time.Duration) error {
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
-	for {
-		if err := c.Healthz(ctx); err == nil {
-			return nil
-		}
-		select {
-		case <-ctx.Done():
-			return fmt.Errorf("ifp-serve: not ready within %v", timeout)
-		case <-time.After(20 * time.Millisecond):
-		}
+	probe := *c
+	probe.NoRetry = false
+	probe.MaxAttempts = 1 << 20 // bounded by ctx, not by the attempt cap
+	probe.RetryBase = 20 * time.Millisecond
+	if err := probe.Healthz(ctx); err != nil {
+		return fmt.Errorf("ifp-serve: not ready within %v: %w", timeout, err)
 	}
+	return nil
 }
 
 func (c *Client) post(ctx context.Context, path string, req, resp any) (http.Header, error) {
@@ -114,46 +142,122 @@ func (c *Client) post(ctx context.Context, path string, req, resp any) (http.Hea
 	if err != nil {
 		return nil, err
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	hreq.Header.Set("Content-Type", "application/json")
-	return c.do(hreq, resp)
+	return c.do(ctx, http.MethodPost, path, body, resp)
 }
 
 func (c *Client) get(ctx context.Context, path string, resp any) error {
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
-	if err != nil {
-		return err
-	}
-	_, err = c.do(hreq, resp)
+	_, err := c.do(ctx, http.MethodGet, path, nil, resp)
 	return err
 }
 
-func (c *Client) do(req *http.Request, resp any) (http.Header, error) {
+// do runs one logical call: it rebuilds the HTTP request from the
+// marshaled body each attempt (readers cannot be replayed) and retries
+// transient failures with exponential backoff.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, resp any) (http.Header, error) {
+	attempts := c.MaxAttempts
+	if attempts <= 0 {
+		attempts = DefaultMaxAttempts
+	}
+	if c.NoRetry {
+		attempts = 1
+	}
+	base := c.RetryBase
+	if base <= 0 {
+		base = DefaultRetryBase
+	}
+	var hdr http.Header
+	var err error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			if serr := sleepCtx(ctx, backoff(base, attempt-1)); serr != nil {
+				return hdr, err // context expired while backing off: report the last real failure
+			}
+		}
+		hdr, err = c.doOnce(ctx, method, path, body, resp)
+		if err == nil || !retryable(err) {
+			return hdr, err
+		}
+	}
+	return hdr, err
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, resp any) (http.Header, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		hreq.Header.Set("Content-Type", "application/json")
+	}
 	hc := c.HTTP
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	hresp, err := hc.Do(req)
+	hresp, err := hc.Do(hreq)
 	if err != nil {
 		return nil, err
 	}
 	defer hresp.Body.Close()
-	body, err := io.ReadAll(io.LimitReader(hresp.Body, 16<<20))
+	rbody, err := io.ReadAll(io.LimitReader(hresp.Body, 16<<20))
 	if err != nil {
 		return nil, err
 	}
 	if hresp.StatusCode/100 != 2 {
 		var apiErr ErrorResponse
-		if json.Unmarshal(body, &apiErr) != nil || apiErr.Error == "" {
-			apiErr.Error = strings.TrimSpace(string(body))
+		if json.Unmarshal(rbody, &apiErr) != nil || apiErr.Error == "" {
+			apiErr.Error = strings.TrimSpace(string(rbody))
 		}
 		return hresp.Header, &APIError{Status: hresp.StatusCode, Message: apiErr.Error}
 	}
-	if err := json.Unmarshal(body, resp); err != nil {
+	if err := json.Unmarshal(rbody, resp); err != nil {
 		return hresp.Header, fmt.Errorf("ifp-serve: bad response body: %w", err)
 	}
 	return hresp.Header, nil
+}
+
+// retryable reports whether a failure is worth another attempt: 503
+// (admission rejection) and 429 are explicit back-off-and-retry signals,
+// and transport-level errors (connection refused/reset) are transient by
+// nature. Context cancellation is the caller giving up, and any other
+// HTTP status is a definitive answer — neither is retried.
+func retryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Status == http.StatusServiceUnavailable ||
+			apiErr.Status == http.StatusTooManyRequests
+	}
+	var uerr *url.Error
+	return errors.As(err, &uerr)
+}
+
+// backoff returns the delay before the retry-th retry: exponential
+// doubling from base, capped, plus up to 25% jitter so synchronized
+// clients do not reconverge on the server in lockstep.
+func backoff(base time.Duration, retry int) time.Duration {
+	d := base
+	for i := 1; i < retry && d < maxRetryDelay; i++ {
+		d *= 2
+	}
+	if d > maxRetryDelay {
+		d = maxRetryDelay
+	}
+	return d + time.Duration(rand.Int63n(int64(d)/4+1))
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }

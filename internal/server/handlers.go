@@ -15,11 +15,12 @@ import (
 	"infat/internal/workloads"
 )
 
-// Trap classes: the service's three-way verdict on a trapped run.
+// Trap classes: the service's verdict on a trapped run.
 const (
-	trapClassSpatial = "spatial" // an In-Fat Pointer detection (poison / bounds)
-	trapClassFuel    = "fuel"    // execution budget exhausted (resource trap)
-	trapClassOther   = "other"   // metadata/memory trap or non-trap runtime fault
+	trapClassSpatial  = "spatial"  // an In-Fat Pointer detection (poison / bounds)
+	trapClassFuel     = "fuel"     // execution budget exhausted (resource trap)
+	trapClassInternal = "internal" // recovered simulator panic (a bug, never guest behavior)
+	trapClassOther    = "other"    // metadata/memory/alloc trap or non-trap runtime fault
 )
 
 // CacheHeader carries the cache disposition of a /v1/run response ("hit"
@@ -195,6 +196,8 @@ func classifyTrap(err error) (class, kind string) {
 		return trapClassSpatial, t.Kind.String()
 	case machine.TrapFuel:
 		return trapClassFuel, t.Kind.String()
+	case machine.TrapInternal:
+		return trapClassInternal, t.Kind.String()
 	}
 	return trapClassOther, t.Kind.String()
 }

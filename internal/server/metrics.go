@@ -31,15 +31,17 @@ type metrics struct {
 	reqHealthz  atomic.Uint64
 	reqMetrics  atomic.Uint64
 
-	inFlight    atomic.Int64
-	badRequests atomic.Uint64 // malformed/rejected request bodies (4xx)
-	rejected    atomic.Uint64 // admission control: deadline hit while queued
-	deadline    atomic.Uint64 // deadline hit while simulating
+	inFlight       atomic.Int64
+	badRequests    atomic.Uint64 // malformed/rejected request bodies (4xx)
+	rejected       atomic.Uint64 // admission control: deadline hit while queued
+	deadline       atomic.Uint64 // deadline hit while simulating
+	internalPanics atomic.Uint64 // worker panics recovered into 500s (simulator bugs)
 
-	trapSpatial atomic.Uint64
-	trapFuel    atomic.Uint64
-	trapOther   atomic.Uint64
-	trapNone    atomic.Uint64 // simulations that completed clean
+	trapSpatial  atomic.Uint64
+	trapFuel     atomic.Uint64
+	trapInternal atomic.Uint64 // recovered-panic traps surfaced by a run
+	trapOther    atomic.Uint64
+	trapNone     atomic.Uint64 // simulations that completed clean
 
 	latency [6]atomic.Uint64 // len(latencyBuckets) + 1 overflow slot
 }
@@ -62,6 +64,8 @@ func (m *metrics) countTrap(class string) {
 		m.trapSpatial.Add(1)
 	case trapClassFuel:
 		m.trapFuel.Add(1)
+	case trapClassInternal:
+		m.trapInternal.Add(1)
 	case "":
 		m.trapNone.Add(1)
 	default:
@@ -104,9 +108,10 @@ func (s *Server) snapshot() MetricsSnapshot {
 		Requests: req,
 		InFlight: m.inFlight.Load(),
 		Admission: map[string]uint64{
-			"bad_request": m.badRequests.Load(),
-			"rejected":    m.rejected.Load(),
-			"deadline":    m.deadline.Load(),
+			"bad_request":     m.badRequests.Load(),
+			"rejected":        m.rejected.Load(),
+			"deadline":        m.deadline.Load(),
+			"internal_panics": m.internalPanics.Load(),
 		},
 		Cache: map[string]uint64{
 			"hits":      hits,
@@ -115,10 +120,11 @@ func (s *Server) snapshot() MetricsSnapshot {
 			"entries":   entries,
 		},
 		Traps: map[string]uint64{
-			"spatial": m.trapSpatial.Load(),
-			"fuel":    m.trapFuel.Load(),
-			"other":   m.trapOther.Load(),
-			"none":    m.trapNone.Load(),
+			"spatial":  m.trapSpatial.Load(),
+			"fuel":     m.trapFuel.Load(),
+			"internal": m.trapInternal.Load(),
+			"other":    m.trapOther.Load(),
+			"none":     m.trapNone.Load(),
 		},
 		Latency: lat,
 	}

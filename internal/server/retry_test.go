@@ -1,0 +1,234 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"infat/internal/machine"
+)
+
+// flakyHandler answers with failStatus for the first fail requests, then
+// delegates to ok.
+func flakyHandler(fail int, failStatus int, ok http.HandlerFunc) (http.HandlerFunc, *atomic.Int64) {
+	var calls atomic.Int64
+	return func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(fail) {
+			http.Error(w, `{"error":"try later"}`, failStatus)
+			return
+		}
+		ok(w, r)
+	}, &calls
+}
+
+func healthOK(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprint(w, `{"status":"ok"}`)
+}
+
+// fastClient returns a client with negligible backoff so retry tests
+// stay fast.
+func fastClient(url string) *Client {
+	c := NewClient(url)
+	c.RetryBase = time.Microsecond
+	return c
+}
+
+func TestClientRetriesTransientStatuses(t *testing.T) {
+	for _, status := range []int{http.StatusServiceUnavailable, http.StatusTooManyRequests} {
+		h, calls := flakyHandler(2, status, healthOK)
+		ts := httptest.NewServer(h)
+		c := fastClient(ts.URL)
+		if err := c.Healthz(context.Background()); err != nil {
+			t.Errorf("status %d: err = %v after retries", status, err)
+		}
+		if got := calls.Load(); got != 3 {
+			t.Errorf("status %d: %d attempts, want 3", status, got)
+		}
+		ts.Close()
+	}
+}
+
+func TestClientGivesUpAfterMaxAttempts(t *testing.T) {
+	h, calls := flakyHandler(1000, http.StatusServiceUnavailable, healthOK)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := fastClient(ts.URL)
+	c.MaxAttempts = 2
+	err := c.Healthz(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want 503 APIError", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("%d attempts, want 2", got)
+	}
+}
+
+func TestClientNoRetry(t *testing.T) {
+	h, calls := flakyHandler(1, http.StatusServiceUnavailable, healthOK)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := fastClient(ts.URL)
+	c.NoRetry = true
+	if err := c.Healthz(context.Background()); err == nil {
+		t.Fatal("NoRetry client retried through the failure")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("%d attempts, want 1", got)
+	}
+}
+
+// TestClientDoesNotRetryDefinitiveStatuses: 4xx (other than 429) and 504
+// are answers, not congestion — 504 in particular may have side effects
+// (the job ran), so blind replay is wrong.
+func TestClientDoesNotRetryDefinitiveStatuses(t *testing.T) {
+	for _, status := range []int{http.StatusBadRequest, http.StatusGatewayTimeout} {
+		h, calls := flakyHandler(1000, status, healthOK)
+		ts := httptest.NewServer(h)
+		c := fastClient(ts.URL)
+		err := c.Healthz(context.Background())
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.Status != status {
+			t.Errorf("err = %v, want %d APIError", err, status)
+		}
+		if got := calls.Load(); got != 1 {
+			t.Errorf("status %d: %d attempts, want 1", status, got)
+		}
+		ts.Close()
+	}
+}
+
+// flakyTransport fails the first n round trips at the connection level,
+// then delegates to the default transport.
+type flakyTransport struct {
+	calls atomic.Int64
+	fail  int64
+}
+
+func (f *flakyTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if f.calls.Add(1) <= f.fail {
+		return nil, errors.New("simulated connection reset")
+	}
+	return http.DefaultTransport.RoundTrip(r)
+}
+
+func TestClientRetriesTransportErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(healthOK))
+	defer ts.Close()
+	tr := &flakyTransport{fail: 2}
+	c := fastClient(ts.URL)
+	c.HTTP = &http.Client{Transport: tr}
+	if err := c.Healthz(context.Background()); err != nil {
+		t.Fatalf("err = %v after transport retries", err)
+	}
+	if got := tr.calls.Load(); got != 3 {
+		t.Errorf("%d round trips, want 3", got)
+	}
+}
+
+func TestClientRespectsContextCancellation(t *testing.T) {
+	h, calls := flakyHandler(1000, http.StatusServiceUnavailable, healthOK)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	c.RetryBase = time.Hour // the cancel must interrupt the first backoff
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.Healthz(ctx) }()
+	for calls.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-errCh:
+		// The last real failure is reported, not the bare context error.
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) {
+			t.Fatalf("err = %v, want the 503 APIError observed before cancel", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not interrupt the backoff sleep")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("%d attempts, want 1", got)
+	}
+}
+
+func TestWaitReadyRetriesUntilUp(t *testing.T) {
+	// Refused connections (no listener yet) are transient: WaitReady must
+	// keep probing until the deadline, then name the last failure.
+	c := NewClient("http://127.0.0.1:1") // reserved port: always refused
+	start := time.Now()
+	err := c.WaitReady(context.Background(), 150*time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "not ready within") {
+		t.Fatalf("err = %v, want not-ready error", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("WaitReady blocked %v past its deadline", elapsed)
+	}
+
+	// A healthy server is ready immediately.
+	ts := httptest.NewServer(http.HandlerFunc(healthOK))
+	defer ts.Close()
+	if err := NewClient(ts.URL).WaitReady(context.Background(), 2*time.Second); err != nil {
+		t.Fatalf("WaitReady on live server: %v", err)
+	}
+}
+
+// TestDispatchRecoversWorkerPanic: a panicking job must cost its request
+// a typed 500 — not the process — free its worker slot, and be counted.
+func TestDispatchRecoversWorkerPanic(t *testing.T) {
+	s := New(Config{Workers: 1})
+	status, body, ok := s.dispatch(context.Background(), func() (int, []byte) {
+		panic("injected simulator bug")
+	})
+	if !ok || status != http.StatusInternalServerError {
+		t.Fatalf("dispatch = (%d, ok=%v), want 500", status, ok)
+	}
+	if !strings.Contains(string(body), "recovered panic: injected simulator bug") {
+		t.Errorf("body does not name the panic: %s", body)
+	}
+	if got := s.metrics.internalPanics.Load(); got != 1 {
+		t.Errorf("internalPanics = %d, want 1", got)
+	}
+	if got := s.snapshot().Admission["internal_panics"]; got != 1 {
+		t.Errorf("snapshot internal_panics = %d, want 1", got)
+	}
+	// The slot is free again: a normal job still runs.
+	status, body, ok = s.dispatch(context.Background(), func() (int, []byte) {
+		return http.StatusOK, []byte("fine")
+	})
+	if !ok || status != http.StatusOK || string(body) != "fine" {
+		t.Fatalf("post-panic dispatch = (%d, %q, ok=%v)", status, body, ok)
+	}
+}
+
+func TestTrapInternalClassification(t *testing.T) {
+	class, kind := classifyTrap(fmt.Errorf("run: %w", internalTrapForTest()))
+	if class != trapClassInternal || kind != "internal" {
+		t.Errorf("classifyTrap = (%q, %q), want (internal, internal)", class, kind)
+	}
+	var m metrics
+	m.countTrap(trapClassInternal)
+	if m.trapInternal.Load() != 1 {
+		t.Error("countTrap did not route the internal class")
+	}
+}
+
+// internalTrapForTest builds the error shape RunC produces for a
+// recovered simulator panic.
+func internalTrapForTest() error {
+	var err error
+	func() {
+		defer machine.RecoverInternal(&err)
+		panic("boom")
+	}()
+	return err
+}

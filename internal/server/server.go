@@ -28,6 +28,7 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"time"
 
@@ -198,7 +199,7 @@ func (s *Server) dispatch(ctx context.Context, job func() (int, []byte)) (status
 	ch := make(chan result, 1)
 	go func() {
 		defer func() { <-s.sem }()
-		st, b := job()
+		st, b := s.runRecovered(job)
 		ch <- result{st, b}
 	}()
 	select {
@@ -208,4 +209,20 @@ func (s *Server) dispatch(ctx context.Context, job func() (int, []byte)) (status
 		s.metrics.deadline.Add(1)
 		return http.StatusGatewayTimeout, nil, false
 	}
+}
+
+// runRecovered executes a worker job, converting an escaped panic into a
+// typed 500 instead of killing the daemon: guest programs are untrusted
+// input, so a simulator bug one of them tickles must cost that request
+// only. Recovered panics are counted (internal_panics in /metrics) —
+// every one is a simulator bug worth a report.
+func (s *Server) runRecovered(job func() (int, []byte)) (status int, body []byte) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.internalPanics.Add(1)
+			status = http.StatusInternalServerError
+			body = errorBody(fmt.Sprintf("internal error: recovered panic: %v", r))
+		}
+	}()
+	return job()
 }

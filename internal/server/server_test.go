@@ -166,6 +166,8 @@ func TestHandlerErrors(t *testing.T) {
 func TestDeadlineExceeded(t *testing.T) {
 	s, c, done := newTestServer(t, Config{RequestTimeout: time.Nanosecond})
 	defer done()
+	// 503 is normally retried; disable that to observe a single rejection.
+	c.NoRetry = true
 	_, _, err := c.Run(context.Background(), RunRequest{Source: cleanProg})
 	var apiErr *APIError
 	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {

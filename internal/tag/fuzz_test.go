@@ -1,0 +1,73 @@
+package tag
+
+import (
+	"testing"
+)
+
+// FuzzTagRoundTrip hammers the tag-word helpers with arbitrary 64-bit
+// patterns: whatever bits a corrupted pointer carries, the accessors
+// must stay panic-free and the with/of pairs must round-trip. This is
+// the bit-level contract the chaos campaign's pointer-flip faults lean
+// on.
+func FuzzTagRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint16(0))
+	f.Add(^uint64(0), uint64(1)<<62, uint16(63))
+	f.Add(MakeLocal(0x1000, 3, 5), uint64(1)<<60, uint16(7))
+	f.Add(MakeSubheap(0x40000000, 2, 9), uint64(1)<<48, uint16(200))
+	f.Add(MakeGlobal(0x2000, 77), uint64(0xF)<<60, uint16(4095))
+	f.Fuzz(func(t *testing.T, p, flip uint64, idx uint16) {
+		q := p ^ flip
+
+		// No accessor may panic on arbitrary bits, and Format must always
+		// render something.
+		if Format(q) == "" {
+			t.Fatal("empty Format")
+		}
+		if Addr(q) != q&AddrMask {
+			t.Fatalf("Addr(%#x) = %#x", q, Addr(q))
+		}
+
+		// Re-applying a field's own value is the identity.
+		if got := WithPoison(q, PoisonOf(q)); got != q {
+			t.Fatalf("poison round-trip: %#x -> %#x", q, got)
+		}
+		if got := WithScheme(q, SchemeOf(q)); got != q {
+			t.Fatalf("scheme round-trip: %#x -> %#x", q, got)
+		}
+		if got := WithMeta(q, Meta(q)); got != q {
+			t.Fatalf("meta round-trip: %#x -> %#x", q, got)
+		}
+
+		// Decoding a scheme's fields and re-encoding them reconstructs the
+		// pointer modulo poison (Make* emits Valid).
+		switch SchemeOf(q) {
+		case SchemeLocalOffset:
+			off, sub := LocalFields(q)
+			if got := MakeLocal(Addr(q), off, sub); got != WithPoison(q, Valid) {
+				t.Fatalf("local round-trip: %#x -> %#x", q, got)
+			}
+		case SchemeSubheap:
+			cr, sub := SubheapFields(q)
+			if got := MakeSubheap(Addr(q), cr, sub); got != WithPoison(q, Valid) {
+				t.Fatalf("subheap round-trip: %#x -> %#x", q, got)
+			}
+		case SchemeGlobalTable:
+			if got := MakeGlobal(Addr(q), GlobalIndex(q)); got != WithPoison(q, Valid) {
+				t.Fatalf("global round-trip: %#x -> %#x", q, got)
+			}
+		}
+
+		// SubobjIndex/WithSubobjIndex: an address-preserving pair whose only
+		// side channel is poisoning on an unencodable index.
+		r := WithSubobjIndex(q, idx)
+		if Addr(r) != Addr(q) {
+			t.Fatalf("WithSubobjIndex moved the address: %#x -> %#x", q, r)
+		}
+		if ps := PoisonOf(r); ps != PoisonOf(q) && ps != Invalid {
+			t.Fatalf("WithSubobjIndex(%#x, %d) set poison %d", q, idx, ps)
+		}
+		if got, ok := SubobjIndex(r); ok && PoisonOf(r) != Invalid && got != idx {
+			t.Fatalf("subobj round-trip: wrote %d, read %d from %#x", idx, got, r)
+		}
+	})
+}

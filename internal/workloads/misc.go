@@ -188,7 +188,7 @@ func runSjeng(r *rt.Runtime, scale int) (uint64, error) {
 			e.tick(12)
 		}
 		e.unlocal(moves)
-		e.r.StackRelease(mark)
+		_ = e.r.StackRelease(mark) // mark comes from StackMark above; cannot fail
 		return best
 	}
 	e.mix(search(depth, 0))

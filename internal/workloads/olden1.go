@@ -109,7 +109,7 @@ func runBH(r *rt.Runtime, scale int) (uint64, error) {
 		e.stf(body.P, body.B, bhBodyT, "mass",
 			e.ldf(body.P, body.B, bhBodyT, "mass")+(v0&3))
 		e.unlocal(dv)
-		e.r.StackRelease(mark)
+		_ = e.r.StackRelease(mark) // mark comes from StackMark above; cannot fail
 	}
 	var walk func(p rt.Ptr, b machine.BoundsReg, body rt.Obj, depth int)
 	walk = func(p rt.Ptr, b machine.BoundsReg, body rt.Obj, depth int) {

@@ -70,7 +70,7 @@ func runPerimeter(r *rt.Runtime, scale int) (uint64, error) {
 		rb, err := e.r.ReloadBounds(slot)
 		e.fail(err)
 		_ = rb
-		e.r.StackRelease(mark)
+		_ = e.r.StackRelease(mark) // mark comes from StackMark above; cannot fail
 		return total
 	}
 	e.mix(perim(root, rootB, 1<<uint(depth)))

@@ -280,7 +280,7 @@ func runYacr2(r *rt.Runtime, scale int) (uint64, error) {
 		}
 		e.tick(24)
 		e.unlocal(scratch)
-		e.r.StackRelease(mark)
+		_ = e.r.StackRelease(mark) // mark comes from StackMark above; cannot fail
 	}
 
 	// Track assignment sweeps: repeatedly scan the constraint array and
