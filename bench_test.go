@@ -290,6 +290,49 @@ func BenchmarkAblations(b *testing.B) {
 	}
 }
 
+// BenchmarkSystemReuse measures the pooled runtime lifecycle on the
+// minic.ExecuteBudget path (the VM entry every RunC and ifp-serve
+// request goes through): "fresh" constructs a new simulator per run (the
+// pre-pool lifecycle, ReuseSystems=false), "pooled" resets and reuses
+// one. The allocs/op gap is the construction churn the pool removes; the
+// outputs are asserted identical, which is the determinism contract in
+// miniature.
+func BenchmarkSystemReuse(b *testing.B) {
+	const src = `int main() {
+	long i;
+	long acc = 0;
+	for (i = 0; i < 50; i = i + 1) { acc = acc + i; }
+	print(acc);
+	return 0;
+}`
+	was := ReuseSystems()
+	defer SetReuseSystems(was)
+
+	run := func(b *testing.B) {
+		out, exit, err := RunCBudget(src, Subheap, 0)
+		if err != nil || exit != 0 || len(out) != 1 || out[0] != 1225 {
+			b.Fatalf("run = (%v, %d, %v), want ([1225], 0, nil)", out, exit, err)
+		}
+	}
+	b.Run("fresh", func(b *testing.B) {
+		SetReuseSystems(false)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b)
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		SetReuseSystems(true)
+		run(b) // warm the pool so every measured op is a hit
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run(b)
+		}
+	})
+}
+
 // serveSeq makes every cold-path source unique across sub-benchmark
 // re-runs (the harness re-enters the loop with growing b.N).
 var serveSeq atomic.Uint64

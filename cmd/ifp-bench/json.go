@@ -1,0 +1,230 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"testing"
+	"time"
+
+	"infat/internal/exp"
+	"infat/internal/minic"
+	"infat/internal/rt"
+	"infat/internal/server"
+	"infat/internal/stats"
+	"infat/internal/workloads"
+)
+
+// benchSchema versions the -json output so downstream tooling can detect
+// format changes across BENCH_*.json files.
+const benchSchema = "ifp-bench/v1"
+
+// benchJSON is the machine-readable benchmark summary -json emits: the
+// §5.2 per-workload cycle counts and geomean overheads, cold-vs-warm
+// serve latency, the fresh-vs-pooled runtime acquisition benchmark, and
+// the pool counters accumulated while producing all of the above.
+type benchJSON struct {
+	Schema   string `json:"schema"`
+	Scale    int    `json:"scale"`
+	Parallel int    `json:"parallel"`
+	Reuse    bool   `json:"reuse"`
+
+	Workloads          []workloadJSON     `json:"workloads"`
+	GeomeanOverheadPct map[string]float64 `json:"geomean_overhead_pct"`
+
+	Serve      serveJSON `json:"serve"`
+	ReuseBench reuseJSON `json:"reuse_bench"`
+
+	Pool map[string]uint64 `json:"pool"`
+}
+
+// workloadJSON is one workload's cycle counts per configuration plus the
+// instrumented configurations' overheads against baseline.
+type workloadJSON struct {
+	Name        string             `json:"name"`
+	Suite       string             `json:"suite"`
+	Cycles      map[string]uint64  `json:"cycles"`
+	OverheadPct map[string]float64 `json:"overhead_pct"`
+}
+
+// serveJSON measures one /v1/run request cold (unique source, full
+// compile+simulate) and warm (repeated source, LRU hit) through a real
+// HTTP round trip.
+type serveJSON struct {
+	ColdNsPerOp     int64 `json:"cold_ns_per_op"`
+	WarmNsPerOp     int64 `json:"warm_ns_per_op"`
+	ColdAllocsPerOp int64 `json:"cold_allocs_per_op"`
+	WarmAllocsPerOp int64 `json:"warm_allocs_per_op"`
+}
+
+// reuseJSON measures the minic.ExecuteBudget path with pooling on
+// (reused runtimes) and off (a fresh runtime per run).
+type reuseJSON struct {
+	FreshNsPerOp      int64 `json:"fresh_ns_per_op"`
+	PooledNsPerOp     int64 `json:"pooled_ns_per_op"`
+	FreshAllocsPerOp  int64 `json:"fresh_allocs_per_op"`
+	PooledAllocsPerOp int64 `json:"pooled_allocs_per_op"`
+}
+
+// benchModes maps the JSON keys to the five grid configurations.
+var benchModes = []struct {
+	key string
+	get func(*exp.Result) uint64
+}{
+	{"baseline", func(r *exp.Result) uint64 { return r.Baseline.Counters.Cycles }},
+	{"subheap", func(r *exp.Result) uint64 { return r.Subheap.Counters.Cycles }},
+	{"wrapped", func(r *exp.Result) uint64 { return r.Wrapped.Counters.Cycles }},
+	{"subheap_nopromote", func(r *exp.Result) uint64 { return r.SubheapNP.Counters.Cycles }},
+	{"wrapped_nopromote", func(r *exp.Result) uint64 { return r.WrappedNP.Counters.Cycles }},
+}
+
+// writeBenchJSON runs the evaluation grid (reusing results when the
+// caller already produced them), the serve and reuse micro-benchmarks,
+// and writes the summary to path.
+func writeBenchJSON(path string, results []exp.Result, scale, parallel int) error {
+	if results == nil {
+		r, err := exp.RunSet(workloads.All, scale, parallel)
+		if err != nil {
+			return err
+		}
+		results = r
+	}
+
+	out := benchJSON{
+		Schema:             benchSchema,
+		Scale:              scale,
+		Parallel:           parallel,
+		Reuse:              rt.ReuseSystems(),
+		GeomeanOverheadPct: map[string]float64{},
+	}
+
+	ratios := map[string][]float64{}
+	for i := range results {
+		r := &results[i]
+		w := workloadJSON{
+			Name:        r.Name,
+			Suite:       r.Suite,
+			Cycles:      map[string]uint64{},
+			OverheadPct: map[string]float64{},
+		}
+		for _, m := range benchModes {
+			w.Cycles[m.key] = m.get(r)
+			if m.key != "baseline" && r.Baseline.Counters.Cycles > 0 {
+				ratio := stats.Ratio(m.get(r), r.Baseline.Counters.Cycles)
+				w.OverheadPct[m.key] = stats.Overhead(ratio)
+				ratios[m.key] = append(ratios[m.key], ratio)
+			}
+		}
+		out.Workloads = append(out.Workloads, w)
+	}
+	for key, rs := range ratios {
+		out.GeomeanOverheadPct[key] = stats.Overhead(stats.Geomean(rs))
+	}
+
+	serve, err := benchServe()
+	if err != nil {
+		return err
+	}
+	out.Serve = serve
+	out.ReuseBench = benchReuse()
+	ps := rt.DefaultPool.Stats()
+	out.Pool = map[string]uint64{
+		"hits":     ps.Hits,
+		"misses":   ps.Misses,
+		"releases": ps.Releases,
+		"discards": ps.Discards,
+		"idle":     ps.Idle,
+	}
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// benchSrc is the program both micro-benchmarks run: small enough that
+// runtime construction, not simulation, dominates the fresh path.
+const benchSrc = "int main() { long i; long s; s = 0; for (i = 0; i < 50; i = i + 1) { s = s + i; } print(s); return 0; }"
+
+// benchReuse times the ExecuteBudget path fresh (reuse off) and pooled.
+// It restores the process-wide reuse setting before returning.
+func benchReuse() reuseJSON {
+	was := rt.ReuseSystems()
+	defer rt.SetReuseSystems(was)
+
+	measure := func(reuse bool) testing.BenchmarkResult {
+		rt.SetReuseSystems(reuse)
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := minic.ExecuteBudget(benchSrc, rt.Subheap, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// Warm the pool so the pooled measurement hits from the first op.
+	rt.SetReuseSystems(true)
+	rt.Release(rt.Acquire(rt.Subheap))
+
+	fresh := measure(false)
+	pooled := measure(true)
+	return reuseJSON{
+		FreshNsPerOp:      fresh.NsPerOp(),
+		PooledNsPerOp:     pooled.NsPerOp(),
+		FreshAllocsPerOp:  fresh.AllocsPerOp(),
+		PooledAllocsPerOp: pooled.AllocsPerOp(),
+	}
+}
+
+// benchServe boots ifp-serve on a loopback port and times one /v1/run
+// request cold (unique source each op: full compile+simulate) and warm
+// (identical source: result-cache hit).
+func benchServe() (serveJSON, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return serveJSON{}, err
+	}
+	srv := &http.Server{Handler: server.New(server.Config{})}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	c := server.NewClient("http://" + ln.Addr().String())
+	if err := c.WaitReady(ctx, 5*time.Second); err != nil {
+		return serveJSON{}, err
+	}
+
+	var runErr error
+	cold := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			src := fmt.Sprintf("int main() { print(%d); return 0; }", i)
+			if _, _, err := c.Run(ctx, server.RunRequest{Source: src, Mode: "subheap"}); err != nil && runErr == nil {
+				runErr = err
+			}
+		}
+	})
+	warm := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := c.Run(ctx, server.RunRequest{Source: benchSrc, Mode: "subheap"}); err != nil && runErr == nil {
+				runErr = err
+			}
+		}
+	})
+	if runErr != nil {
+		return serveJSON{}, runErr
+	}
+	return serveJSON{
+		ColdNsPerOp:     cold.NsPerOp(),
+		WarmNsPerOp:     warm.NsPerOp(),
+		ColdAllocsPerOp: cold.AllocsPerOp(),
+		WarmAllocsPerOp: warm.AllocsPerOp(),
+	}, nil
+}

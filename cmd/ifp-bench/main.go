@@ -23,6 +23,7 @@ import (
 	"infat/internal/baseline"
 	"infat/internal/chaos"
 	"infat/internal/exp"
+	"infat/internal/rt"
 	"infat/internal/workloads"
 )
 
@@ -40,7 +41,13 @@ func main() {
 	hybrid := flag.Bool("hybrid", false, "print the hybrid (dynamic allocator selection) comparison")
 	asic := flag.Bool("asic", false, "print the §5.2.4 ASIC extrapolation sweep")
 	related := flag.Bool("related", false, "print the related-work comparison")
+	jsonPath := flag.String("json", "", "write a machine-readable benchmark summary (cycles, overheads, serve latency, pool stats) to this path")
+	noReuse := flag.Bool("no-reuse", false, "disable runtime pooling: construct a fresh simulator per cell")
 	flag.Parse()
+
+	if *noReuse {
+		rt.SetReuseSystems(false)
+	}
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "ifp-bench:", err)
@@ -100,7 +107,16 @@ func main() {
 		return
 	}
 
+	// -json alone emits the summary without the printed reports; combined
+	// with report flags it reuses the grid results computed for them.
 	any := *table4 || *fig10 || *fig11 || *fig12
+	if *jsonPath != "" && !any {
+		if err := writeBenchJSON(*jsonPath, nil, *scale, *parallel); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(os.Stderr, "ifp-bench: wrote", *jsonPath)
+		return
+	}
 	needPerf := !any || *table4 || *fig10 || *fig11
 	needMem := !any || *fig12
 
@@ -132,5 +148,11 @@ func main() {
 	}
 	if !any || *fig12 {
 		fmt.Println(exp.Fig12(mem))
+	}
+	if *jsonPath != "" {
+		if err := writeBenchJSON(*jsonPath, results, *scale, *parallel); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(os.Stderr, "ifp-bench: wrote", *jsonPath)
 	}
 }

@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"infat/internal/rt"
 	"infat/internal/server"
 )
 
@@ -45,7 +46,12 @@ func main() {
 	timeout := flag.Duration("timeout", server.DefaultRequestTimeout, "per-request deadline")
 	maxSource := flag.Int("max-source", server.DefaultMaxSourceBytes, "max submitted source size (bytes)")
 	selftest := flag.Bool("selftest", false, "start on a loopback port, exercise every endpoint, exit")
+	noReuse := flag.Bool("no-reuse", false, "disable runtime pooling: construct a fresh simulator per request")
 	flag.Parse()
+
+	if *noReuse {
+		rt.SetReuseSystems(false)
+	}
 
 	cfg := server.Config{
 		Workers:        *workers,

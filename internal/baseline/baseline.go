@@ -95,7 +95,8 @@ func Run(s Scheme, nNodes int) (Result, error) {
 	if s == InFat {
 		return runInFat(nNodes)
 	}
-	r := rt.New(rt.Baseline)
+	r := rt.Acquire(rt.Baseline)
+	defer rt.Release(r)
 	m := r.M
 
 	// Per-scheme instrumentation hooks, each charging the metadata
@@ -219,7 +220,8 @@ func chase(r *rt.Runtime, nNodes int,
 // runInFat runs the same kernel under real In-Fat Pointer instrumentation
 // (subheap allocator), using promote on every pointer load.
 func runInFat(nNodes int) (Result, error) {
-	r := rt.New(rt.Subheap)
+	r := rt.Acquire(rt.Subheap)
+	defer rt.Release(r)
 	m := r.M
 	const nodeSize = 32
 	nodes := make([]rt.Obj, nNodes)

@@ -146,6 +146,20 @@ func (c *Cache) touch(ln uint64, store bool) bool {
 	return false
 }
 
+// Reset returns the cache to its power-on state: every line invalid, the
+// LRU clock and all counters at zero. Unlike Flush it models a cold start
+// rather than an invalidation event, so dirty lines do not count as
+// writebacks — a reset cache is indistinguishable from one built by New.
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = line{}
+		}
+	}
+	c.tick = 0
+	c.stats = Stats{}
+}
+
 // Flush invalidates all lines (counting writebacks of dirty lines); used
 // between benchmark runs so each mode starts cold.
 func (c *Cache) Flush() {

@@ -217,13 +217,13 @@ func build(s Scheme) *scenario {
 	var want tag.Scheme
 	switch s {
 	case SchemeLocal:
-		r = rt.New(rt.Wrapped)
+		r = rt.Acquire(rt.Wrapped)
 		want = tag.SchemeLocalOffset
 	case SchemeSubheap:
-		r = rt.New(rt.Subheap)
+		r = rt.Acquire(rt.Subheap)
 		want = tag.SchemeSubheap
 	case SchemeGlobal:
-		r = rt.New(rt.Wrapped)
+		r = rt.Acquire(rt.Wrapped)
 		r.ForceGlobalTable = true
 		want = tag.SchemeGlobalTable
 	default:
@@ -378,14 +378,21 @@ func detectionTrap(err error) (machine.TrapKind, bool) {
 // simulator bug.
 func Run(s Scheme, f Fault, seed uint64) (o Outcome) {
 	o = Outcome{Scheme: s, Fault: f, Seed: seed}
+	var sc *scenario
 	defer func() {
 		if r := recover(); r != nil {
 			o.Bucket = Internal
 			o.Detail = fmt.Sprintf("panic: %v", r)
 		}
+		// Release even a corrupted or mid-trap runtime: the pool resets it
+		// from scratch before its next use, so injected faults cannot leak
+		// into later cells.
+		if sc != nil {
+			rt.Release(sc.r)
+		}
 	}()
 	rng := newRand(seed<<8 ^ uint64(s)<<4 ^ uint64(f))
-	sc := build(s)
+	sc = build(s)
 
 	switch f {
 	case Exhaust:

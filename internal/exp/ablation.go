@@ -23,7 +23,8 @@ func runConfigured(name string, scale int, cfg func(*rt.Runtime)) (ModeResult, e
 	if !ok {
 		return ModeResult{}, fmt.Errorf("exp: unknown workload %q", name)
 	}
-	r := rt.New(rt.Subheap)
+	r := rt.Acquire(rt.Subheap)
+	defer rt.Release(r)
 	if cfg != nil {
 		cfg(r)
 	}
@@ -171,23 +172,36 @@ func ASICSweep(scale int) (string, error) {
 	for _, pt := range points {
 		var ratios []float64
 		for _, name := range subset {
-			w := mustWorkload(name)
-			base := rt.New(rt.Baseline)
-			base.M.Cost.MissPenalty = pt.missPenalty
-			if _, err := w.Run(base, scale); err != nil {
+			ratio, err := asicRatio(mustWorkload(name), scale, pt.missPenalty, pt.promoteBase)
+			if err != nil {
 				return "", err
 			}
-			inst := rt.New(rt.Subheap)
-			inst.M.Cost.MissPenalty = pt.missPenalty
-			inst.M.Cost.PromoteBase = pt.promoteBase
-			if _, err := w.Run(inst, scale); err != nil {
-				return "", err
-			}
-			ratios = append(ratios, stats.Ratio(inst.M.C.Cycles, base.M.C.Cycles))
+			ratios = append(ratios, ratio)
 		}
 		t.Add(pt.label, fmt.Sprint(pt.missPenalty), fmt.Sprint(pt.promoteBase),
 			fmt.Sprintf("%+.1f%%", stats.Overhead(stats.Geomean(ratios))))
 	}
 	b.WriteString(t.String())
 	return b.String(), nil
+}
+
+// asicRatio runs one workload uninstrumented and instrumented under an
+// adjusted cost model and returns the cycle ratio. Pooled runtimes are
+// acquired per run and released with the default cost model restored by
+// the pool's Reset.
+func asicRatio(w workloads.Workload, scale int, missPenalty, promoteBase uint64) (float64, error) {
+	base := rt.Acquire(rt.Baseline)
+	defer rt.Release(base)
+	base.M.Cost.MissPenalty = missPenalty
+	if _, err := w.Run(base, scale); err != nil {
+		return 0, err
+	}
+	inst := rt.Acquire(rt.Subheap)
+	defer rt.Release(inst)
+	inst.M.Cost.MissPenalty = missPenalty
+	inst.M.Cost.PromoteBase = promoteBase
+	if _, err := w.Run(inst, scale); err != nil {
+		return 0, err
+	}
+	return stats.Ratio(inst.M.C.Cycles, base.M.C.Cycles), nil
 }

@@ -46,7 +46,8 @@ type Result struct {
 
 // runOne executes a workload in one configuration.
 func runOne(w workloads.Workload, mode rt.Mode, noPromote bool, scale int) (ModeResult, error) {
-	r := rt.New(mode)
+	r := rt.Acquire(mode)
+	defer rt.Release(r)
 	r.M.NoPromote = noPromote
 	sum, err := w.Run(r, scale)
 	if err != nil {

@@ -79,6 +79,11 @@ func (a *Arena) Release(mark uint64) error {
 	return nil
 }
 
+// Reset rewinds the break to the arena base, discarding every allocation.
+// The region itself is fixed at construction, so a reset arena is
+// identical to a freshly built one.
+func (a *Arena) Reset() { a.brk = a.base }
+
 // Base returns the arena's start address.
 func (a *Arena) Base() uint64 { return a.base }
 

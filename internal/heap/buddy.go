@@ -122,6 +122,18 @@ func (b *Buddy) Free(addr uint64) error {
 	return nil
 }
 
+// Reset returns the allocator to its NewBuddy state: every block freed
+// and coalesced back into the single region-sized block, counters zero.
+// The per-order free sets are retained (emptied, not reallocated).
+func (b *Buddy) Reset() {
+	for o := b.minOrder; o <= b.maxOrder; o++ {
+		clear(b.free[o])
+	}
+	clear(b.alloc)
+	b.free[b.maxOrder][b.base] = struct{}{}
+	b.used, b.hwm = 0, 0
+}
+
 // Used reports bytes currently held in allocated blocks.
 func (b *Buddy) Used() uint64 { return b.used }
 

@@ -146,6 +146,19 @@ func (f *FreeList) Free(addr uint64) error {
 	return nil
 }
 
+// Reset discards every chunk — free bins, the large list, and live
+// allocations — and rewinds the underlying arena, restoring the
+// NewFreeList state while keeping the map and slice capacity for reuse.
+// Guest-side chunk headers are not touched; the owning Memory is reset
+// separately and the arena will carve fresh chunks from its base again.
+func (f *FreeList) Reset() {
+	clear(f.bins)
+	f.large = f.large[:0]
+	clear(f.allocated)
+	f.live, f.hwm = 0, 0
+	f.a.Reset()
+}
+
 // UsableSize reports the payload size class of an allocated chunk.
 func (f *FreeList) UsableSize(addr uint64) (uint64, bool) {
 	cls, ok := f.allocated[addr]

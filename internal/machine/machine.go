@@ -128,14 +128,37 @@ type Machine struct {
 	FuelLimit uint64
 }
 
+// DefaultKeySeed seeds the MAC key of every freshly built (or reset)
+// machine. A fixed seed keeps runs reproducible; chaos scenarios swap the
+// key explicitly when they want mismatches.
+const DefaultKeySeed = 0x1F2E3D4C
+
 // New builds a machine with the default CVA6-like configuration.
 func New() *Machine {
 	return &Machine{
 		Mem:  mem.New(),
 		L1D:  cache.New(cache.CVA6L1D),
-		Key:  mac.NewKey(0x1F2E3D4C),
+		Key:  mac.NewKey(DefaultKeySeed),
 		Cost: DefaultCost,
 	}
+}
+
+// Reset restores the machine to its New-time architectural state —
+// memory unmapped, cache cold, default MAC key, control registers and
+// global-table base cleared, default cost model, all counters zero, no
+// ablation flags, no fuel limit — while keeping the backing Memory and
+// Cache structures for reuse. A reset machine is observationally
+// identical to a fresh one.
+func (m *Machine) Reset() {
+	m.Mem.Reset()
+	m.L1D.Reset()
+	m.Key = mac.NewKey(DefaultKeySeed)
+	m.CRs = [tag.NumSubheapCRs]metadata.CR{}
+	m.GlobalBase, m.GlobalCap = 0, 0
+	m.Cost = DefaultCost
+	m.C = Counters{}
+	m.NoPromote, m.NoNarrow = false, false
+	m.FuelLimit = 0
 }
 
 // TrapKind classifies architectural traps.

@@ -47,7 +47,19 @@ type Memory struct {
 	// Mapped tracks the total number of mapped pages, for the memory
 	// overhead accounting of Figure 12.
 	mapped int
+
+	// spare holds zeroed page frames retained by Reset so a reused
+	// address space demand-maps without fresh host allocations. Frames in
+	// spare are always fully zeroed, which is what keeps a reused page
+	// indistinguishable from a freshly allocated one.
+	spare []*[PageSize]byte
 }
+
+// maxSparePages bounds the page frames Reset retains (64 MiB of host
+// memory per address space); anything beyond is dropped to the GC so a
+// single huge run cannot pin its peak footprint inside a pooled system
+// forever.
+const maxSparePages = 16384
 
 // New returns an empty address space.
 func New() *Memory {
@@ -56,9 +68,26 @@ func New() *Memory {
 
 // MappedBytes reports the number of bytes of guest memory currently backed
 // by pages. This is the simulator's analogue of maximum resident set size
-// growth (pages are never unmapped, so the high-water mark equals the
-// current value).
+// growth (pages are never unmapped during a run, so the high-water mark
+// equals the current value; Reset starts a new run at zero).
 func (m *Memory) MappedBytes() uint64 { return uint64(m.mapped) * PageSize }
+
+// Reset unmaps every page, returning the address space to its New-time
+// state (MappedBytes == 0, all memory reads as zero) while retaining up
+// to maxSparePages zeroed page frames for reuse. A reused Memory is
+// observationally identical to a fresh one: the only difference is that
+// demand-mapping pops a retained frame instead of allocating.
+func (m *Memory) Reset() {
+	for _, p := range m.pages {
+		if len(m.spare) >= maxSparePages {
+			break
+		}
+		*p = [PageSize]byte{}
+		m.spare = append(m.spare, p)
+	}
+	clear(m.pages)
+	m.mapped = 0
+}
 
 // Map ensures the pages covering [addr, addr+size) are present. The runtime
 // uses it to model brk/mmap; ordinary loads and stores also demand-map, as
@@ -77,7 +106,13 @@ func (m *Memory) Map(addr, size uint64) {
 func (m *Memory) page(pn uint64) *[PageSize]byte {
 	p, ok := m.pages[pn]
 	if !ok {
-		p = new([PageSize]byte)
+		if n := len(m.spare); n > 0 {
+			p = m.spare[n-1]
+			m.spare[n-1] = nil
+			m.spare = m.spare[:n-1]
+		} else {
+			p = new([PageSize]byte)
+		}
 		m.pages[pn] = p
 		m.mapped++
 	}

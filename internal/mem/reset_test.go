@@ -1,0 +1,148 @@
+package mem
+
+import "testing"
+
+// TestResetClearsPagesAndAccounting: after Reset the address space is
+// empty (MappedBytes 0, no snapshot entries) and every prior write is
+// gone — a reused page must read as zero, exactly like a fresh mapping.
+func TestResetClearsPagesAndAccounting(t *testing.T) {
+	m := New()
+	for _, addr := range []uint64{0x0, 0x1000, 0x4_0000_0000} {
+		if err := m.Store64(addr, 0xdeadbeefcafef00d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.MappedBytes() == 0 {
+		t.Fatal("writes mapped no pages")
+	}
+	m.Reset()
+	if got := m.MappedBytes(); got != 0 {
+		t.Errorf("MappedBytes after Reset = %d, want 0", got)
+	}
+	if pns := m.Snapshot(); len(pns) != 0 {
+		t.Errorf("Snapshot after Reset = %v, want empty", pns)
+	}
+	// Reads demand-map recycled frames; they must be zero.
+	for _, addr := range []uint64{0x0, 0x1000, 0x4_0000_0000} {
+		got, err := m.Load64(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 0 {
+			t.Errorf("addr %#x reads %#x after Reset, want 0", addr, got)
+		}
+	}
+}
+
+// TestStoreSpansPageBoundaryAfterReset: a store straddling a page
+// boundary after Reset maps both pages (possibly one recycled frame and
+// one fresh) and round-trips, with accounting identical to a fresh
+// address space.
+func TestStoreSpansPageBoundaryAfterReset(t *testing.T) {
+	m := New()
+	// First cycle maps exactly one page, so after Reset the spare list
+	// holds one frame and the straddling store must mix recycled + fresh.
+	if err := m.Store64(0x100, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+
+	addr := uint64(PageSize - 3)
+	const want = uint64(0xcafebabedeadbeef)
+	if err := m.Store64(addr, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Load64(addr)
+	if err != nil || got != want {
+		t.Fatalf("cross-page load after Reset = %#x (err %v), want %#x", got, err, want)
+	}
+	if m.MappedBytes() != 2*PageSize {
+		t.Errorf("mapped = %d, want two pages", m.MappedBytes())
+	}
+	// The bytes on each side of the boundary are where they should be.
+	lo, _ := m.LoadN(PageSize-1, 1)
+	hi, _ := m.LoadN(PageSize, 1)
+	if lo != (want>>16)&0xff || hi != (want>>24)&0xff {
+		t.Errorf("boundary bytes = %#x/%#x, want %#x/%#x",
+			lo, hi, (want>>16)&0xff, (want>>24)&0xff)
+	}
+}
+
+// TestMappedBytesAcrossResetCycles: the same access pattern must report
+// the same MappedBytes on every reuse cycle — recycled frames may not
+// perturb the Figure-12 footprint accounting.
+func TestMappedBytesAcrossResetCycles(t *testing.T) {
+	m := New()
+	runPattern := func() uint64 {
+		for i := uint64(0); i < 5; i++ {
+			if err := m.Store64(i*3*PageSize, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.Map(0x9000_0000, 4*PageSize)
+		return m.MappedBytes()
+	}
+	want := runPattern()
+	for cycle := 1; cycle <= 3; cycle++ {
+		m.Reset()
+		if got := m.MappedBytes(); got != 0 {
+			t.Fatalf("cycle %d: MappedBytes after Reset = %d", cycle, got)
+		}
+		if got := runPattern(); got != want {
+			t.Errorf("cycle %d: MappedBytes = %d, want %d (fresh run)", cycle, got, want)
+		}
+	}
+}
+
+// TestFreshVsReusedSnapshotEquivalence: running one pattern on a fresh
+// Memory and on a reset one must produce identical page snapshots and
+// contents — the mem-layer half of the pool's determinism contract.
+func TestFreshVsReusedSnapshotEquivalence(t *testing.T) {
+	pattern := func(m *Memory) {
+		for i := uint64(0); i < 8; i++ {
+			if err := m.Store64(0x10_0000+i*PageSize/2, 0xA0+i); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	fresh := New()
+	pattern(fresh)
+
+	reused := New()
+	// Dirty the reused space differently first, then reset.
+	for i := uint64(0); i < 20; i++ {
+		if err := reused.Store64(i*2*PageSize, ^i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reused.Reset()
+	pattern(reused)
+
+	fp, rp := fresh.Snapshot(), reused.Snapshot()
+	if len(fp) != len(rp) {
+		t.Fatalf("page counts differ: fresh %d, reused %d", len(fp), len(rp))
+	}
+	for i := range fp {
+		if fp[i] != rp[i] {
+			t.Fatalf("page %d differs: fresh %#x, reused %#x", i, fp[i], rp[i])
+		}
+		fbuf := make([]byte, PageSize)
+		rbuf := make([]byte, PageSize)
+		if err := fresh.Read(fp[i]<<PageBits, fbuf); err != nil {
+			t.Fatal(err)
+		}
+		if err := reused.Read(rp[i]<<PageBits, rbuf); err != nil {
+			t.Fatal(err)
+		}
+		for j := range fbuf {
+			if fbuf[j] != rbuf[j] {
+				t.Fatalf("page %#x byte %d differs: fresh %#x, reused %#x",
+					fp[i], j, fbuf[j], rbuf[j])
+			}
+		}
+	}
+	if fresh.MappedBytes() != reused.MappedBytes() {
+		t.Errorf("MappedBytes differ: fresh %d, reused %d",
+			fresh.MappedBytes(), reused.MappedBytes())
+	}
+}

@@ -462,7 +462,8 @@ func ExecuteBudget(src string, mode rt.Mode, fuel uint64) (out []int64, exit int
 	if err != nil {
 		return nil, 0, c, err
 	}
-	r := rt.New(mode)
+	r := rt.Acquire(mode)
+	defer rt.Release(r)
 	vm, err := NewVM(comp, r)
 	if err != nil {
 		return nil, 0, r.M.C, err

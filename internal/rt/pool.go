@@ -1,0 +1,151 @@
+package rt
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// reuseSystems gates the pool globally. Default on; SetReuseSystems(false)
+// is the escape hatch that makes Acquire construct fresh runtimes and
+// Release discard them, restoring the pre-pool lifecycle exactly.
+var reuseSystems atomic.Bool
+
+func init() { reuseSystems.Store(true) }
+
+// ReuseSystems reports whether Acquire/Release recycle runtimes.
+func ReuseSystems() bool { return reuseSystems.Load() }
+
+// SetReuseSystems toggles runtime reuse process-wide. Turning it off does
+// not drain already-idle runtimes (they are simply never handed out again
+// until reuse is re-enabled); use Pool.Drain to drop them eagerly.
+func SetReuseSystems(on bool) { reuseSystems.Store(on) }
+
+// PoolStats is a snapshot of a pool's counters. Hits are acquisitions
+// served by resetting an idle runtime; Misses constructed a fresh one;
+// Releases counts runtimes returned; Discards counts returns dropped
+// because the pool was full (or reuse was off); Idle is the current
+// parked count.
+type PoolStats struct {
+	Hits     uint64
+	Misses   uint64
+	Releases uint64
+	Discards uint64
+	Idle     uint64
+}
+
+// Pool is a concurrency-safe free list of runtimes. Acquire pops an idle
+// runtime and Resets it into the requested mode (or builds a fresh one);
+// Release parks a runtime for the next Acquire. Because Reset restores
+// every New-time invariant, a pooled runtime is observationally identical
+// to a fresh one — callers may release runtimes in any state, including
+// mid-trap or deliberately corrupted by chaos scenarios.
+type Pool struct {
+	maxIdle int
+
+	mu   sync.Mutex
+	idle []*Runtime
+
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	releases atomic.Uint64
+	discards atomic.Uint64
+}
+
+// NewPool builds a pool retaining up to maxIdle idle runtimes; maxIdle <= 0
+// selects a default sized to the machine (enough for every worker in the
+// experiment grid or the server's admission pool to hold one runtime plus
+// headroom for bursts).
+func NewPool(maxIdle int) *Pool {
+	if maxIdle <= 0 {
+		maxIdle = 2 * runtime.NumCPU()
+		if maxIdle < 8 {
+			maxIdle = 8
+		}
+	}
+	return &Pool{maxIdle: maxIdle}
+}
+
+// DefaultPool is the process-wide pool behind the package-level Acquire
+// and Release; every hot path (VM entry, server workers, experiment grid,
+// Juliet, chaos) shares it.
+var DefaultPool = NewPool(0)
+
+// Acquire returns a runtime in the given mode: a reset idle runtime when
+// the pool has one, a fresh construction otherwise. With reuse disabled
+// it always constructs.
+func (p *Pool) Acquire(mode Mode) *Runtime {
+	if !ReuseSystems() {
+		return New(mode)
+	}
+	p.mu.Lock()
+	var r *Runtime
+	if n := len(p.idle); n > 0 {
+		r = p.idle[n-1]
+		p.idle[n-1] = nil
+		p.idle = p.idle[:n-1]
+	}
+	p.mu.Unlock()
+	if r == nil {
+		p.misses.Add(1)
+		return New(mode)
+	}
+	p.hits.Add(1)
+	r.Reset(mode)
+	return r
+}
+
+// Release parks a runtime for reuse. nil is ignored, as is any release
+// while reuse is disabled or the pool is full (the runtime is left to the
+// GC). The runtime is reset lazily — at the next Acquire, which knows the
+// target mode — so Release itself is cheap.
+func (p *Pool) Release(r *Runtime) {
+	if r == nil {
+		return
+	}
+	p.releases.Add(1)
+	if !ReuseSystems() {
+		p.discards.Add(1)
+		return
+	}
+	p.mu.Lock()
+	if len(p.idle) < p.maxIdle {
+		p.idle = append(p.idle, r)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	p.discards.Add(1)
+}
+
+// Drain drops every idle runtime, returning how many were dropped.
+func (p *Pool) Drain() int {
+	p.mu.Lock()
+	n := len(p.idle)
+	for i := range p.idle {
+		p.idle[i] = nil
+	}
+	p.idle = p.idle[:0]
+	p.mu.Unlock()
+	return n
+}
+
+// Stats snapshots the pool's counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	idle := uint64(len(p.idle))
+	p.mu.Unlock()
+	return PoolStats{
+		Hits:     p.hits.Load(),
+		Misses:   p.misses.Load(),
+		Releases: p.releases.Load(),
+		Discards: p.discards.Load(),
+		Idle:     idle,
+	}
+}
+
+// Acquire checks a runtime out of the DefaultPool.
+func Acquire(mode Mode) *Runtime { return DefaultPool.Acquire(mode) }
+
+// Release returns a runtime to the DefaultPool.
+func Release(r *Runtime) { DefaultPool.Release(r) }

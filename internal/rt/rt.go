@@ -202,6 +202,42 @@ func New(mode Mode) *Runtime {
 	return r
 }
 
+// Reset restores every New-time invariant — machine architectural state,
+// empty arenas and allocators, no interned layout tables, no global-table
+// rows, no pools, default ablation flags, zero stats — without
+// reallocating the backing structures, and switches the runtime to the
+// given mode. Layout tables are invalidated rather than kept: the layout
+// arena rewinds to layoutBase, so re-interning the same types in the same
+// order reproduces the same guest addresses a fresh runtime would assign,
+// which is what keeps reused-vs-fresh runs byte-identical.
+func (r *Runtime) Reset(mode Mode) {
+	r.M.Reset()
+	r.mode = mode
+	r.layoutArena.Reset()
+	r.globalArena.Reset()
+	r.stackArena.Reset()
+	r.fl.Reset()
+	r.buddy.Reset()
+	clear(r.tables)
+	r.freeRows = r.freeRows[:0]
+	r.nextRow = 0
+	clear(r.pools)
+	clear(r.blocks)
+	clear(r.crOfBits)
+	r.nextCR = 0
+	clear(r.wrappedLocal)
+	clear(r.heapRows)
+	clear(r.sigCount)
+	r.ForceGlobalTable = false
+	r.ExplicitChecks = false
+	r.allocFaultAt = 0
+	r.Stats = Stats{}
+	if mode != Baseline {
+		r.M.GlobalBase = globalTableBase
+		r.M.GlobalCap = uint32(globalTableCap)
+	}
+}
+
 // Mode returns the runtime's mode.
 func (r *Runtime) Mode() Mode { return r.mode }
 

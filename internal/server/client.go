@@ -7,10 +7,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -48,6 +49,13 @@ type Client struct {
 	RetryBase time.Duration
 	// NoRetry disables retrying entirely (equivalent to MaxAttempts 1).
 	NoRetry bool
+	// Jitter draws the random component added to each backoff delay, in
+	// [0, max). nil selects the shared process-wide source. Tests (and
+	// NewClientSeeded) install a deterministic source here; a custom
+	// Jitter must be safe for concurrent use if the client is. The field
+	// is a function, not a *rand.Rand, so Client stays copyable
+	// (WaitReady copies the client to loosen its retry caps).
+	Jitter func(max time.Duration) time.Duration
 }
 
 // NewClient builds a client for the given base URL.
@@ -55,6 +63,32 @@ func NewClient(baseURL string) *Client {
 	return &Client{
 		BaseURL: strings.TrimRight(baseURL, "/"),
 		HTTP:    &http.Client{Timeout: 2 * DefaultRequestTimeout},
+	}
+}
+
+// NewClientSeeded is NewClient with a deterministic backoff jitter
+// source seeded from seed: every retry schedule the client produces is
+// reproducible run-to-run. The source is owned by this client (not the
+// process-wide one) and is safe for concurrent use.
+func NewClientSeeded(baseURL string, seed uint64) *Client {
+	c := NewClient(baseURL)
+	c.Jitter = seededJitter(seed)
+	return c
+}
+
+// seededJitter builds a concurrency-safe jitter function over its own
+// PCG source. The closure owns the source and its mutex, so the Client
+// carrying it remains freely copyable.
+func seededJitter(seed uint64) func(max time.Duration) time.Duration {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewPCG(seed, seed))
+	return func(max time.Duration) time.Duration {
+		if max <= 0 {
+			return 0
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return time.Duration(rng.Int64N(int64(max)))
 	}
 }
 
@@ -169,7 +203,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, resp 
 	var err error
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if attempt > 1 {
-			if serr := sleepCtx(ctx, backoff(base, attempt-1)); serr != nil {
+			if serr := sleepCtx(ctx, c.backoff(base, attempt-1)); serr != nil {
 				return hdr, err // context expired while backing off: report the last real failure
 			}
 		}
@@ -239,8 +273,10 @@ func retryable(err error) bool {
 
 // backoff returns the delay before the retry-th retry: exponential
 // doubling from base, capped, plus up to 25% jitter so synchronized
-// clients do not reconverge on the server in lockstep.
-func backoff(base time.Duration, retry int) time.Duration {
+// clients do not reconverge on the server in lockstep. The jitter comes
+// from the client's Jitter source when set (per-client, seedable — so a
+// test can pin the whole schedule), else from the process-wide source.
+func (c *Client) backoff(base time.Duration, retry int) time.Duration {
 	d := base
 	for i := 1; i < retry && d < maxRetryDelay; i++ {
 		d *= 2
@@ -248,7 +284,21 @@ func backoff(base time.Duration, retry int) time.Duration {
 	if d > maxRetryDelay {
 		d = maxRetryDelay
 	}
-	return d + time.Duration(rand.Int63n(int64(d)/4+1))
+	jitter := c.Jitter
+	if jitter == nil {
+		jitter = defaultJitter
+	}
+	return d + jitter(d/4+1)
+}
+
+// defaultJitter draws from math/rand/v2's process-wide generator, which
+// is seeded randomly at startup and safe for concurrent use without a
+// shared lock in this package.
+func defaultJitter(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int64N(int64(max)))
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) error {

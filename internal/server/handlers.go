@@ -371,7 +371,8 @@ func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	status, body, ok := s.dispatch(r.Context(), func() (int, []byte) {
-		run := rt.New(mode)
+		run := rt.Acquire(mode)
+		defer rt.Release(run)
 		run.M.NoPromote = req.NoPromote
 		sum, err := wl.Run(run, req.Scale)
 		if err != nil {

@@ -3,6 +3,8 @@ package server
 import (
 	"sync/atomic"
 	"time"
+
+	"infat/internal/rt"
 )
 
 // latencyBuckets are the upper edges of the request-latency histogram.
@@ -82,6 +84,11 @@ type MetricsSnapshot struct {
 	Cache     map[string]uint64 `json:"cache"`     // hits, misses, evictions, entries
 	Traps     map[string]uint64 `json:"traps"`     // spatial, fuel, other, none
 	Latency   map[string]uint64 `json:"latency_ms"`
+	// Pool reports the runtime pool behind the workers: hits (acquisitions
+	// served by resetting an idle runtime), misses (fresh constructions),
+	// releases, discards, idle. The pool is process-global (rt.DefaultPool),
+	// so with several Servers in one process these counters are shared.
+	Pool map[string]uint64 `json:"pool"`
 }
 
 func (s *Server) snapshot() MetricsSnapshot {
@@ -127,5 +134,18 @@ func (s *Server) snapshot() MetricsSnapshot {
 			"none":     m.trapNone.Load(),
 		},
 		Latency: lat,
+		Pool:    poolCounters(),
+	}
+}
+
+// poolCounters snapshots rt.DefaultPool for the /metrics response.
+func poolCounters() map[string]uint64 {
+	ps := rt.DefaultPool.Stats()
+	return map[string]uint64{
+		"hits":     ps.Hits,
+		"misses":   ps.Misses,
+		"releases": ps.Releases,
+		"discards": ps.Discards,
+		"idle":     ps.Idle,
 	}
 }

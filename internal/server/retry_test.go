@@ -182,6 +182,71 @@ func TestWaitReadyRetriesUntilUp(t *testing.T) {
 	}
 }
 
+// TestBackoffUsesInjectedJitter: the backoff schedule is fully
+// determined once a Jitter source is installed — exponential doubling
+// from RetryBase, capped, plus exactly what the source returns.
+func TestBackoffUsesInjectedJitter(t *testing.T) {
+	var maxes []time.Duration
+	c := NewClient("http://unused")
+	c.Jitter = func(max time.Duration) time.Duration {
+		maxes = append(maxes, max)
+		return max - 1 // the largest value a real source could draw
+	}
+	base := 100 * time.Millisecond
+	var got []time.Duration
+	for retry := 1; retry <= 6; retry++ {
+		got = append(got, c.backoff(base, retry))
+	}
+	// Exponential delays before jitter: 100ms, 200ms, ..., capped at 2s.
+	delays := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		2 * time.Second, // capped at maxRetryDelay
+	}
+	for i, d := range delays {
+		wantMax := d/4 + 1
+		if maxes[i] != wantMax {
+			t.Errorf("retry %d: jitter bound = %v, want %v", i+1, maxes[i], wantMax)
+		}
+		if want := d + wantMax - 1; got[i] != want {
+			t.Errorf("backoff(retry=%d) = %v, want %v", i+1, got[i], want)
+		}
+	}
+}
+
+// TestSeededClientBackoffDeterministic: two clients seeded alike draw
+// identical jitter sequences; a different seed diverges.
+func TestSeededClientBackoffDeterministic(t *testing.T) {
+	schedule := func(seed uint64) []time.Duration {
+		c := NewClientSeeded("http://unused", seed)
+		var ds []time.Duration
+		for retry := 1; retry <= 8; retry++ {
+			ds = append(ds, c.backoff(DefaultRetryBase, retry))
+		}
+		return ds
+	}
+	a, b := schedule(42), schedule(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 42 schedules diverge at retry %d: %v != %v", i+1, a[i], b[i])
+		}
+	}
+	diff := schedule(43)
+	same := true
+	for i := range a {
+		if a[i] != diff[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical 8-step schedules")
+	}
+}
+
 // TestDispatchRecoversWorkerPanic: a panicking job must cost its request
 // a typed 500 — not the process — free its worker slot, and be counted.
 func TestDispatchRecoversWorkerPanic(t *testing.T) {
