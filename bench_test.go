@@ -72,6 +72,21 @@ func BenchmarkExperiments(b *testing.B) {
 	}
 }
 
+// BenchmarkExperimentsGrid measures one serial pass over the §5.2
+// (workload × configuration) grid — the per-cell simulation cost that
+// dominates campaign wall clock. Serial on purpose: its ns/op tracks the
+// simulator's hot-path efficiency across PRs (snapshotted in the
+// BENCH_*.json trajectory) independent of host core count, where the
+// memory fast paths and the zero-alloc interpreter show up directly.
+func BenchmarkExperimentsGrid(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.RunAllN(1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTable4 regenerates the dynamic-event-count rows: the metric is
 // each workload's dynamic instruction ratio (instrumented / baseline).
 func BenchmarkTable4(b *testing.B) {
@@ -296,7 +311,10 @@ func BenchmarkAblations(b *testing.B) {
 // pre-pool lifecycle, ReuseSystems=false), "pooled" resets and reuses
 // one. The allocs/op gap is the construction churn the pool removes; the
 // outputs are asserted identical, which is the determinism contract in
-// miniature.
+// miniature. Since the program interner landed, both variants share one
+// compilation (ExecuteBudget interns by source hash), so the remaining
+// allocs/op is pure runtime lifecycle plus per-run VM state — the number
+// the CI alloc budget (TestAllocBudgetExecuteBudget) enforces.
 func BenchmarkSystemReuse(b *testing.B) {
 	const src = `int main() {
 	long i;

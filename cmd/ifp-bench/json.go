@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"infat/internal/exp"
+	"infat/internal/mem"
 	"infat/internal/minic"
 	"infat/internal/rt"
 	"infat/internal/server"
@@ -19,13 +20,18 @@ import (
 )
 
 // benchSchema versions the -json output so downstream tooling can detect
-// format changes across BENCH_*.json files.
-const benchSchema = "ifp-bench/v1"
+// format changes across BENCH_*.json files. v2 added grid_bench,
+// mem_bench, and intern (all additive; the deterministic workload
+// cycles and overheads are unchanged from v1).
+const benchSchema = "ifp-bench/v2"
 
 // benchJSON is the machine-readable benchmark summary -json emits: the
 // §5.2 per-workload cycle counts and geomean overheads, cold-vs-warm
-// serve latency, the fresh-vs-pooled runtime acquisition benchmark, and
-// the pool counters accumulated while producing all of the above.
+// serve latency, the fresh-vs-pooled runtime acquisition benchmark, the
+// serial grid and memory fast-path timings, and the pool/interner
+// counters accumulated while producing all of the above. Workload cycles
+// and overheads are modeled (deterministic across hosts and runs); every
+// *_ns_per_op and *_allocs_per_op field is host timing.
 type benchJSON struct {
 	Schema   string `json:"schema"`
 	Scale    int    `json:"scale"`
@@ -37,8 +43,30 @@ type benchJSON struct {
 
 	Serve      serveJSON `json:"serve"`
 	ReuseBench reuseJSON `json:"reuse_bench"`
+	GridBench  gridJSON  `json:"grid_bench"`
+	MemBench   memJSON   `json:"mem_bench"`
 
-	Pool map[string]uint64 `json:"pool"`
+	Pool   map[string]uint64 `json:"pool"`
+	Intern map[string]int    `json:"intern"`
+}
+
+// gridJSON times one serial pass over the full §5.2 grid (every workload
+// × every configuration, one worker) — the experiments-grid number the
+// perf trajectory tracks across BENCH_*.json snapshots, independent of
+// host core count.
+type gridJSON struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// memJSON times the guest-memory access paths on a warm working set: one
+// op is a store+load pair. Aligned accesses take the single-page fast
+// path; straddle ops cross a page boundary and take the bounce-buffer
+// slow path.
+type memJSON struct {
+	AlignedNsPerOp  int64 `json:"aligned_ns_per_op"`
+	StraddleNsPerOp int64 `json:"straddle_ns_per_op"`
+	AllocsPerOp     int64 `json:"allocs_per_op"`
 }
 
 // workloadJSON is one workload's cycle counts per configuration plus the
@@ -130,6 +158,8 @@ func writeBenchJSON(path string, results []exp.Result, scale, parallel int) erro
 	}
 	out.Serve = serve
 	out.ReuseBench = benchReuse()
+	out.GridBench = benchGrid(scale)
+	out.MemBench = benchMem()
 	ps := rt.DefaultPool.Stats()
 	out.Pool = map[string]uint64{
 		"hits":     ps.Hits,
@@ -138,6 +168,7 @@ func writeBenchJSON(path string, results []exp.Result, scale, parallel int) erro
 		"discards": ps.Discards,
 		"idle":     ps.Idle,
 	}
+	out.Intern = map[string]int{"entries": minic.DefaultInterner.Len()}
 
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -178,6 +209,56 @@ func benchReuse() reuseJSON {
 		PooledNsPerOp:     pooled.NsPerOp(),
 		FreshAllocsPerOp:  fresh.AllocsPerOp(),
 		PooledAllocsPerOp: pooled.AllocsPerOp(),
+	}
+}
+
+// benchGrid times one serial full-grid evaluation per op (the
+// BenchmarkExperimentsGrid twin, so the CLI snapshot and `go test -bench`
+// measure the same thing).
+func benchGrid(scale int) gridJSON {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := exp.RunAllN(scale, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return gridJSON{NsPerOp: r.NsPerOp(), AllocsPerOp: r.AllocsPerOp()}
+}
+
+// benchMem times the guest-memory fast and slow paths on a warm 16-page
+// working set (the BenchmarkMemLoadStore twin).
+func benchMem() memJSON {
+	m := mem.New()
+	const span = 16 * mem.PageSize
+	m.Map(0, span)
+	aligned := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			addr := uint64(i) * 8 % span
+			_ = m.StoreN(addr, uint64(i), 8)
+			v, _ := m.LoadN(addr, 8)
+			sink += v
+		}
+		_ = sink
+	})
+	straddle := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			addr := uint64(i)%14*mem.PageSize + mem.PageSize - 3
+			_ = m.StoreN(addr, uint64(i), 8)
+			v, _ := m.LoadN(addr, 8)
+			sink += v
+		}
+		_ = sink
+	})
+	return memJSON{
+		AlignedNsPerOp:  aligned.NsPerOp(),
+		StraddleNsPerOp: straddle.NsPerOp(),
+		AllocsPerOp:     aligned.AllocsPerOp(),
 	}
 }
 

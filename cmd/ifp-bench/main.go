@@ -6,12 +6,15 @@
 // Usage:
 //
 //	ifp-bench [-scale N] [-parallel N] [-table4] [-fig10] [-fig11] [-fig12] [-bench name] [-chaos]
+//	          [-json path] [-cpuprofile path] [-memprofile path]
 //
 // With no selection flags, everything is printed. The (workload ×
 // configuration) grid fans out over -parallel worker goroutines (default:
 // the number of CPUs); every cell runs in its own isolated runtime and
 // results are collected deterministically, so the output is byte-identical
 // at any worker count. -parallel 1 restores the fully serial run.
+// -cpuprofile and -memprofile write pprof-format host profiles of the
+// selected run, so perf work starts from a measurement instead of a guess.
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"infat/internal/baseline"
 	"infat/internal/chaos"
@@ -27,7 +31,12 @@ import (
 	"infat/internal/workloads"
 )
 
-func main() {
+// main delegates to run so deferred teardown (profile flushing in
+// particular) executes on every exit path before the process status is
+// set; os.Exit would skip it.
+func main() { os.Exit(run()) }
+
+func run() int {
 	scale := flag.Int("scale", 1, "workload scale factor (1 = standard run)")
 	memScale := flag.Int("memscale", exp.MemScale, "scale multiplier for the memory experiment (Figure 12)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for the evaluation grid (1 = serial)")
@@ -41,17 +50,51 @@ func main() {
 	hybrid := flag.Bool("hybrid", false, "print the hybrid (dynamic allocator selection) comparison")
 	asic := flag.Bool("asic", false, "print the §5.2.4 ASIC extrapolation sweep")
 	related := flag.Bool("related", false, "print the related-work comparison")
-	jsonPath := flag.String("json", "", "write a machine-readable benchmark summary (cycles, overheads, serve latency, pool stats) to this path")
+	jsonPath := flag.String("json", "", "write a machine-readable benchmark summary (cycles, overheads, serve/grid/mem timings, pool and interner stats) to this path")
 	noReuse := flag.Bool("no-reuse", false, "disable runtime pooling: construct a fresh simulator per cell")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path (pprof format)")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this path on exit (pprof format)")
 	flag.Parse()
 
 	if *noReuse {
 		rt.SetReuseSystems(false)
 	}
 
-	fail := func(err error) {
+	fail := func(err error) int {
 		fmt.Fprintln(os.Stderr, "ifp-bench:", err)
-		os.Exit(1)
+		return 1
+	}
+
+	// Profiles bracket the whole run so a future perf PR starts from a
+	// measured flame graph of exactly the command it wants to speed up
+	// (e.g. `ifp-bench -cpuprofile cpu.out -parallel 1`).
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ifp-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush dead objects so the profile shows live + cumulative truth
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ifp-bench:", err)
+			}
+		}()
 	}
 
 	selected := workloads.All
@@ -59,7 +102,7 @@ func main() {
 		w, ok := workloads.ByName(*bench)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "ifp-bench: unknown workload %q\n", *bench)
-			os.Exit(2)
+			return 2
 		}
 		selected = []workloads.Workload{w}
 	}
@@ -69,42 +112,42 @@ func main() {
 		fmt.Println(chaos.Report(outcomes))
 		if internal := chaos.Summarize(outcomes).Internal; internal > 0 {
 			fmt.Fprintf(os.Stderr, "ifp-bench: %d internal outcomes (simulator bugs)\n", internal)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if *ablations {
 		out, err := exp.AblationsN(*scale, *parallel)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		fmt.Println(out)
 		fmt.Println(exp.TagLayouts())
-		return
+		return 0
 	}
 	if *hybrid {
 		out, err := exp.HybridReportN(*scale, *parallel)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		fmt.Println(out)
-		return
+		return 0
 	}
 	if *asic {
 		out, err := exp.ASICSweep(*scale)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		fmt.Println(out)
-		return
+		return 0
 	}
 	if *related {
 		out, err := baseline.Compare(1500)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		fmt.Println(out)
-		return
+		return 0
 	}
 
 	// -json alone emits the summary without the printed reports; combined
@@ -112,10 +155,10 @@ func main() {
 	any := *table4 || *fig10 || *fig11 || *fig12
 	if *jsonPath != "" && !any {
 		if err := writeBenchJSON(*jsonPath, nil, *scale, *parallel); err != nil {
-			fail(err)
+			return fail(err)
 		}
 		fmt.Fprintln(os.Stderr, "ifp-bench: wrote", *jsonPath)
-		return
+		return 0
 	}
 	needPerf := !any || *table4 || *fig10 || *fig11
 	needMem := !any || *fig12
@@ -124,7 +167,7 @@ func main() {
 	if needPerf {
 		r, err := exp.RunSet(selected, *scale, *parallel)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		results = r
 	}
@@ -132,7 +175,7 @@ func main() {
 	if needMem {
 		m, err := exp.RunMemSet(selected, *scale**memScale, *parallel)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		mem = m
 	}
@@ -151,8 +194,9 @@ func main() {
 	}
 	if *jsonPath != "" {
 		if err := writeBenchJSON(*jsonPath, results, *scale, *parallel); err != nil {
-			fail(err)
+			return fail(err)
 		}
 		fmt.Fprintln(os.Stderr, "ifp-bench: wrote", *jsonPath)
 	}
+	return 0
 }

@@ -9,7 +9,7 @@
 //
 //	ifp-serve [-addr :8080] [-workers N] [-cache N] [-fuel CYCLES]
 //	          [-max-fuel CYCLES] [-timeout D] [-max-source BYTES]
-//	          [-selftest]
+//	          [-pprof ADDR] [-selftest]
 //
 // Every run executes under a cycle fuel budget, so a submitted infinite
 // loop traps (class "fuel") instead of pinning a worker; request-chosen
@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux for the -pprof listener
 	"os"
 	"os/signal"
 	"syscall"
@@ -47,10 +48,26 @@ func main() {
 	maxSource := flag.Int("max-source", server.DefaultMaxSourceBytes, "max submitted source size (bytes)")
 	selftest := flag.Bool("selftest", false, "start on a loopback port, exercise every endpoint, exit")
 	noReuse := flag.Bool("no-reuse", false, "disable runtime pooling: construct a fresh simulator per request")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables")
 	flag.Parse()
 
 	if *noReuse {
 		rt.SetReuseSystems(false)
+	}
+
+	// The pprof endpoint lives on its own listener, never the service
+	// address: profiling stays an operator decision and is not reachable
+	// through whatever exposes the API port. The debug mux is the
+	// net/http/pprof default set (/debug/pprof/profile, /heap, /allocs,
+	// /goroutine, ...), so future perf PRs profile the live service
+	// under real traffic instead of guessing.
+	if *pprofAddr != "" {
+		go func() {
+			fmt.Fprintf(os.Stderr, "ifp-serve: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "ifp-serve: pprof:", err)
+			}
+		}()
 	}
 
 	cfg := server.Config{

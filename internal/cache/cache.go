@@ -9,7 +9,10 @@
 // cache only decides whether an access is a hit or a miss and counts both.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Config describes a cache geometry.
 type Config struct {
@@ -43,21 +46,38 @@ func (s Stats) String() string {
 		s.Accesses, s.Misses, 100*s.MissRate(), s.Writebacks)
 }
 
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	lru   uint64 // last-touch tick
-}
+// Line state is packed as tag<<2 | dirty<<1 | valid, so the tag probe of
+// an 8-way set scans a single 64-byte host cache line; key 0 means
+// invalid (a valid key always has bit 0 set). LRU stamps live in a
+// parallel array touched only on hit or fill.
+const (
+	keyValid = 1 << 0
+	keyDirty = 1 << 1
+)
 
 // Cache is a set-associative write-back, write-allocate cache model.
 type Cache struct {
-	cfg      Config
-	sets     [][]line
+	cfg Config
+	// keys and lru hold every way of every set contiguously (set i
+	// occupies index range [i*ways, (i+1)*ways)).
+	keys     []uint64
+	lru      []uint64 // last-touch tick per way
+	ways     int
 	setMask  uint64
 	lineBits uint
+	setBits  uint // log2(set count); tag = line number >> setBits
 	tick     uint64
 	stats    Stats
+
+	// lastLn/lastIdx memoize the flat way index of the most recently
+	// touched line, short-circuiting the set scan for back-to-back
+	// touches of one line (the common case: sequential word accesses
+	// within a line, and multi-word metadata fetches). The memo is
+	// validated against the packed key before use, so a stale entry —
+	// after eviction, Flush, or Reset — simply falls through to the
+	// full probe; it can never change hit/miss outcomes or LRU order.
+	lastLn  uint64
+	lastIdx int
 }
 
 // New builds a cache; it panics on a non-power-of-two geometry since that
@@ -73,14 +93,11 @@ func New(cfg Config) *Cache {
 	if nsets&(nsets-1) != 0 {
 		panic("cache: set count must be a power of two")
 	}
-	c := &Cache{cfg: cfg, setMask: uint64(nsets - 1)}
-	for b := cfg.LineBytes; b > 1; b >>= 1 {
-		c.lineBits++
-	}
-	c.sets = make([][]line, nsets)
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
-	}
+	c := &Cache{cfg: cfg, ways: cfg.Ways, setMask: uint64(nsets - 1)}
+	c.lineBits = uint(bits.TrailingZeros64(uint64(cfg.LineBytes)))
+	c.setBits = uint(bits.Len64(c.setMask))
+	c.keys = make([]uint64, nsets*cfg.Ways)
+	c.lru = make([]uint64, nsets*cfg.Ways)
 	return c
 }
 
@@ -117,32 +134,54 @@ func (c *Cache) Access(addr uint64, size int, store bool) (misses int) {
 
 // touch looks up line number ln, filling on miss; reports hit.
 func (c *Cache) touch(ln uint64, store bool) bool {
-	set := c.sets[ln&c.setMask]
-	tagv := ln >> uint(len64(c.setMask))
-	for i := range set {
-		if set[i].valid && set[i].tag == tagv {
-			set[i].lru = c.tick
+	want := ln>>c.setBits<<2 | keyValid
+	if ln == c.lastLn {
+		// Memoized repeat touch: lastIdx was recorded for this exact line
+		// number, so it lies in ln's set; the key re-check proves the way
+		// still holds this line (i.e. it was not evicted or invalidated in
+		// between). The update below is exactly the hit path's.
+		if i := c.lastIdx; c.keys[i]&^keyDirty == want {
+			c.lru[i] = c.tick
 			if store {
-				set[i].dirty = true
+				c.keys[i] |= keyDirty
 			}
 			return true
 		}
 	}
-	// Miss: evict LRU way.
+	base := int(ln&c.setMask) * c.ways
+	keys := c.keys[base : base+c.ways : base+c.ways]
+	for i, k := range keys {
+		if k&^keyDirty == want {
+			c.lru[base+i] = c.tick
+			if store {
+				keys[i] = k | keyDirty
+			}
+			c.lastLn, c.lastIdx = ln, base+i
+			return true
+		}
+	}
+	// Miss: evict LRU way (first invalid way wins, matching a fill of an
+	// un-warmed set).
 	victim := 0
-	for i := 1; i < len(set); i++ {
-		if !set[i].valid {
+	for i := 1; i < c.ways; i++ {
+		if keys[i] == 0 {
 			victim = i
 			break
 		}
-		if set[i].lru < set[victim].lru {
+		if c.lru[base+i] < c.lru[base+victim] {
 			victim = i
 		}
 	}
-	if set[victim].valid && set[victim].dirty {
+	if keys[victim]&(keyValid|keyDirty) == keyValid|keyDirty {
 		c.stats.Writebacks++
 	}
-	set[victim] = line{tag: tagv, valid: true, dirty: store, lru: c.tick}
+	fill := want
+	if store {
+		fill |= keyDirty
+	}
+	keys[victim] = fill
+	c.lru[base+victim] = c.tick
+	c.lastLn, c.lastIdx = ln, base+victim
 	return false
 }
 
@@ -151,11 +190,8 @@ func (c *Cache) touch(ln uint64, store bool) bool {
 // rather than an invalidation event, so dirty lines do not count as
 // writebacks — a reset cache is indistinguishable from one built by New.
 func (c *Cache) Reset() {
-	for _, set := range c.sets {
-		for i := range set {
-			set[i] = line{}
-		}
-	}
+	clear(c.keys)
+	clear(c.lru)
 	c.tick = 0
 	c.stats = Stats{}
 }
@@ -163,21 +199,11 @@ func (c *Cache) Reset() {
 // Flush invalidates all lines (counting writebacks of dirty lines); used
 // between benchmark runs so each mode starts cold.
 func (c *Cache) Flush() {
-	for _, set := range c.sets {
-		for i := range set {
-			if set[i].valid && set[i].dirty {
-				c.stats.Writebacks++
-			}
-			set[i] = line{}
+	for i, k := range c.keys {
+		if k&(keyValid|keyDirty) == keyValid|keyDirty {
+			c.stats.Writebacks++
 		}
+		c.keys[i] = 0
+		c.lru[i] = 0
 	}
-}
-
-func len64(mask uint64) int {
-	n := 0
-	for mask != 0 {
-		mask >>= 1
-		n++
-	}
-	return n
 }

@@ -10,7 +10,7 @@ package mem
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // PageBits is log2 of the page size.
@@ -38,11 +38,30 @@ func (f *Fault) Error() string {
 	return fmt.Sprintf("mem: %s fault at %#x (size %d): %s", kind, f.Addr, f.Size, f.Why)
 }
 
+// tlbSize is the number of software-TLB entries; the TLB is direct-mapped
+// on the low page-number bits. Sixteen entries cover the working set the
+// grid workloads actually touch per phase (stack page + a few heap pages +
+// the metadata pages promote reads), and direct mapping keeps the hit path
+// free of pointer writes — an MRU scheme's swap-to-front stores pointers on
+// every reordering, and each such store pays a GC write barrier.
+const tlbSize = 16
+
 // Memory is a sparse paged guest address space. It is not safe for
 // concurrent use; the simulated core is single-issue in-order (CVA6), and
 // the runtime serializes guest accesses.
 type Memory struct {
 	pages map[uint64]*[PageSize]byte
+
+	// tlb is a small direct-mapped software TLB: page number pn lives in
+	// slot pn % tlbSize. It is purely a host-side lookup shortcut: a hit
+	// returns the same frame the pages map would, so guest-visible
+	// behavior — contents, MappedBytes, fault points, and every modeled
+	// counter (cycles and cache statistics are charged upstream in
+	// internal/machine before memory is touched) — is identical with the
+	// TLB disabled. Entries stay valid because a mapped page's frame never
+	// changes until Reset, which invalidates the TLB wholesale.
+	tlbPN [tlbSize]uint64
+	tlbPg [tlbSize]*[PageSize]byte
 
 	// Mapped tracks the total number of mapped pages, for the memory
 	// overhead accounting of Figure 12.
@@ -76,7 +95,9 @@ func (m *Memory) MappedBytes() uint64 { return uint64(m.mapped) * PageSize }
 // state (MappedBytes == 0, all memory reads as zero) while retaining up
 // to maxSparePages zeroed page frames for reuse. A reused Memory is
 // observationally identical to a fresh one: the only difference is that
-// demand-mapping pops a retained frame instead of allocating.
+// demand-mapping pops a retained frame instead of allocating. Reset also
+// invalidates the TLB — retained frames may back different page numbers
+// in the next run, so no stale translation can survive it.
 func (m *Memory) Reset() {
 	for _, p := range m.pages {
 		if len(m.spare) >= maxSparePages {
@@ -86,6 +107,7 @@ func (m *Memory) Reset() {
 		m.spare = append(m.spare, p)
 	}
 	clear(m.pages)
+	m.tlbPg = [tlbSize]*[PageSize]byte{}
 	m.mapped = 0
 }
 
@@ -103,7 +125,15 @@ func (m *Memory) Map(addr, size uint64) {
 	}
 }
 
+// page translates a page number to its frame, demand-mapping on first
+// touch. The TLB front-ends the pages map, direct-mapped on the low bits
+// of the page number; a hit performs no writes at all, a miss refills the
+// slot after the map lookup (or demand-map) resolves the frame.
 func (m *Memory) page(pn uint64) *[PageSize]byte {
+	i := pn & (tlbSize - 1)
+	if p := m.tlbPg[i]; p != nil && m.tlbPN[i] == pn {
+		return p
+	}
 	p, ok := m.pages[pn]
 	if !ok {
 		if n := len(m.spare); n > 0 {
@@ -116,6 +146,8 @@ func (m *Memory) page(pn uint64) *[PageSize]byte {
 		m.pages[pn] = p
 		m.mapped++
 	}
+	m.tlbPN[i] = pn
+	m.tlbPg[i] = p
 	return p
 }
 
@@ -156,25 +188,63 @@ func (m *Memory) Write(addr uint64, buf []byte) error {
 }
 
 // LoadN loads a size-byte little-endian unsigned integer (size in
-// {1,2,4,8}).
+// {1,2,4,8}). Accesses contained in one page decode little-endian directly
+// from the page frame; a page-straddling access takes the Read slow path
+// through an 8-byte bounce buffer. Both paths apply the same wrap fault
+// rule, so they are observationally identical (the contract
+// TestMemFastPathDifferential and FuzzMemFastPath pin down).
 func (m *Memory) LoadN(addr uint64, size int) (uint64, error) {
-	var buf [8]byte
 	if size != 1 && size != 2 && size != 4 && size != 8 {
 		return 0, &Fault{Addr: addr, Size: size, Why: "unsupported access size"}
 	}
+	if off := addr & pageMask; off+uint64(size) <= PageSize {
+		if addr+uint64(size) < addr {
+			return 0, &Fault{Addr: addr, Size: size, Why: "address wrap"}
+		}
+		p := m.page(addr >> PageBits)
+		switch size {
+		case 1:
+			return uint64(p[off]), nil
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p[off:])), nil
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[off:])), nil
+		}
+		return binary.LittleEndian.Uint64(p[off:]), nil
+	}
+	var buf [8]byte
 	if err := m.Read(addr, buf[:size]); err != nil {
 		return 0, err
 	}
 	return binary.LittleEndian.Uint64(buf[:]) & (^uint64(0) >> (64 - 8*uint(size))), nil
 }
 
-// StoreN stores the low size bytes of v little-endian (size in {1,2,4,8}).
+// StoreN stores the low size bytes of v little-endian (size in {1,2,4,8}),
+// with the same single-page fast path / straddling slow path split as
+// LoadN.
 func (m *Memory) StoreN(addr uint64, v uint64, size int) error {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], v)
 	if size != 1 && size != 2 && size != 4 && size != 8 {
 		return &Fault{Addr: addr, Size: size, Write: true, Why: "unsupported access size"}
 	}
+	if off := addr & pageMask; off+uint64(size) <= PageSize {
+		if addr+uint64(size) < addr {
+			return &Fault{Addr: addr, Size: size, Write: true, Why: "address wrap"}
+		}
+		p := m.page(addr >> PageBits)
+		switch size {
+		case 1:
+			p[off] = byte(v)
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:], uint16(v))
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:], uint32(v))
+		default:
+			binary.LittleEndian.PutUint64(p[off:], v)
+		}
+		return nil
+	}
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
 	return m.Write(addr, buf[:size])
 }
 
@@ -208,6 +278,6 @@ func (m *Memory) Snapshot() []uint64 {
 	for pn := range m.pages {
 		pns = append(pns, pn)
 	}
-	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	slices.Sort(pns)
 	return pns
 }

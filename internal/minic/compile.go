@@ -97,6 +97,13 @@ type Func struct {
 }
 
 // Compiled is a lowered program ready for the VM.
+//
+// A Compiled is immutable once Compile returns: the VM, NewVM, and every
+// other consumer treat all of its fields (and everything reachable from
+// them — code, locals, globals, layout types) as read-only. That contract
+// is what makes the Interner sound: one *Compiled may be shared by any
+// number of VMs across goroutines without synchronization. Do not mutate
+// a Compiled after construction.
 type Compiled struct {
 	Funcs       []*Func
 	FuncIdx     map[string]int

@@ -1,0 +1,224 @@
+package minic
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"infat/internal/machine"
+	"infat/internal/rt"
+)
+
+const internSrc = `int main() {
+	long i;
+	long acc = 0;
+	long buf[8];
+	for (i = 0; i < 8; i = i + 1) { buf[i] = i * i; }
+	for (i = 0; i < 8; i = i + 1) { acc = acc + buf[i]; }
+	print(acc);
+	return 0;
+}`
+
+func TestInternerCompileOnce(t *testing.T) {
+	in := NewInterner(4)
+	c1, err := in.Get(internSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := in.Get(internSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatal("second Get returned a different *Compiled: source recompiled")
+	}
+	if got := in.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+}
+
+func TestInternerCachesErrors(t *testing.T) {
+	in := NewInterner(4)
+	const bad = "int main() { return 0"
+	c1, err1 := in.Get(bad)
+	if err1 == nil || c1 != nil {
+		t.Fatalf("Get(bad) = (%v, %v), want compile error", c1, err1)
+	}
+	c2, err2 := in.Get(bad)
+	if c2 != nil || err2 != err1 {
+		t.Fatalf("negative entry not cached: second err %v, first %v", err2, err1)
+	}
+	if got := in.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1 (errors occupy an entry)", got)
+	}
+}
+
+func TestInternerLRUEviction(t *testing.T) {
+	in := NewInterner(2)
+	src := func(i int) string { return fmt.Sprintf("int main() { return %d; }", i) }
+	c0, err := in.Get(src(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Get(src(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Touch 0 so 1 becomes the LRU victim when 2 is inserted.
+	if c, err := in.Get(src(0)); err != nil || c != c0 {
+		t.Fatalf("Get(0) = (%p, %v), want cached %p", c, err, c0)
+	}
+	if _, err := in.Get(src(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Len(); got != 2 {
+		t.Fatalf("Len = %d, want cap 2", got)
+	}
+	// 0 must still be the cached instance; 1 was evicted (a fresh Get
+	// works, it just recompiles — eviction never breaks correctness).
+	if c, err := in.Get(src(0)); err != nil || c != c0 {
+		t.Fatalf("entry 0 evicted out of LRU order: (%p, %v), want %p", c, err, c0)
+	}
+	if _, err := in.Get(src(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInternerConcurrent hammers one interner from many goroutines over a
+// small source set and asserts every caller observes exactly one
+// *Compiled per source — the canonical-instance guarantee that maximizes
+// sharing. Run under -race this also proves Get's locking discipline.
+func TestInternerConcurrent(t *testing.T) {
+	in := NewInterner(8)
+	srcs := []string{
+		"int main() { return 1; }",
+		"int main() { return 2; }",
+		internSrc,
+		"int main() { return 0", // negative entry races too
+	}
+	const workers = 16
+	got := make([][]*Compiled, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w] = make([]*Compiled, len(srcs))
+			for rep := 0; rep < 50; rep++ {
+				for i, s := range srcs {
+					c, _ := in.Get(s)
+					if rep == 0 {
+						got[w][i] = c
+					} else if c != got[w][i] {
+						t.Errorf("worker %d src %d: instance changed across Gets", w, i)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := range srcs {
+		for w := 1; w < workers; w++ {
+			if got[w][i] != got[0][i] {
+				t.Fatalf("src %d: worker %d saw %p, worker 0 saw %p", i, w, got[w][i], got[0][i])
+			}
+		}
+	}
+}
+
+// runFresh is the pre-interner ExecuteBudget pipeline: parse and compile
+// this call's own *Compiled, run it on a non-pooled runtime.
+func runFresh(t *testing.T, src string, mode rt.Mode) ([]int64, int64, machine.Counters, error) {
+	t.Helper()
+	comp, err := compileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rt.New(mode)
+	vm, err := NewVM(comp, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exit, err := vm.Run()
+	return vm.Out, exit, r.M.C, err
+}
+
+// TestFreshVsInternedEquivalence is the determinism contract for program
+// interning: a shared, interned *Compiled must produce output, exit code,
+// and modeled counters identical to a private compilation of the same
+// source, in every mode, on both the first and a repeated (cache-hit)
+// run.
+func TestFreshVsInternedEquivalence(t *testing.T) {
+	for _, mode := range []rt.Mode{rt.Baseline, rt.Subheap, rt.Wrapped} {
+		fo, fe, fc, ferr := runFresh(t, internSrc, mode)
+		if ferr != nil {
+			t.Fatalf("%v: fresh run: %v", mode, ferr)
+		}
+		for rep := 0; rep < 3; rep++ {
+			io, ie, ic, ierr := ExecuteBudget(internSrc, mode, 0)
+			if ierr != nil {
+				t.Fatalf("%v rep %d: interned run: %v", mode, rep, ierr)
+			}
+			if ie != fe || ic != fc || len(io) != len(fo) {
+				t.Fatalf("%v rep %d: interned (exit %d, counters %+v) vs fresh (exit %d, counters %+v)",
+					mode, rep, ie, ic, fe, fc)
+			}
+			for i := range fo {
+				if io[i] != fo[i] {
+					t.Fatalf("%v rep %d: out[%d] = %d, fresh %d", mode, rep, i, io[i], fo[i])
+				}
+			}
+		}
+	}
+}
+
+// TestInternedCompiledSharedAcrossModes pins that ExecuteBudget keys the
+// cache by source only: all modes share one *Compiled, so a 5-mode grid
+// cell compiles its workload exactly once.
+func TestInternedCompiledSharedAcrossModes(t *testing.T) {
+	src := "int main() { print(41); return 0; }"
+	c1, err := DefaultInterner.Get(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []rt.Mode{rt.Baseline, rt.Subheap, rt.Wrapped} {
+		if _, _, _, err := ExecuteBudget(src, mode, 0); err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+	}
+	c2, err := DefaultInterner.Get(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatal("running across modes replaced the interned *Compiled")
+	}
+}
+
+// TestAllocBudgetExecuteBudget is the CI alloc-regression guard for the
+// interpreter hot path: a steady-state ExecuteBudget (program interned,
+// runtime pooled, VM arenas warm after the first iteration) must stay
+// within budget. The PR 4 baseline was 84 allocs/op; the interner and the
+// zero-alloc interpreter cut the compile and per-call churn out, and this
+// test keeps them out.
+func TestAllocBudgetExecuteBudget(t *testing.T) {
+	if !rt.ReuseSystems() {
+		t.Skip("requires pooled runtimes")
+	}
+	// Warm: interner entry, pool, and any lazy process state.
+	if _, _, _, err := ExecuteBudget(internSrc, rt.Subheap, 0); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, _, _, err := ExecuteBudget(internSrc, rt.Subheap, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Budget: well under the PR 4 baseline of 84. The remaining allocs
+	// are per-run by design (VM + its Out/heapObjs slices and per-run
+	// guest-object bookkeeping), not per-call or per-access churn.
+	const budget = 40
+	if allocs > budget {
+		t.Fatalf("ExecuteBudget steady state = %.1f allocs/run, budget %d", allocs, budget)
+	}
+}

@@ -13,6 +13,14 @@ import (
 // through the machine's checked paths, OpLoadP promotes, OpGep is ifpadd
 // (+ ifpidx when Sub is set), OpBnd is ifpbnd, and local/global objects
 // are registered through the runtime exactly as Listing 2 shows.
+//
+// The interpreter is allocation-free in steady state: all guest function
+// calls share one operand-stack arena and one local-slot arena on the VM
+// (each growing once to the program's high-water mark and then reused),
+// and per-call frame state lives in a pooled frame stack instead of
+// per-call slices and closures. A VM treats its *Compiled as read-only —
+// the property that lets the Interner share one compilation across many
+// VMs, including concurrent ones.
 type VM struct {
 	R   *rt.Runtime
 	C   *Compiled
@@ -22,6 +30,17 @@ type VM struct {
 	strings  []rt.Obj
 	heapObjs []rt.Obj // live heap allocations, for free(ptr)
 
+	// stack is the shared operand stack: each frame's operands live above
+	// its opBase, so pushes and pops are bounds-checked against the frame
+	// floor instead of allocating a fresh []value per call.
+	stack  []value
+	opBase int
+	// slots is the shared local-slot arena; each frame owns
+	// slots[slotBase:] and truncates back on return.
+	slots []rt.Obj
+	// frames is the pooled call stack of unwind records.
+	frames []frame
+
 	steps    uint64
 	maxSteps uint64
 }
@@ -30,6 +49,21 @@ type VM struct {
 type value struct {
 	v uint64
 	b machine.BoundsReg
+}
+
+// frame is one activation's unwind record. The interpreter keeps the hot
+// per-call state (slot base, code, pc) in locals; the frame exists so
+// unwindTop can restore every VM invariant on any exit path, including a
+// panic recovered at the RunC boundary.
+type frame struct {
+	slotBase int    // vm.slots high-water mark at entry
+	opBase   int    // caller's operand-stack floor, restored on exit
+	mark     uint64 // runtime stack mark at entry
+	// framed is set once every local is allocated and registered; only
+	// then does unwinding deregister metadata (matching the paper's
+	// IFP_Deregister placement: a frame that failed mid-setup releases
+	// its stack memory but never ran the registration epilogue).
+	framed bool
 }
 
 // RunError wraps a trap or fault with a source line.
@@ -44,9 +78,17 @@ func (e *RunError) Unwrap() error { return e.Err }
 
 // NewVM prepares a VM: it registers globals (the §4.2.2 "getptr"
 // instrumentation, done eagerly) and interns string literals as
-// read-only char-array objects.
+// read-only char-array objects. The Compiled program is shared, never
+// mutated: NewVM only reads it, so one compilation (e.g. from an
+// Interner) can back any number of VMs, concurrently.
 func NewVM(c *Compiled, r *rt.Runtime) (*VM, error) {
 	vm := &VM{R: r, C: c, maxSteps: 50_000_000}
+	if n := len(c.Globals); n > 0 {
+		vm.globals = make([]rt.Obj, 0, n)
+	}
+	if n := len(c.Strings); n > 0 {
+		vm.strings = make([]rt.Obj, 0, n)
+	}
 	for _, g := range c.Globals {
 		var obj rt.Obj
 		var err error
@@ -95,27 +137,75 @@ func NewVM(c *Compiled, r *rt.Runtime) (*VM, error) {
 // Run executes main and returns its exit value.
 func (vm *VM) Run() (int64, error) {
 	mainIdx := vm.C.FuncIdx["main"]
-	ret, err := vm.call(mainIdx, nil)
+	ret, err := vm.call(mainIdx, len(vm.stack), 0)
 	if err != nil {
 		return 0, err
 	}
 	return int64(ret.v), nil
 }
 
-// frame is one activation record.
-type frame struct {
-	fn    *Func
-	slots []rt.Obj // one per local (registered or raw)
-	mark  uint64
+// push appends one operand to the shared stack.
+func (vm *VM) push(v value) { vm.stack = append(vm.stack, v) }
+
+// pop removes the top operand. Popping below the current frame's floor is
+// a compiler bug (compileValue's void chokepoint rejects the programs
+// that could cause it); the panic is recovered into a typed internal trap
+// at the RunC boundary, exactly like the out-of-range panic the per-call
+// stacks used to produce.
+func (vm *VM) pop() value {
+	n := len(vm.stack) - 1
+	if n < vm.opBase {
+		panic("minic: operand stack underflow")
+	}
+	v := vm.stack[n]
+	vm.stack = vm.stack[:n]
+	return v
 }
 
-func (vm *VM) call(fnIdx int, args []value) (value, error) {
+// top returns the top operand without removing it.
+func (vm *VM) top() value {
+	n := len(vm.stack) - 1
+	if n < vm.opBase {
+		panic("minic: operand stack underflow")
+	}
+	return vm.stack[n]
+}
+
+// unwindTop tears down the newest frame on any exit from vm.call — return,
+// error, or panic. Teardown order matches Listing 2's epilogue: metadata
+// cleanup first (IFP_Deregister for every registered local, skipped when
+// frame setup never completed), then the stack pop. Errors during unwind
+// after a trap are moot; marks are VM-managed.
+func (vm *VM) unwindTop() {
+	n := len(vm.frames) - 1
+	fr := vm.frames[n]
+	vm.frames = vm.frames[:n]
+	if fr.framed {
+		for _, o := range vm.slots[fr.slotBase:] {
+			if o.Kind == rt.KindLocal || o.Kind == rt.KindGlobalRow {
+				_ = vm.R.DeallocLocal(o)
+			}
+		}
+	}
+	vm.slots = vm.slots[:fr.slotBase]
+	vm.opBase = fr.opBase
+	_ = vm.R.StackRelease(fr.mark)
+}
+
+// call executes function fnIdx. Its nargs arguments are the operands at
+// vm.stack[argBase:argBase+nargs] — still owned by the caller, who
+// truncates them after the call returns.
+func (vm *VM) call(fnIdx, argBase, nargs int) (value, error) {
 	fn := vm.C.Funcs[fnIdx]
-	fr := frame{fn: fn, mark: vm.R.StackMark()}
-	// Frame teardown order (LIFO defers): metadata cleanup first
-	// (Listing 2's IFP_Deregister), then the stack pop. Errors during
-	// unwind after a trap are moot.
-	defer func() { _ = vm.R.StackRelease(fr.mark) }() // marks are VM-managed; unwind errors are moot
+	slotBase := len(vm.slots)
+	vm.frames = append(vm.frames, frame{
+		slotBase: slotBase,
+		opBase:   vm.opBase,
+		mark:     vm.R.StackMark(),
+	})
+	myFrame := len(vm.frames) - 1
+	defer vm.unwindTop()
+	vm.opBase = argBase + nargs
 
 	// Allocate and register locals (IFP_Register for aggregates and
 	// address-taken scalars).
@@ -136,23 +226,18 @@ func (vm *VM) call(fnIdx int, args []value) (value, error) {
 		if err != nil {
 			return value{}, err
 		}
-		fr.slots = append(fr.slots, obj)
+		vm.slots = append(vm.slots, obj)
 	}
-	// Metadata cleanup must run even on early return; arrange it now.
-	cleanup := func() {
-		for _, o := range fr.slots {
-			if o.Kind == rt.KindLocal || o.Kind == rt.KindGlobalRow {
-				_ = vm.R.DeallocLocal(o)
-			}
-		}
-	}
-	defer cleanup()
+	// Frame setup complete: from here on, unwinding runs the metadata
+	// cleanup epilogue even on early return.
+	vm.frames[myFrame].framed = true
 
 	// Bind arguments (bounds passed in registers, §4.1.2: no promote for
 	// pointer arguments).
-	for i, a := range args {
+	for i := 0; i < nargs; i++ {
+		a := vm.stack[argBase+i]
 		li := fn.Locals[i]
-		slot := fr.slots[i]
+		slot := vm.slots[slotBase+i]
 		if li.Type.Kind == layout.KindPointer {
 			if err := vm.R.StorePtr(slot.P, slot.B, a.v, a.b); err != nil {
 				return value{}, err
@@ -162,14 +247,6 @@ func (vm *VM) call(fnIdx int, args []value) (value, error) {
 				return value{}, err
 			}
 		}
-	}
-
-	var stack []value
-	push := func(v value) { stack = append(stack, v) }
-	pop := func() value {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		return v
 	}
 
 	pc := 0
@@ -193,108 +270,108 @@ func (vm *VM) call(fnIdx int, args []value) (value, error) {
 		switch in.Op {
 		case OpConst:
 			vm.R.M.Tick(1)
-			push(value{v: uint64(in.Imm)})
+			vm.push(value{v: uint64(in.Imm)})
 		case OpStr:
 			vm.R.M.Tick(1)
 			s := vm.strings[in.Imm]
-			push(value{v: s.P, b: s.B})
+			vm.push(value{v: s.P, b: s.B})
 		case OpLocal:
 			vm.R.M.Tick(1)
-			s := fr.slots[in.Imm]
-			push(value{v: s.P, b: s.B})
+			s := vm.slots[slotBase+int(in.Imm)]
+			vm.push(value{v: s.P, b: s.B})
 		case OpGlobal:
 			vm.R.M.Tick(1)
 			g := vm.globals[in.Imm]
-			push(value{v: g.P, b: g.B})
+			vm.push(value{v: g.P, b: g.B})
 		case OpLoad:
-			a := pop()
+			a := vm.pop()
 			v, err := vm.R.Load(a.v, int(in.Size), a.b)
 			if err != nil {
 				return value{}, &RunError{line, err}
 			}
-			push(value{v: signExtend(v, int(in.Size))})
+			vm.push(value{v: signExtend(v, int(in.Size))})
 		case OpLoadP:
-			a := pop()
+			a := vm.pop()
 			p, b, err := vm.R.LoadPtr(a.v, a.b)
 			if err != nil {
 				return value{}, &RunError{line, err}
 			}
-			push(value{v: p, b: b})
+			vm.push(value{v: p, b: b})
 		case OpStore:
-			a := pop()
-			v := pop()
+			a := vm.pop()
+			v := vm.pop()
 			if err := vm.R.Store(a.v, v.v, int(in.Size), a.b); err != nil {
 				return value{}, &RunError{line, err}
 			}
 		case OpStoreP:
-			a := pop()
-			v := pop()
+			a := vm.pop()
+			v := vm.pop()
 			if err := vm.R.StorePtr(a.v, a.b, v.v, v.b); err != nil {
 				return value{}, &RunError{line, err}
 			}
 		case OpGep:
-			a := pop()
+			a := vm.pop()
 			p := vm.R.GEP(a.v, in.Imm, a.b)
 			if in.Sub != SubKeep {
 				p = vm.R.SetSub(p, in.Sub)
 			}
-			push(value{v: p, b: a.b})
+			vm.push(value{v: p, b: a.b})
 		case OpGepDyn:
-			idx := pop()
-			a := pop()
+			idx := vm.pop()
+			a := vm.pop()
 			vm.R.M.Tick(1) // index scaling multiply
 			p := vm.R.GEP(a.v, int64(idx.v)*in.Imm, a.b)
 			if in.Sub != SubKeep {
 				p = vm.R.SetSub(p, in.Sub)
 			}
-			push(value{v: p, b: a.b})
+			vm.push(value{v: p, b: a.b})
 		case OpBnd:
-			a := pop()
-			push(value{v: a.v, b: vm.R.Bnd(a.v, uint64(in.Imm))})
+			a := vm.pop()
+			vm.push(value{v: a.v, b: vm.R.Bnd(a.v, uint64(in.Imm))})
 		case OpAddr:
-			a := pop()
+			a := vm.pop()
 			vm.R.M.Tick(1)
-			push(value{v: a.v & (1<<48 - 1)})
+			vm.push(value{v: a.v & (1<<48 - 1)})
 		case OpJmp:
 			vm.R.M.Tick(1)
 			pc = int(in.Imm)
 		case OpJz:
 			vm.R.M.Tick(1)
-			if pop().v == 0 {
+			if vm.pop().v == 0 {
 				pc = int(in.Imm)
 			}
 		case OpJnz:
 			vm.R.M.Tick(1)
-			if pop().v != 0 {
+			if vm.pop().v != 0 {
 				pc = int(in.Imm)
 			}
 		case OpDup:
 			vm.R.M.Tick(1)
-			v := stack[len(stack)-1]
-			push(v)
+			vm.push(vm.top())
 		case OpPop:
-			pop()
+			vm.pop()
 		case OpCall:
 			nargs := int(in.Sub)
-			args := make([]value, nargs)
-			for i := nargs - 1; i >= 0; i-- {
-				args[i] = pop()
+			base := len(vm.stack) - nargs
+			if base < vm.opBase {
+				panic("minic: operand stack underflow")
 			}
 			vm.R.M.Tick(2) // call/ret overhead
-			ret, err := vm.call(int(in.Imm), args)
+			ret, err := vm.call(int(in.Imm), base, nargs)
 			if err != nil {
 				return value{}, err
 			}
+			vm.stack = vm.stack[:base]
 			if vm.C.Funcs[in.Imm].Ret != layout.Void {
-				push(ret)
+				vm.push(ret)
 			}
 		case OpRet:
 			if in.Sub == 1 {
-				return pop(), nil
+				return vm.pop(), nil
 			}
 			return value{}, nil
 		case OpMalloc:
-			size := pop()
+			size := vm.pop()
 			var obj rt.Obj
 			var err error
 			if in.Imm >= 0 {
@@ -311,55 +388,55 @@ func (vm *VM) call(fnIdx int, args []value) (value, error) {
 				return value{}, &RunError{line, err}
 			}
 			vm.heapObjs = append(vm.heapObjs, obj)
-			push(value{v: obj.P, b: obj.B})
+			vm.push(value{v: obj.P, b: obj.B})
 		case OpFree:
-			p := pop()
+			p := vm.pop()
 			if err := vm.freeByPtr(p.v); err != nil {
 				return value{}, &RunError{line, err}
 			}
 		case OpMemset:
-			n := pop()
-			v := pop()
-			p := pop()
+			n := vm.pop()
+			v := vm.pop()
+			p := vm.pop()
 			if err := vm.R.Memset(p.v, byte(v.v), n.v, p.b); err != nil {
 				return value{}, &RunError{line, err}
 			}
 		case OpMemcpy:
-			n := pop()
-			src := pop()
-			dst := pop()
+			n := vm.pop()
+			src := vm.pop()
+			dst := vm.pop()
 			if err := vm.R.Memcpy(dst.v, dst.b, src.v, src.b, n.v); err != nil {
 				return value{}, &RunError{line, err}
 			}
 		case OpPrint:
-			v := pop()
+			v := vm.pop()
 			vm.R.M.Tick(1)
 			vm.Out = append(vm.Out, int64(v.v))
 		case OpNeg:
-			a := pop()
+			a := vm.pop()
 			vm.R.M.Tick(1)
-			push(value{v: uint64(-int64(a.v))})
+			vm.push(value{v: uint64(-int64(a.v))})
 		case OpNot:
-			a := pop()
+			a := vm.pop()
 			vm.R.M.Tick(1)
 			if a.v == 0 {
-				push(value{v: 1})
+				vm.push(value{v: 1})
 			} else {
-				push(value{v: 0})
+				vm.push(value{v: 0})
 			}
 		case OpBnot:
-			a := pop()
+			a := vm.pop()
 			vm.R.M.Tick(1)
-			push(value{v: ^a.v})
+			vm.push(value{v: ^a.v})
 		default:
-			r := pop()
-			l := pop()
+			r := vm.pop()
+			l := vm.pop()
 			vm.R.M.Tick(1)
 			res, err := alu(in.Op, l.v, r.v)
 			if err != nil {
 				return value{}, &RunError{line, err}
 			}
-			push(value{v: res})
+			vm.push(value{v: res})
 		}
 	}
 }
@@ -453,12 +530,15 @@ func Execute(src string, mode rt.Mode) (out []int64, exit int64, err error) {
 // Fuel 0 means unlimited — only the VM's untyped step backstop applies.
 // The machine counters are returned even for trapped runs: they describe
 // the work done up to the trap.
+//
+// Compilation goes through the package's default Interner: each distinct
+// source compiles exactly once per process, and every subsequent run of
+// the same bytes reuses the immutable *Compiled. Interning is invisible
+// in the results — compilation is a pure function of the source, and the
+// VM never mutates the shared program — which the fresh-vs-interned
+// equivalence tests pin down.
 func ExecuteBudget(src string, mode rt.Mode, fuel uint64) (out []int64, exit int64, c machine.Counters, err error) {
-	prog, err := Parse(src)
-	if err != nil {
-		return nil, 0, c, err
-	}
-	comp, err := Compile(prog)
+	comp, err := DefaultInterner.Get(src)
 	if err != nil {
 		return nil, 0, c, err
 	}

@@ -87,8 +87,22 @@ type env struct {
 	err error
 	rng uint64
 
-	fields map[*layout.Type]map[string]field
-	sum    uint64 // running checksum
+	fields map[*layout.Type]*typeFields
+	lastT  *layout.Type // fieldOf memo: kernels cluster accesses by type,
+	lastTF *typeFields  // so most lookups skip even the pointer-keyed map
+	sum    uint64       // running checksum
+}
+
+// typeFields caches the resolved member lookups of one type. Lookups scan
+// linearly: a kernel touches a handful of paths per type, and the path
+// arguments are call-site string literals, so the == compare is a
+// pointer-and-length check that almost never reads the bytes. This keeps
+// string hashing entirely off the access hot path (profiling showed the
+// previous map[{type,path}]field spending more grid time hashing keys
+// than the simulated cache model spent simulating).
+type typeFields struct {
+	paths  []string
+	fields []field
 }
 
 type field struct {
@@ -98,7 +112,7 @@ type field struct {
 }
 
 func newEnv(r *rt.Runtime) *env {
-	return &env{r: r, rng: 0x9E3779B97F4A7C15, fields: make(map[*layout.Type]map[string]field)}
+	return &env{r: r, rng: 0x9E3779B97F4A7C15, fields: make(map[*layout.Type]*typeFields)}
 }
 
 func (e *env) fail(err error) {
@@ -133,8 +147,19 @@ func (e *env) tick(n uint64) { e.r.M.Tick(n) }
 // size. Paths address nested members the way the compiler's GEP
 // instrumentation would (layout-table paths like "array[].v3").
 func (e *env) fieldOf(t *layout.Type, path string) field {
-	if f, ok := e.fields[t][path]; ok {
-		return f
+	tf := e.lastTF
+	if t != e.lastT || tf == nil {
+		tf = e.fields[t]
+		if tf == nil {
+			tf = &typeFields{}
+			e.fields[t] = tf
+		}
+		e.lastT, e.lastTF = t, tf
+	}
+	for i, s := range tf.paths {
+		if s == path {
+			return tf.fields[i]
+		}
 	}
 	ft, off := resolvePath(t, path)
 	if ft == nil {
@@ -148,10 +173,8 @@ func (e *env) fieldOf(t *layout.Type, path string) field {
 		}
 	}
 	f := field{off: off, idx: idx, size: int(ft.Size())}
-	if e.fields[t] == nil {
-		e.fields[t] = make(map[string]field)
-	}
-	e.fields[t][path] = f
+	tf.paths = append(tf.paths, path)
+	tf.fields = append(tf.fields, f)
 	return f
 }
 
