@@ -21,9 +21,9 @@ import (
 
 // benchSchema versions the -json output so downstream tooling can detect
 // format changes across BENCH_*.json files. v2 added grid_bench,
-// mem_bench, and intern (all additive; the deterministic workload
-// cycles and overheads are unchanged from v1).
-const benchSchema = "ifp-bench/v2"
+// mem_bench, and intern; v3 adds batch_bench (all additive; the
+// deterministic workload cycles and overheads are unchanged from v1).
+const benchSchema = "ifp-bench/v3"
 
 // benchJSON is the machine-readable benchmark summary -json emits: the
 // §5.2 per-workload cycle counts and geomean overheads, cold-vs-warm
@@ -45,6 +45,7 @@ type benchJSON struct {
 	ReuseBench reuseJSON `json:"reuse_bench"`
 	GridBench  gridJSON  `json:"grid_bench"`
 	MemBench   memJSON   `json:"mem_bench"`
+	BatchBench batchJSON `json:"batch_bench"`
 
 	Pool   map[string]uint64 `json:"pool"`
 	Intern map[string]int    `json:"intern"`
@@ -56,6 +57,20 @@ type benchJSON struct {
 // host core count.
 type gridJSON struct {
 	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// batchJSON times one whole streamed campaign through /v1/batch on a
+// loopback ifp-serve: request in, NDJSON cells fanned over the worker
+// pool, report reassembled byte-identical — the serving-tier number the
+// perf trajectory tracks. One op is the full campaign over a fixed
+// workload subset (perf + memory cells); ns_per_cell divides by the
+// campaign's cell count.
+type batchJSON struct {
+	Workloads   int   `json:"workloads"`
+	Cells       int   `json:"cells"`
+	NsPerOp     int64 `json:"ns_per_op"`
+	NsPerCell   int64 `json:"ns_per_cell"`
 	AllocsPerOp int64 `json:"allocs_per_op"`
 }
 
@@ -160,6 +175,11 @@ func writeBenchJSON(path string, results []exp.Result, scale, parallel int) erro
 	out.ReuseBench = benchReuse()
 	out.GridBench = benchGrid(scale)
 	out.MemBench = benchMem()
+	batch, err := benchBatch()
+	if err != nil {
+		return err
+	}
+	out.BatchBench = batch
 	ps := rt.DefaultPool.Stats()
 	out.Pool = map[string]uint64{
 		"hits":     ps.Hits,
@@ -260,6 +280,57 @@ func benchMem() memJSON {
 		StraddleNsPerOp: straddle.NsPerOp(),
 		AllocsPerOp:     aligned.AllocsPerOp(),
 	}
+}
+
+// benchBatchWorkloads is the fixed subset the batch benchmark streams —
+// small enough that one op stays in seconds, representative enough
+// (olden + ptrdist + kernels) to track the serving tier's fan-out cost.
+var benchBatchWorkloads = []string{"treeadd", "health", "ks"}
+
+// benchBatch boots ifp-serve on a loopback port and times one full
+// /v1/batch campaign per op: stream every perf and memory cell of the
+// subset, reassemble the report.
+func benchBatch() (batchJSON, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return batchJSON{}, err
+	}
+	srv := &http.Server{Handler: server.New(server.Config{})}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	c := server.NewClient("http://" + ln.Addr().String())
+	if err := c.WaitReady(ctx, 5*time.Second); err != nil {
+		return batchJSON{}, err
+	}
+
+	req := server.BatchRequest{Workloads: benchBatchWorkloads}
+	plan, err := req.BatchPlan()
+	if err != nil {
+		return batchJSON{}, err
+	}
+	var runErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.BatchReport(ctx, req); err != nil && runErr == nil {
+				runErr = err
+			}
+		}
+	})
+	if runErr != nil {
+		return batchJSON{}, runErr
+	}
+	cells := plan.NumCells()
+	return batchJSON{
+		Workloads:   len(benchBatchWorkloads),
+		Cells:       cells,
+		NsPerOp:     r.NsPerOp(),
+		NsPerCell:   r.NsPerOp() / int64(cells),
+		AllocsPerOp: r.AllocsPerOp(),
+	}, nil
 }
 
 // benchServe boots ifp-serve on a loopback port and times one /v1/run

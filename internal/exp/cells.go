@@ -1,0 +1,360 @@
+package exp
+
+// Cell-level decomposition of the evaluation campaigns.
+//
+// The batch serving tier (internal/server's /v1/batch, /v1/grid, and
+// /v1/chaos endpoints, and internal/shard's fan-out front tier) needs the
+// grid, memory, and chaos campaigns as flat lists of independent cells:
+// every cell has a stable sequence number and identity key, runs in its
+// own runtime, and can execute on any worker of any process — locally,
+// on one backend, or scattered across a shard ring — in any order. A
+// Plan is that enumeration; an Assembly folds streamed cell results back
+// into the exact []Result/[]MemResult slices a serial run produces, so
+// the reassembled report is byte-identical to what ifp-bench prints.
+//
+// The enumeration contract (relied on by clients reassembling streams):
+//
+//   - Perf cells come first: seq = wi*len(cellConfigs) + ci, where wi
+//     indexes the plan's workload list and ci the five configurations in
+//     paper comparison order (baseline, subheap, wrapped,
+//     subheap-nopromote, wrapped-nopromote).
+//   - Memory cells (plans built with NewReportPlan) follow: seq =
+//     perfCells + wi*len(memModes) + mi, with mi over baseline, subheap,
+//     wrapped. Memory cells run at scale*memScale (Figure 12's larger
+//     footprints).
+//   - Chaos cells (ChaosPlan) use the ChaosCampaignN order: seq =
+//     ((si*len(Faults))+fi)*seeds + seed.
+
+import (
+	"errors"
+	"fmt"
+
+	"infat/internal/chaos"
+	"infat/internal/workloads"
+)
+
+// Cell kinds, carried in CellMeta and the batch API's NDJSON lines.
+const (
+	CellPerf  = "perf"  // one (workload, configuration) grid cell
+	CellMem   = "mem"   // one (workload, mode) Figure-12 footprint cell
+	CellChaos = "chaos" // one (scheme, fault, seed) fault-injection cell
+)
+
+// CellMeta identifies one cell of a plan: its sequence number in the
+// deterministic enumeration plus human-readable coordinates. For chaos
+// cells Workload carries the scheme and Config the fault.
+type CellMeta struct {
+	Seq      int    `json:"seq"`
+	Kind     string `json:"kind"`
+	Workload string `json:"workload"`
+	Config   string `json:"config"`
+}
+
+// Plan is the cell-level view of a (workload × configuration) evaluation
+// campaign: the §5.2 perf grid, optionally plus the Figure-12 memory
+// cells. The zero value is empty; build with NewPlan or NewReportPlan.
+type Plan struct {
+	ws       []workloads.Workload
+	scale    int
+	memScale int // 0 = no memory cells
+}
+
+// NewPlan enumerates the perf grid only (the /v1/grid campaign):
+// len(ws) × 5 cells at the given scale. scale < 1 is raised to 1.
+func NewPlan(ws []workloads.Workload, scale int) Plan {
+	if scale < 1 {
+		scale = 1
+	}
+	return Plan{ws: ws, scale: scale}
+}
+
+// NewReportPlan enumerates the full-report campaign (the /v1/batch
+// campaign): the perf grid plus the memory cells, which run at
+// scale*memScale — exactly the matrix a default ifp-bench run evaluates.
+// memScale < 1 is raised to MemScale (the ifp-bench -memscale default).
+func NewReportPlan(ws []workloads.Workload, scale, memScale int) Plan {
+	p := NewPlan(ws, scale)
+	if memScale < 1 {
+		memScale = MemScale
+	}
+	p.memScale = memScale
+	return p
+}
+
+// Workloads returns the plan's workload list (shared, not copied).
+func (p Plan) Workloads() []workloads.Workload { return p.ws }
+
+// Scale returns the perf-grid scale.
+func (p Plan) Scale() int { return p.scale }
+
+// MemScale returns the memory-cell scale multiplier (0 when the plan has
+// no memory cells).
+func (p Plan) MemScale() int { return p.memScale }
+
+// HasMem reports whether the plan includes the Figure-12 memory cells.
+func (p Plan) HasMem() bool { return p.memScale > 0 }
+
+func (p Plan) perfCells() int { return len(p.ws) * len(cellConfigs) }
+
+func (p Plan) memCells() int {
+	if p.memScale == 0 {
+		return 0
+	}
+	return len(p.ws) * len(memModes)
+}
+
+// NumCells returns the total cell count.
+func (p Plan) NumCells() int { return p.perfCells() + p.memCells() }
+
+// Meta returns cell i's identity. i must be in [0, NumCells()).
+func (p Plan) Meta(i int) CellMeta {
+	if pc := p.perfCells(); i < pc {
+		wi, ci := i/len(cellConfigs), i%len(cellConfigs)
+		return CellMeta{Seq: i, Kind: CellPerf, Workload: p.ws[wi].Name, Config: cellConfigs[ci].label}
+	} else {
+		j := i - pc
+		wi, mi := j/len(memModes), j%len(memModes)
+		return CellMeta{Seq: i, Kind: CellMem, Workload: p.ws[wi].Name, Config: memModes[mi].mode.String()}
+	}
+}
+
+// Key returns cell i's stable identity key. The key is a pure function
+// of the cell's coordinates — not its position in this particular plan —
+// so a shard tier hashing keys routes the same (workload, configuration)
+// cell to the same backend across requests, keeping each backend's
+// interner and result cache hot on a stable subset.
+func (p Plan) Key(i int) string {
+	m := p.Meta(i)
+	return m.Kind + "|" + m.Workload + "|" + m.Config
+}
+
+// CellResult is one cell's observables: Perf for perf cells, Footprint
+// for memory cells. JSON round-trips exactly (every field is integral),
+// which is what keeps reports reassembled from a stream byte-identical.
+type CellResult struct {
+	Perf      *ModeResult `json:"perf,omitempty"`
+	Footprint uint64      `json:"footprint,omitempty"`
+}
+
+// RunCell executes cell i in its own pooled runtime. Cells are pure
+// functions of the plan coordinates, so they can run on any process in
+// any order.
+func (p Plan) RunCell(i int) (CellResult, error) {
+	if pc := p.perfCells(); i < pc {
+		wi, ci := i/len(cellConfigs), i%len(cellConfigs)
+		cfg := cellConfigs[ci]
+		m, err := runOne(p.ws[wi], cfg.mode, cfg.noPromote, p.scale)
+		if err != nil {
+			return CellResult{}, err
+		}
+		return CellResult{Perf: &m}, nil
+	} else {
+		j := i - pc
+		wi, mi := j/len(memModes), j%len(memModes)
+		m, err := runOne(p.ws[wi], memModes[mi].mode, false, p.scale*p.memScale)
+		if err != nil {
+			return CellResult{}, err
+		}
+		return CellResult{Footprint: m.Footprint}, nil
+	}
+}
+
+// Assembly folds cell results back into the slices a serial run
+// produces. Add is safe for concurrent use on distinct sequence numbers
+// (each writes a disjoint slot), which lets a streaming consumer add
+// cells as they arrive in any order.
+type Assembly struct {
+	p       Plan
+	results []Result
+	mem     []MemResult
+	have    []bool
+}
+
+// NewAssembly builds an empty assembly for the plan.
+func (p Plan) NewAssembly() *Assembly {
+	a := &Assembly{p: p, results: make([]Result, len(p.ws)), have: make([]bool, p.NumCells())}
+	for i, w := range p.ws {
+		a.results[i].Name, a.results[i].Suite = w.Name, w.Suite
+	}
+	if p.HasMem() {
+		a.mem = make([]MemResult, len(p.ws))
+		for i, w := range p.ws {
+			a.mem[i].Name = w.Name
+		}
+	}
+	return a
+}
+
+// Add records cell seq's result. It rejects out-of-range sequence
+// numbers, duplicates, and results missing the payload their kind
+// requires.
+func (a *Assembly) Add(seq int, c CellResult) error {
+	if seq < 0 || seq >= len(a.have) {
+		return fmt.Errorf("exp: cell seq %d out of range [0, %d)", seq, len(a.have))
+	}
+	if a.have[seq] {
+		return fmt.Errorf("exp: duplicate cell seq %d", seq)
+	}
+	if pc := a.p.perfCells(); seq < pc {
+		if c.Perf == nil {
+			return fmt.Errorf("exp: perf cell %d missing perf result", seq)
+		}
+		wi, ci := seq/len(cellConfigs), seq%len(cellConfigs)
+		*cellConfigs[ci].dst(&a.results[wi]) = *c.Perf
+	} else {
+		j := seq - pc
+		wi, mi := j/len(memModes), j%len(memModes)
+		*memModes[mi].dst(&a.mem[wi]) = c.Footprint
+	}
+	a.have[seq] = true
+	return nil
+}
+
+// Missing lists the sequence numbers not yet added, in order.
+func (a *Assembly) Missing() []int {
+	var out []int
+	for i, ok := range a.have {
+		if !ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Results returns the assembled slices after verifying completeness and
+// the cross-mode checksum contract — the same verification RunSet
+// applies, producing the same error text.
+func (a *Assembly) Results() ([]Result, []MemResult, error) {
+	if missing := a.Missing(); len(missing) > 0 {
+		return nil, nil, fmt.Errorf("exp: assembly incomplete: %d of %d cells missing (first missing seq %d)",
+			len(missing), len(a.have), missing[0])
+	}
+	var errs []error
+	for i := range a.results {
+		if err := a.results[i].verifyChecksums(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, nil, err
+	}
+	return a.results, a.mem, nil
+}
+
+// Report renders the assembled campaign: the full Report (Table 4 +
+// Figures 10–12) for plans with memory cells, PerfReport otherwise —
+// byte-identical to a serial run over the same workloads and scales.
+func (a *Assembly) Report() (string, error) {
+	results, mem, err := a.Results()
+	if err != nil {
+		return "", err
+	}
+	if a.p.HasMem() {
+		return Report(results, mem), nil
+	}
+	return PerfReport(results), nil
+}
+
+// PerfReport renders the perf-grid-only report (Table 4 and Figures 10
+// and 11) — what a /v1/grid stream reassembles to.
+func PerfReport(results []Result) string {
+	return Table4(results) + "\n" + Fig10(results) + "\n" + Fig11(results)
+}
+
+// ChaosPlan is the cell-level view of the fault-injection campaign: the
+// (scheme × fault × seed) grid in ChaosCampaignN order.
+type ChaosPlan struct {
+	scale int
+	seeds int
+}
+
+// NewChaosPlan enumerates the campaign at the given scale (scale < 1 is
+// raised to 1; seeds per (scheme, fault) cell = ChaosSeedsPerCell*scale).
+func NewChaosPlan(scale int) ChaosPlan {
+	if scale < 1 {
+		scale = 1
+	}
+	return ChaosPlan{scale: scale, seeds: ChaosSeedsPerCell * scale}
+}
+
+// Scale returns the plan's scale.
+func (p ChaosPlan) Scale() int { return p.scale }
+
+// NumCells returns the total cell count.
+func (p ChaosPlan) NumCells() int { return len(chaos.Schemes) * len(chaos.Faults) * p.seeds }
+
+// coords maps a sequence number to its (scheme, fault, seed) — the exact
+// ChaosCampaignN indexing, so assembled outcome slices match a serial
+// campaign element-for-element.
+func (p ChaosPlan) coords(i int) (chaos.Scheme, chaos.Fault, uint64) {
+	nf := len(chaos.Faults)
+	return chaos.Schemes[i/(nf*p.seeds)], chaos.Faults[i/p.seeds%nf], uint64(i % p.seeds)
+}
+
+// Meta returns cell i's identity: Workload carries the scheme, Config
+// the fault.
+func (p ChaosPlan) Meta(i int) CellMeta {
+	s, f, _ := p.coords(i)
+	return CellMeta{Seq: i, Kind: CellChaos, Workload: s.String(), Config: f.String()}
+}
+
+// Key returns cell i's stable identity key (scheme, fault, and seed).
+func (p ChaosPlan) Key(i int) string {
+	s, f, seed := p.coords(i)
+	return fmt.Sprintf("%s|%s|%s|%d", CellChaos, s, f, seed)
+}
+
+// RunCell executes cell i. chaos.Run classifies every outcome (panics
+// included), so cells never fail at the harness level.
+func (p ChaosPlan) RunCell(i int) chaos.Outcome {
+	s, f, seed := p.coords(i)
+	return chaos.Run(s, f, seed)
+}
+
+// ChaosAssembly folds streamed chaos outcomes back into campaign order.
+// Add is safe for concurrent use on distinct sequence numbers.
+type ChaosAssembly struct {
+	outcomes []chaos.Outcome
+	have     []bool
+}
+
+// NewAssembly builds an empty assembly for the plan.
+func (p ChaosPlan) NewAssembly() *ChaosAssembly {
+	n := p.NumCells()
+	return &ChaosAssembly{outcomes: make([]chaos.Outcome, n), have: make([]bool, n)}
+}
+
+// Add records cell seq's outcome, rejecting out-of-range and duplicate
+// sequence numbers.
+func (a *ChaosAssembly) Add(seq int, o chaos.Outcome) error {
+	if seq < 0 || seq >= len(a.have) {
+		return fmt.Errorf("exp: chaos cell seq %d out of range [0, %d)", seq, len(a.have))
+	}
+	if a.have[seq] {
+		return fmt.Errorf("exp: duplicate chaos cell seq %d", seq)
+	}
+	a.outcomes[seq] = o
+	a.have[seq] = true
+	return nil
+}
+
+// Missing lists the sequence numbers not yet added, in order.
+func (a *ChaosAssembly) Missing() []int {
+	var out []int
+	for i, ok := range a.have {
+		if !ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Report renders the assembled campaign report and its internal-outcome
+// count — byte-identical to ChaosReport over the same scale.
+func (a *ChaosAssembly) Report() (string, int, error) {
+	if missing := a.Missing(); len(missing) > 0 {
+		return "", 0, fmt.Errorf("exp: chaos assembly incomplete: %d of %d cells missing (first missing seq %d)",
+			len(missing), len(a.have), missing[0])
+	}
+	return chaos.Report(a.outcomes), chaos.Summarize(a.outcomes).Internal, nil
+}

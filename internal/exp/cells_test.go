@@ -1,0 +1,179 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"infat/internal/pool"
+	"infat/internal/workloads"
+)
+
+// cellTestWorkloads is a small representative subset so the cell
+// equivalence tests stay fast under -race.
+func cellTestWorkloads(t *testing.T) []workloads.Workload {
+	t.Helper()
+	var ws []workloads.Workload
+	for _, name := range []string{"treeadd", "health", "ks"} {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			t.Fatalf("unknown workload %q", name)
+		}
+		ws = append(ws, w)
+	}
+	return ws
+}
+
+// TestPlanCellEnumeration pins the enumeration contract: perf cells
+// first in (workload, config) order, then mem cells in (workload, mode)
+// order, with stable keys.
+func TestPlanCellEnumeration(t *testing.T) {
+	ws := cellTestWorkloads(t)
+	p := NewReportPlan(ws, 1, MemScale)
+	wantCells := len(ws)*len(cellConfigs) + len(ws)*len(memModes)
+	if got := p.NumCells(); got != wantCells {
+		t.Fatalf("NumCells = %d, want %d", got, wantCells)
+	}
+	m0 := p.Meta(0)
+	if m0.Kind != CellPerf || m0.Workload != "treeadd" || m0.Config != "baseline" || m0.Seq != 0 {
+		t.Errorf("Meta(0) = %+v", m0)
+	}
+	mLast := p.Meta(p.NumCells() - 1)
+	if mLast.Kind != CellMem || mLast.Workload != "ks" || mLast.Config != "wrapped" {
+		t.Errorf("Meta(last) = %+v", mLast)
+	}
+	if got := p.Key(0); got != "perf|treeadd|baseline" {
+		t.Errorf("Key(0) = %q", got)
+	}
+	// Keys are position-independent: the same cell in a differently
+	// ordered plan has the same key.
+	rev := NewReportPlan([]workloads.Workload{ws[2], ws[1], ws[0]}, 1, MemScale)
+	if p.Key(0) != rev.Key(2*len(cellConfigs)) {
+		t.Errorf("treeadd/baseline key differs across plans: %q vs %q",
+			p.Key(0), rev.Key(2*len(cellConfigs)))
+	}
+	// All keys distinct within a plan.
+	seen := map[string]bool{}
+	for i := 0; i < p.NumCells(); i++ {
+		k := p.Key(i)
+		if seen[k] {
+			t.Errorf("duplicate cell key %q", k)
+		}
+		seen[k] = true
+	}
+}
+
+// TestAssemblyReportEquivalence is the core reassembly contract: running
+// every cell independently (in parallel, added out of order) and
+// assembling reproduces RunSet+RunMemSet byte-for-byte.
+func TestAssemblyReportEquivalence(t *testing.T) {
+	ws := cellTestWorkloads(t)
+	p := NewReportPlan(ws, 1, MemScale)
+
+	serialResults, err := RunSet(ws, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialMem, err := RunMemSet(ws, MemScale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Report(serialResults, serialMem)
+
+	a := p.NewAssembly()
+	if err := pool.Map(0, p.NumCells(), func(i int) error {
+		c, err := p.RunCell(i)
+		if err != nil {
+			return err
+		}
+		return a.Add(i, c)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("assembled report differs from serial run:\n--- assembled ---\n%s\n--- serial ---\n%s", got, want)
+	}
+
+	// Perf-only plans reassemble to PerfReport.
+	gp := NewPlan(ws, 1)
+	ga := gp.NewAssembly()
+	if err := pool.Map(0, gp.NumCells(), func(i int) error {
+		c, err := gp.RunCell(i)
+		if err != nil {
+			return err
+		}
+		return ga.Add(i, c)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	gotPerf, err := ga.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := PerfReport(serialResults); gotPerf != want {
+		t.Fatal("perf-only assembled report differs from serial run")
+	}
+}
+
+// TestAssemblyValidation covers the failure modes a streaming consumer
+// can feed an assembly: out-of-range and duplicate sequence numbers,
+// missing payloads, and incomplete assemblies.
+func TestAssemblyValidation(t *testing.T) {
+	ws := cellTestWorkloads(t)
+	p := NewPlan(ws, 1)
+	a := p.NewAssembly()
+	if err := a.Add(-1, CellResult{}); err == nil {
+		t.Error("Add(-1) accepted")
+	}
+	if err := a.Add(p.NumCells(), CellResult{}); err == nil {
+		t.Error("Add(out of range) accepted")
+	}
+	if err := a.Add(0, CellResult{}); err == nil {
+		t.Error("perf cell without perf payload accepted")
+	}
+	c, err := p.RunCell(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Add(0, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Add(0, c); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate Add error = %v", err)
+	}
+	if missing := a.Missing(); len(missing) != p.NumCells()-1 || missing[0] != 1 {
+		t.Errorf("Missing() = %v", missing)
+	}
+	if _, err := a.Report(); err == nil || !strings.Contains(err.Error(), "incomplete") {
+		t.Errorf("incomplete Report error = %v", err)
+	}
+}
+
+// TestChaosAssemblyEquivalence: the chaos plan's cells assemble to the
+// same report as the serial campaign.
+func TestChaosAssemblyEquivalence(t *testing.T) {
+	p := NewChaosPlan(1)
+	if got, want := p.NumCells(), len(ChaosCampaign(1)); got != want {
+		t.Fatalf("NumCells = %d, want %d", got, want)
+	}
+	a := p.NewAssembly()
+	if err := pool.Map(0, p.NumCells(), func(i int) error {
+		return a.Add(i, p.RunCell(i))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, internal, err := a.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantInternal := ChaosReport(1, 1)
+	if got != want {
+		t.Fatal("assembled chaos report differs from serial campaign")
+	}
+	if internal != wantInternal {
+		t.Fatalf("internal = %d, want %d", internal, wantInternal)
+	}
+}

@@ -1,0 +1,378 @@
+package server
+
+// The batch serving tier: POST /v1/batch, /v1/grid, and /v1/chaos accept
+// a whole campaign — the (workload × configuration) evaluation matrix or
+// the (scheme × fault × seed) chaos grid — in one request and stream
+// per-cell results back as NDJSON while the cells fan out over the same
+// bounded worker semaphore the unary endpoints use. Each line carries
+// deterministic ordering metadata (the cell's seq in the exp plan
+// enumeration), so a client can reassemble the stream — received in
+// completion order, not plan order — into the byte-identical report a
+// serial ifp-bench run prints (exp.Assembly). A request may name an
+// explicit cell subset, which is how the shard front tier
+// (internal/shard) scatters one campaign across several backends and
+// merges the streams.
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"infat/internal/chaos"
+	"infat/internal/exp"
+	"infat/internal/workloads"
+)
+
+// NDJSONContentType is the batch endpoints' response content type: one
+// JSON object per line, cells in completion order, trailer last.
+const NDJSONContentType = "application/x-ndjson"
+
+// CellsHeader reports the number of cells a batch response will stream
+// (before the trailer), set before the first line.
+const CellsHeader = "X-Ifp-Cells"
+
+// Batch endpoint paths, shared with the client and the shard tier.
+const (
+	BatchPath = "/v1/batch"
+	GridPath  = "/v1/grid"
+	ChaosPath = "/v1/chaos"
+)
+
+// BatchRequest is the POST /v1/batch and /v1/grid body: a whole
+// (workload × configuration) campaign.
+type BatchRequest struct {
+	// Workloads selects the workload rows by name; empty selects the full
+	// §5.2 suite.
+	Workloads []string `json:"workloads,omitempty"`
+	// Scale is the perf-grid scale factor (default 1), bounded by the
+	// server's MaxScale.
+	Scale int `json:"scale,omitempty"`
+	// MemScale is the memory-cell scale multiplier (default exp.MemScale).
+	// Memory cells run at Scale*MemScale; /v1/grid ignores it (no memory
+	// cells).
+	MemScale int `json:"mem_scale,omitempty"`
+	// Cells restricts the run to an explicit subset of plan sequence
+	// numbers (empty = every cell). The shard tier uses this to scatter
+	// one campaign across backends.
+	Cells []int `json:"cells,omitempty"`
+}
+
+// BatchPlan resolves the request onto its full-report cell plan (perf +
+// memory cells) — the enumeration both the server and a reassembling
+// client must share.
+func (r BatchRequest) BatchPlan() (exp.Plan, error) {
+	ws, err := resolveWorkloads(r.Workloads)
+	if err != nil {
+		return exp.Plan{}, err
+	}
+	return exp.NewReportPlan(ws, r.Scale, r.MemScale), nil
+}
+
+// GridPlan resolves the request onto its perf-only cell plan (the
+// /v1/grid campaign).
+func (r BatchRequest) GridPlan() (exp.Plan, error) {
+	ws, err := resolveWorkloads(r.Workloads)
+	if err != nil {
+		return exp.Plan{}, err
+	}
+	return exp.NewPlan(ws, r.Scale), nil
+}
+
+func resolveWorkloads(names []string) ([]workloads.Workload, error) {
+	if len(names) == 0 {
+		return workloads.All, nil
+	}
+	ws := make([]workloads.Workload, 0, len(names))
+	seen := make(map[string]bool, len(names))
+	for _, name := range names {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q", name)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate workload %q", name)
+		}
+		seen[name] = true
+		ws = append(ws, w)
+	}
+	return ws, nil
+}
+
+// ChaosRequest is the POST /v1/chaos body: one fault-injection campaign.
+type ChaosRequest struct {
+	// Scale multiplies the seeds per (scheme, fault) cell (default 1),
+	// bounded by the server's MaxScale.
+	Scale int `json:"scale,omitempty"`
+	// Cells restricts the run to an explicit subset of plan sequence
+	// numbers (empty = every cell).
+	Cells []int `json:"cells,omitempty"`
+}
+
+// Plan resolves the request onto its chaos cell plan.
+func (r ChaosRequest) Plan() exp.ChaosPlan { return exp.NewChaosPlan(r.Scale) }
+
+// BatchCell is one NDJSON line of a batch stream: the cell's plan
+// metadata plus its payload — Result for grid/memory cells, Chaos for
+// chaos cells, or Error when the cell failed (the stream keeps going;
+// batch semantics are run-everything, like the in-process pool).
+type BatchCell struct {
+	Seq      int    `json:"seq"`
+	Kind     string `json:"kind"`
+	Workload string `json:"workload,omitempty"`
+	Config   string `json:"config,omitempty"`
+
+	Result *exp.CellResult `json:"result,omitempty"`
+	Chaos  *chaos.Outcome  `json:"chaos,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// BatchTrailer is the final NDJSON line of a batch stream: the stream's
+// own accounting, distinguished from cells by done=true. A client that
+// never sees a trailer received a truncated stream.
+type BatchTrailer struct {
+	Done      bool `json:"done"`
+	Cells     int  `json:"cells"`
+	Completed int  `json:"completed"`
+	Failed    int  `json:"failed"`
+}
+
+// campaign is a batch endpoint's enumerated cell plan. The two
+// implementations wrap exp.Plan and exp.ChaosPlan; the interface is what
+// lets one streaming handler serve all three endpoints.
+type campaign interface {
+	numCells() int
+	// meta returns the cell's identity skeleton (Seq/Kind/Workload/Config).
+	meta(i int) BatchCell
+	// run executes the cell, filling the payload or Error on the skeleton.
+	run(i int, cell *BatchCell)
+}
+
+type gridCampaign struct{ p exp.Plan }
+
+func (g gridCampaign) numCells() int { return g.p.NumCells() }
+
+func (g gridCampaign) meta(i int) BatchCell {
+	m := g.p.Meta(i)
+	return BatchCell{Seq: m.Seq, Kind: m.Kind, Workload: m.Workload, Config: m.Config}
+}
+
+func (g gridCampaign) run(i int, cell *BatchCell) {
+	res, err := g.p.RunCell(i)
+	if err != nil {
+		cell.Error = err.Error()
+		return
+	}
+	cell.Result = &res
+}
+
+type chaosCampaign struct{ p exp.ChaosPlan }
+
+func (c chaosCampaign) numCells() int { return c.p.NumCells() }
+
+func (c chaosCampaign) meta(i int) BatchCell {
+	m := c.p.Meta(i)
+	return BatchCell{Seq: m.Seq, Kind: m.Kind, Workload: m.Workload, Config: m.Config}
+}
+
+func (c chaosCampaign) run(i int, cell *BatchCell) {
+	o := c.p.RunCell(i)
+	cell.Chaos = &o
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeStrict(http.MaxBytesReader(w, r.Body, 1<<20), &req); err != nil {
+		s.metrics.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	plan, err := req.BatchPlan()
+	if err == nil {
+		err = s.checkScale(plan.Scale(), plan.Scale()*plan.MemScale())
+	}
+	if err != nil {
+		s.metrics.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.streamCampaign(w, r, gridCampaign{plan}, req.Cells)
+}
+
+func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeStrict(http.MaxBytesReader(w, r.Body, 1<<20), &req); err != nil {
+		s.metrics.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	plan, err := req.GridPlan()
+	if err == nil {
+		err = s.checkScale(plan.Scale(), 0)
+	}
+	if err != nil {
+		s.metrics.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.streamCampaign(w, r, gridCampaign{plan}, req.Cells)
+}
+
+func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
+	var req ChaosRequest
+	if err := decodeStrict(http.MaxBytesReader(w, r.Body, 1<<20), &req); err != nil {
+		s.metrics.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.checkScale(req.Plan().Scale(), 0); err != nil {
+		s.metrics.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.streamCampaign(w, r, chaosCampaign{req.Plan()}, req.Cells)
+}
+
+// checkScale bounds campaign scales the same way /v1/workload bounds its
+// scale parameter: the perf scale by MaxScale, and the memory cells'
+// effective scale (scale×memScale) by MaxScale×exp.MemScale, so the
+// default memory experiment always fits and a request cannot smuggle an
+// oversized run in through the multiplier.
+func (s *Server) checkScale(scale, memEffective int) error {
+	if scale > s.cfg.MaxScale {
+		return fmt.Errorf("scale %d out of range [1, %d]", scale, s.cfg.MaxScale)
+	}
+	if max := s.cfg.MaxScale * exp.MemScale; memEffective > max {
+		return fmt.Errorf("scale*mem_scale %d out of range [1, %d]", memEffective, max)
+	}
+	return nil
+}
+
+// resolveSubset validates an explicit cell subset against the plan size:
+// every index in range, no duplicates. An empty subset selects every
+// cell.
+func resolveSubset(n int, subset []int) ([]int, error) {
+	if len(subset) == 0 {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all, nil
+	}
+	seen := make(map[int]bool, len(subset))
+	for _, i := range subset {
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("cell %d out of range [0, %d)", i, n)
+		}
+		if seen[i] {
+			return nil, fmt.Errorf("duplicate cell %d", i)
+		}
+		seen[i] = true
+	}
+	return subset, nil
+}
+
+// streamCampaign fans the requested cells over the worker semaphore and
+// streams each result as an NDJSON line the moment it completes, then a
+// trailer. Admission is per cell — every cell holds one semaphore slot
+// while simulating, the same slot pool the unary endpoints draw from, so
+// one batch request cannot starve /v1/run beyond its fair share of
+// workers. When the client disconnects (or the batch deadline passes)
+// no new cells are dispatched; in-flight cells finish, release their
+// slots and runtimes, and their lines are dropped.
+func (s *Server) streamCampaign(w http.ResponseWriter, r *http.Request, camp campaign, subset []int) {
+	cells, err := resolveSubset(camp.numCells(), subset)
+	if err != nil {
+		s.metrics.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.metrics.batchStreams.Add(1)
+	ctx := r.Context()
+
+	w.Header().Set("Content-Type", NDJSONContentType)
+	w.Header().Set(CellsHeader, strconv.Itoa(len(cells)))
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	var mu sync.Mutex // serializes line writes
+	emit := func(line []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		if ctx.Err() != nil {
+			return // client gone: stop writing, let workers drain
+		}
+		w.Write(line)
+		w.Write([]byte("\n"))
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	var completed, failed atomic.Int64
+	var next atomic.Int64
+	workers := s.cfg.Workers
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for n := 0; n < workers; n++ {
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1) - 1)
+				if k >= len(cells) || ctx.Err() != nil {
+					return
+				}
+				// One semaphore slot per cell: batch cells queue behind the
+				// same admission control as every other simulation.
+				select {
+				case s.sem <- struct{}{}:
+				case <-ctx.Done():
+					return
+				}
+				cell := s.runCellRecovered(camp, cells[k])
+				<-s.sem
+				s.metrics.batchCells.Add(1)
+				if cell.Error != "" {
+					failed.Add(1)
+					s.metrics.batchCellErrors.Add(1)
+				} else {
+					completed.Add(1)
+				}
+				emit(mustJSON(cell))
+			}
+		}()
+	}
+	wg.Wait()
+
+	if ctx.Err() != nil {
+		s.metrics.batchCancelled.Add(1)
+		return // no trailer: the stream is truncated by the disconnect
+	}
+	emit(mustJSON(BatchTrailer{
+		Done:      true,
+		Cells:     len(cells),
+		Completed: int(completed.Load()),
+		Failed:    int(failed.Load()),
+	}))
+}
+
+// runCellRecovered executes one campaign cell, converting an escaped
+// panic into an error cell — the streaming twin of runRecovered: a
+// simulator bug a cell tickles costs that cell only, never the stream or
+// the daemon.
+func (s *Server) runCellRecovered(camp campaign, i int) (cell BatchCell) {
+	cell = camp.meta(i)
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.internalPanics.Add(1)
+			cell.Result, cell.Chaos = nil, nil
+			cell.Error = fmt.Sprintf("internal error: recovered panic: %v", r)
+		}
+	}()
+	camp.run(i, &cell)
+	return cell
+}

@@ -10,6 +10,7 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -25,6 +26,10 @@ const (
 	// maxRetryDelay caps the exponential backoff so late attempts stay
 	// responsive to the request context.
 	maxRetryDelay = 2 * time.Second
+	// maxRetryAfterHint caps how long the client honours a server's
+	// Retry-After header over its own computed backoff, so a misconfigured
+	// (or hostile) server cannot park clients for minutes.
+	maxRetryAfterHint = 30 * time.Second
 )
 
 // Client is a minimal Go client for ifp-serve, used by the handler
@@ -96,6 +101,10 @@ func seededJitter(seed uint64) func(max time.Duration) time.Duration {
 type APIError struct {
 	Status  int
 	Message string
+	// RetryAfter is the server's Retry-After back-pressure hint, when the
+	// response carried one (0 otherwise). The retry loop prefers it over
+	// the computed backoff, capped at maxRetryAfterHint.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -203,8 +212,21 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, resp 
 	var err error
 	for attempt := 1; attempt <= attempts; attempt++ {
 		if attempt > 1 {
-			if serr := sleepCtx(ctx, c.backoff(base, attempt-1)); serr != nil {
-				return hdr, err // context expired while backing off: report the last real failure
+			d := c.backoff(base, attempt-1)
+			// The server's own back-pressure estimate beats the client's
+			// blind schedule: an admission rejection's Retry-After says how
+			// long a worker slot realistically takes to drain.
+			if hint := retryAfterHint(err); hint > 0 {
+				if hint > maxRetryAfterHint {
+					hint = maxRetryAfterHint
+				}
+				d = hint
+			}
+			if serr := sleepCtx(ctx, d); serr != nil {
+				// Context expired while backing off: surface the context
+				// error promptly, joined with the last real failure so
+				// callers can still errors.As the APIError they observed.
+				return hdr, errors.Join(serr, err)
 			}
 		}
 		hdr, err = c.doOnce(ctx, method, path, body, resp)
@@ -245,7 +267,11 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, r
 		if json.Unmarshal(rbody, &apiErr) != nil || apiErr.Error == "" {
 			apiErr.Error = strings.TrimSpace(string(rbody))
 		}
-		return hresp.Header, &APIError{Status: hresp.StatusCode, Message: apiErr.Error}
+		return hresp.Header, &APIError{
+			Status:     hresp.StatusCode,
+			Message:    apiErr.Error,
+			RetryAfter: parseRetryAfter(hresp.Header.Get(RetryAfterHeader)),
+		}
 	}
 	if err := json.Unmarshal(rbody, resp); err != nil {
 		return hresp.Header, fmt.Errorf("ifp-serve: bad response body: %w", err)
@@ -271,17 +297,49 @@ func retryable(err error) bool {
 	return errors.As(err, &uerr)
 }
 
+// parseRetryAfter decodes a Retry-After header value in its
+// integer-seconds form (the only form ifp-serve emits). Absent,
+// malformed, or non-positive values mean "no hint".
+func parseRetryAfter(v string) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// retryAfterHint extracts the server's Retry-After hint from the last
+// failure, if it was an APIError carrying one.
+func retryAfterHint(err error) time.Duration {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.RetryAfter
+	}
+	return 0
+}
+
 // backoff returns the delay before the retry-th retry: exponential
 // doubling from base, capped, plus up to 25% jitter so synchronized
 // clients do not reconverge on the server in lockstep. The jitter comes
 // from the client's Jitter source when set (per-client, seedable — so a
 // test can pin the whole schedule), else from the process-wide source.
+//
+// The schedule is overflow-proof by construction: doubling stops the
+// moment d reaches maxRetryDelay, so the loop runs at most
+// log2(cap/base) iterations however large retry grows (WaitReady runs
+// with an attempt cap near 2^20), and d never exceeds twice the cap
+// before the clamp — it cannot wrap negative. A non-positive base
+// (possible only when backoff is called outside do's defaulting) is
+// normalised first so the doubling invariant holds.
 func (c *Client) backoff(base time.Duration, retry int) time.Duration {
+	if base <= 0 {
+		base = DefaultRetryBase
+	}
 	d := base
 	for i := 1; i < retry && d < maxRetryDelay; i++ {
 		d *= 2
 	}
-	if d > maxRetryDelay {
+	if d > maxRetryDelay || d <= 0 {
 		d = maxRetryDelay
 	}
 	jitter := c.Jitter

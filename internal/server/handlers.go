@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"time"
 
 	"infat/internal/juliet"
 	"infat/internal/machine"
@@ -238,8 +240,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			writeRaw(w, e.status, e.body, state)
 		case <-r.Context().Done():
 			s.metrics.deadline.Add(1)
-			writeError(w, http.StatusGatewayTimeout,
-				errors.New("deadline exceeded waiting for in-flight identical submission"))
+			s.writeBusy(w, http.StatusGatewayTimeout,
+				errorBody("deadline exceeded waiting for in-flight identical submission"), "")
 		}
 		return
 	}
@@ -255,9 +257,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		// Admission or deadline failure: non-deterministic, so publish
 		// to any waiting followers but drop the entry from the cache.
-		respBody = errorBody(statusMessage(status))
 		s.cache.finish(e, status, respBody, false)
-		writeRaw(w, status, respBody, "miss")
+		s.writeBusy(w, status, respBody, "miss")
 		return
 	}
 	// Simulation results and compile verdicts are deterministic in
@@ -333,7 +334,7 @@ func (s *Server) handleJuliet(w http.ResponseWriter, r *http.Request) {
 		})
 	})
 	if !ok {
-		writeError(w, status, errors.New(statusMessage(status)))
+		s.writeBusy(w, status, body, "")
 		return
 	}
 	writeRaw(w, status, body, "")
@@ -391,7 +392,7 @@ func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
 		})
 	})
 	if !ok {
-		writeError(w, status, errors.New(statusMessage(status)))
+		s.writeBusy(w, status, body, "")
 		return
 	}
 	writeRaw(w, status, body, "")
@@ -425,6 +426,22 @@ func statusMessage(status int) string {
 }
 
 func errorBody(msg string) []byte { return mustJSON(ErrorResponse{Error: msg}) }
+
+// RetryAfterHeader is the standard back-pressure hint set on 503/504
+// responses; the bundled client honors it over its computed backoff.
+const RetryAfterHeader = "Retry-After"
+
+// writeBusy writes an admission or deadline failure: the structured JSON
+// error body plus the Retry-After hint, so a saturated server tells
+// clients both what happened and when to come back.
+func (s *Server) writeBusy(w http.ResponseWriter, status int, body []byte, cacheState string) {
+	secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set(RetryAfterHeader, strconv.Itoa(secs))
+	writeRaw(w, status, body, cacheState)
+}
 
 func mustJSON(v any) []byte {
 	b, err := json.Marshal(v)

@@ -30,8 +30,16 @@ type metrics struct {
 	reqRun      atomic.Uint64
 	reqJuliet   atomic.Uint64
 	reqWorkload atomic.Uint64
+	reqBatch    atomic.Uint64
+	reqGrid     atomic.Uint64
+	reqChaos    atomic.Uint64
 	reqHealthz  atomic.Uint64
 	reqMetrics  atomic.Uint64
+
+	batchStreams    atomic.Uint64 // batch/grid/chaos streams started
+	batchCells      atomic.Uint64 // cells simulated across all streams
+	batchCellErrors atomic.Uint64 // cells that ended in an error line
+	batchCancelled  atomic.Uint64 // streams truncated by disconnect/deadline
 
 	inFlight       atomic.Int64
 	badRequests    atomic.Uint64 // malformed/rejected request bodies (4xx)
@@ -82,6 +90,9 @@ type MetricsSnapshot struct {
 	InFlight  int64             `json:"in_flight"`
 	Admission map[string]uint64 `json:"admission"` // bad_request, rejected, deadline
 	Cache     map[string]uint64 `json:"cache"`     // hits, misses, evictions, entries
+	// Batch covers the streaming campaign endpoints: streams, cells,
+	// cell_errors, cancelled.
+	Batch map[string]uint64 `json:"batch"`
 	Traps     map[string]uint64 `json:"traps"`     // spatial, fuel, other, none
 	Latency   map[string]uint64 `json:"latency_ms"`
 	// Pool reports the runtime pool behind the workers: hits (acquisitions
@@ -97,6 +108,9 @@ func (s *Server) snapshot() MetricsSnapshot {
 		"run":      m.reqRun.Load(),
 		"juliet":   m.reqJuliet.Load(),
 		"workload": m.reqWorkload.Load(),
+		"batch":    m.reqBatch.Load(),
+		"grid":     m.reqGrid.Load(),
+		"chaos":    m.reqChaos.Load(),
 		"healthz":  m.reqHealthz.Load(),
 		"metrics":  m.reqMetrics.Load(),
 	}
@@ -125,6 +139,12 @@ func (s *Server) snapshot() MetricsSnapshot {
 			"misses":    misses,
 			"evictions": evictions,
 			"entries":   entries,
+		},
+		Batch: map[string]uint64{
+			"streams":     m.batchStreams.Load(),
+			"cells":       m.batchCells.Load(),
+			"cell_errors": m.batchCellErrors.Load(),
+			"cancelled":   m.batchCancelled.Load(),
 		},
 		Traps: map[string]uint64{
 			"spatial":  m.trapSpatial.Load(),

@@ -51,6 +51,14 @@ const (
 	DefaultMaxFuel        = 10 * DefaultFuel
 	DefaultMaxSourceBytes = 1 << 20
 	DefaultMaxScale       = 4
+	// DefaultBatchTimeout is the per-request deadline of the streaming
+	// batch endpoints: a whole campaign per request, so the budget is a
+	// multiple of the unary deadline rather than sharing it.
+	DefaultBatchTimeout = 5 * time.Minute
+	// DefaultRetryAfter is the Retry-After hint on 503/504 responses: long
+	// enough for a queue full of bounded simulations to drain a slot,
+	// short enough that a backing-off client returns promptly.
+	DefaultRetryAfter = 1 * time.Second
 )
 
 // Config parameterizes a Server. The zero value is a working production
@@ -80,6 +88,14 @@ type Config struct {
 	// MaxScale bounds the workload-cell scale parameter (0 =
 	// DefaultMaxScale).
 	MaxScale int
+	// BatchTimeout is the per-request deadline of the streaming batch
+	// endpoints (0 = DefaultBatchTimeout, raised to RequestTimeout if
+	// smaller).
+	BatchTimeout time.Duration
+	// RetryAfter is the hint sent in the Retry-After header of 503/504
+	// responses (0 = DefaultRetryAfter). Rendered as whole seconds,
+	// rounded up, minimum 1.
+	RetryAfter time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +121,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxScale <= 0 {
 		c.MaxScale = DefaultMaxScale
+	}
+	if c.BatchTimeout <= 0 {
+		c.BatchTimeout = DefaultBatchTimeout
+	}
+	if c.BatchTimeout < c.RequestTimeout {
+		c.BatchTimeout = c.RequestTimeout
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = DefaultRetryAfter
 	}
 	return c
 }
@@ -141,6 +166,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/juliet", s.instrument(&s.metrics.reqJuliet, true, s.handleJuliet))
 	s.mux.HandleFunc("GET /v1/juliet", s.instrument(&s.metrics.reqJuliet, false, s.handleJulietList))
 	s.mux.HandleFunc("POST /v1/workload", s.instrument(&s.metrics.reqWorkload, true, s.handleWorkload))
+	s.mux.HandleFunc("POST "+BatchPath, s.instrumentTimeout(&s.metrics.reqBatch, cfg.BatchTimeout, s.handleBatch))
+	s.mux.HandleFunc("POST "+GridPath, s.instrumentTimeout(&s.metrics.reqGrid, cfg.BatchTimeout, s.handleGrid))
+	s.mux.HandleFunc("POST "+ChaosPath, s.instrumentTimeout(&s.metrics.reqChaos, cfg.BatchTimeout, s.handleChaos))
 	s.mux.HandleFunc("GET /healthz", s.instrument(&s.metrics.reqHealthz, false, s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument(&s.metrics.reqMetrics, false, s.handleMetrics))
 	return s
@@ -156,6 +184,16 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // latency histogram, and — for simulation endpoints — the per-request
 // deadline.
 func (s *Server) instrument(counter interface{ Add(uint64) uint64 }, deadline bool, h http.HandlerFunc) http.HandlerFunc {
+	timeout := time.Duration(0)
+	if deadline {
+		timeout = s.cfg.RequestTimeout
+	}
+	return s.instrumentTimeout(counter, timeout, h)
+}
+
+// instrumentTimeout is instrument with an explicit deadline (0 = none);
+// the streaming batch endpoints run under their own, longer budget.
+func (s *Server) instrumentTimeout(counter interface{ Add(uint64) uint64 }, timeout time.Duration, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		counter.Add(1)
 		s.metrics.inFlight.Add(1)
@@ -164,8 +202,8 @@ func (s *Server) instrument(counter interface{ Add(uint64) uint64 }, deadline bo
 			s.metrics.inFlight.Add(-1)
 			s.metrics.observeLatency(time.Since(start))
 		}()
-		if deadline {
-			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		if timeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), timeout)
 			defer cancel()
 			r = r.WithContext(ctx)
 		}
@@ -176,21 +214,23 @@ func (s *Server) instrument(counter interface{ Add(uint64) uint64 }, deadline bo
 // dispatch runs job on a worker slot under ctx. It returns the job's
 // (status, body) or an HTTP error status when the deadline expires
 // first: 503 while still queued (admission rejection), 504 once running.
-// A job that outlives its request keeps its slot until it finishes —
-// bounded by the fuel budget — so the semaphore always reflects real
-// load.
+// Failure bodies are the same structured JSON errors the handlers write
+// everywhere else, so an admission rejection is machine-readable — pair
+// them with writeBusy, which adds the Retry-After hint. A job that
+// outlives its request keeps its slot until it finishes — bounded by the
+// fuel budget — so the semaphore always reflects real load.
 func (s *Server) dispatch(ctx context.Context, job func() (int, []byte)) (status int, body []byte, ok bool) {
 	// Checked before the select so an already-expired deadline is always
 	// a rejection, even when a worker slot happens to be free.
 	if ctx.Err() != nil {
 		s.metrics.rejected.Add(1)
-		return http.StatusServiceUnavailable, nil, false
+		return http.StatusServiceUnavailable, errorBody(statusMessage(http.StatusServiceUnavailable)), false
 	}
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
 		s.metrics.rejected.Add(1)
-		return http.StatusServiceUnavailable, nil, false
+		return http.StatusServiceUnavailable, errorBody(statusMessage(http.StatusServiceUnavailable)), false
 	}
 	type result struct {
 		status int
@@ -207,7 +247,7 @@ func (s *Server) dispatch(ctx context.Context, job func() (int, []byte)) (status
 		return res.status, res.body, true
 	case <-ctx.Done():
 		s.metrics.deadline.Add(1)
-		return http.StatusGatewayTimeout, nil, false
+		return http.StatusGatewayTimeout, errorBody(statusMessage(http.StatusGatewayTimeout)), false
 	}
 }
 

@@ -1,0 +1,280 @@
+package shard
+
+// Batch fan-out: the shard serves the same streaming campaign endpoints
+// as one backend (/v1/batch, /v1/grid, /v1/chaos) by scattering the
+// campaign's cells across the ring — each cell to the backend owning
+// its stable plan key — and merging the backends' NDJSON streams into
+// one, in completion order, cell lines passed through byte-for-byte.
+// A client cannot tell a shard from a single ifp-serve, and reassembles
+// the identical report either way.
+//
+// Draining: when a backend's stream fails (transport error, truncated
+// stream), the cells it never delivered are re-scattered over the
+// surviving backends, up to one round per backend. Cells that no
+// backend can run are emitted as error cells, so the stream still ends
+// with an honest trailer.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"infat/internal/exp"
+	"infat/internal/server"
+)
+
+// campaignPlan is the slice of exp.Plan / exp.ChaosPlan the fan-out
+// needs: the cell count, each cell's routing key, and its identity for
+// synthesizing error cells.
+type campaignPlan interface {
+	NumCells() int
+	Key(i int) string
+	Meta(i int) exp.CellMeta
+}
+
+func (s *Shard) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req server.BatchRequest
+	if !s.decodeBatchBody(w, r, &req) {
+		return
+	}
+	plan, err := req.BatchPlan()
+	if err != nil {
+		writeShardError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.streamScattered(w, r, server.BatchPath, plan, req.Cells, func(cells []int) any {
+		sub := req
+		sub.Cells = cells
+		return sub
+	})
+}
+
+func (s *Shard) handleGrid(w http.ResponseWriter, r *http.Request) {
+	var req server.BatchRequest
+	if !s.decodeBatchBody(w, r, &req) {
+		return
+	}
+	plan, err := req.GridPlan()
+	if err != nil {
+		writeShardError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.streamScattered(w, r, server.GridPath, plan, req.Cells, func(cells []int) any {
+		sub := req
+		sub.Cells = cells
+		return sub
+	})
+}
+
+func (s *Shard) handleChaos(w http.ResponseWriter, r *http.Request) {
+	var req server.ChaosRequest
+	if !s.decodeBatchBody(w, r, &req) {
+		return
+	}
+	s.streamScattered(w, r, server.ChaosPath, req.Plan(), req.Cells, func(cells []int) any {
+		sub := req
+		sub.Cells = cells
+		return sub
+	})
+}
+
+// decodeBatchBody strictly decodes a batch request body, bounded.
+func (s *Shard) decodeBatchBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeShardError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	if dec.More() {
+		writeShardError(w, http.StatusBadRequest, errors.New("bad request body: trailing data after request object"))
+		return false
+	}
+	return true
+}
+
+// validateSubset mirrors the backend's cell-subset rules so a bad
+// subset fails fast at the front tier.
+func validateSubset(n int, subset []int) ([]int, error) {
+	if len(subset) == 0 {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all, nil
+	}
+	seen := make(map[int]bool, len(subset))
+	for _, i := range subset {
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("cell %d out of range [0, %d)", i, n)
+		}
+		if seen[i] {
+			return nil, fmt.Errorf("duplicate cell %d", i)
+		}
+		seen[i] = true
+	}
+	return subset, nil
+}
+
+// streamScattered fans the cells over their ring owners, merges the
+// backend streams into one NDJSON response, reassigns cells lost to a
+// failed backend, and closes with the merged trailer.
+func (s *Shard) streamScattered(w http.ResponseWriter, r *http.Request, path string, plan campaignPlan, subset []int, subReq func(cells []int) any) {
+	cells, err := validateSubset(plan.NumCells(), subset)
+	if err != nil {
+		writeShardError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.metrics.batchStreams.Add(1)
+	ctx := r.Context()
+
+	w.Header().Set("Content-Type", server.NDJSONContentType)
+	w.Header().Set(server.CellsHeader, strconv.Itoa(len(cells)))
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	var mu sync.Mutex // serializes receipt tracking and response writes
+	received := make([]bool, plan.NumCells())
+	completed, failed := 0, 0
+	emitLocked := func(line []byte) {
+		if ctx.Err() != nil {
+			return
+		}
+		w.Write(line)
+		w.Write([]byte("\n"))
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	// deliver merges one relayed cell line: deduplicated on seq (a
+	// backend that errored after delivering some cells gets only its
+	// missing cells reassigned, but dedup keeps even a misbehaving
+	// backend from corrupting the merged stream).
+	deliver := func(seq int, line []byte, isErr bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if seq < 0 || seq >= len(received) || received[seq] {
+			return
+		}
+		received[seq] = true
+		if isErr {
+			failed++
+		} else {
+			completed++
+		}
+		s.metrics.batchCells.Add(1)
+		emitLocked(line)
+	}
+
+	pending := cells
+	excluded := make(map[int]bool, len(s.backends))
+	for round := 0; round <= len(s.backends) && len(pending) > 0 && ctx.Err() == nil; round++ {
+		if round > 0 {
+			s.metrics.reassignedCells.Add(uint64(len(pending)))
+		}
+		parts := make(map[int][]int)
+		for _, i := range pending {
+			bi := s.ring.owner(plan.Key(i), func(b int) bool { return !excluded[b] && s.backends[b].isUp() })
+			if bi < 0 {
+				continue // orphan: retried next round if a backend recovers, else error cell
+			}
+			parts[bi] = append(parts[bi], i)
+		}
+		if len(parts) == 0 {
+			break
+		}
+		var wg sync.WaitGroup
+		var exMu sync.Mutex
+		for bi, part := range parts {
+			wg.Add(1)
+			go func(bi int, part []int) {
+				defer wg.Done()
+				if err := s.relayStream(ctx, s.backends[bi], path, subReq(part), deliver); err != nil {
+					s.noteFailure(s.backends[bi])
+					exMu.Lock()
+					excluded[bi] = true
+					exMu.Unlock()
+				}
+			}(bi, part)
+		}
+		wg.Wait()
+		var rest []int
+		mu.Lock()
+		for _, i := range pending {
+			if !received[i] {
+				rest = append(rest, i)
+			}
+		}
+		mu.Unlock()
+		pending = rest
+	}
+
+	if ctx.Err() != nil {
+		return // client gone: truncated stream, no trailer
+	}
+	// Cells nobody could run become explicit error cells, so the client
+	// sees a complete, honest accounting instead of silent gaps.
+	for _, i := range pending {
+		m := plan.Meta(i)
+		cell := server.BatchCell{Seq: m.Seq, Kind: m.Kind, Workload: m.Workload, Config: m.Config,
+			Error: "no backend available"}
+		mu.Lock()
+		if !received[i] {
+			received[i] = true
+			failed++
+			emitLocked(mustShardJSON(cell))
+		}
+		mu.Unlock()
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	emitLocked(mustShardJSON(server.BatchTrailer{
+		Done:      true,
+		Cells:     len(cells),
+		Completed: completed,
+		Failed:    failed,
+	}))
+}
+
+// relayStream consumes one backend's NDJSON stream, handing every cell
+// line (with its decoded seq) to deliver. It fails on transport errors,
+// protocol violations, and truncation — the cases where the backend's
+// remaining cells need a new home.
+func (s *Shard) relayStream(ctx context.Context, b *backend, path string, req any, deliver func(seq int, line []byte, isErr bool)) error {
+	sawTrailer := false
+	err := b.client.StreamNDJSON(ctx, path, req, func(line []byte) error {
+		var probe struct {
+			Done  bool   `json:"done"`
+			Seq   int    `json:"seq"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return fmt.Errorf("shard: bad stream line from %s: %w", b.url, err)
+		}
+		if probe.Done {
+			sawTrailer = true
+			return nil
+		}
+		deliver(probe.Seq, line, probe.Error != "")
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if !sawTrailer {
+		return fmt.Errorf("shard: %s: %w", b.url, server.ErrTruncatedStream)
+	}
+	return nil
+}
+
+func mustShardJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err) // plain data types: a marshal failure is a programming error
+	}
+	return b
+}

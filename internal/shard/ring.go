@@ -1,0 +1,81 @@
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// hashKey maps a routing key onto the ring's coordinate space: the
+// first 8 bytes of sha256(key), big-endian. sha256 because the keys are
+// attacker-influenced (program source hashes through here) and the ring
+// must stay balanced under adversarial input.
+func hashKey(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// ring is a consistent-hash ring over backend indexes. Each backend
+// owns `replicas` virtual points, so keys spread evenly and the loss of
+// one backend redistributes only its own arc — the other backends keep
+// their key subsets (and therefore their interner and result-cache
+// heat) untouched.
+type ring struct {
+	hashes   []uint64 // sorted virtual points
+	backends []int    // backends[i] owns hashes[i]
+}
+
+// newRing builds the ring for n backends named by name, with the given
+// virtual points per backend.
+func newRing(n, replicas int, name func(int) string) *ring {
+	r := &ring{
+		hashes:   make([]uint64, 0, n*replicas),
+		backends: make([]int, 0, n*replicas),
+	}
+	type point struct {
+		hash    uint64
+		backend int
+	}
+	points := make([]point, 0, n*replicas)
+	for b := 0; b < n; b++ {
+		for v := 0; v < replicas; v++ {
+			points = append(points, point{
+				hash:    hashKey(name(b) + "#" + strconv.Itoa(v)),
+				backend: b,
+			})
+		}
+	}
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].hash != points[j].hash {
+			return points[i].hash < points[j].hash
+		}
+		// Deterministic tie-break so every process building the same ring
+		// routes identically even on (astronomically unlikely) collisions.
+		return points[i].backend < points[j].backend
+	})
+	for _, p := range points {
+		r.hashes = append(r.hashes, p.hash)
+		r.backends = append(r.backends, p.backend)
+	}
+	return r
+}
+
+// owner returns the backend index owning key among the backends eligible
+// reports true for: the first eligible point clockwise of hash(key),
+// wrapping. Returns -1 when no eligible backend exists.
+func (r *ring) owner(key string, eligible func(int) bool) int {
+	n := len(r.hashes)
+	if n == 0 {
+		return -1
+	}
+	h := hashKey(key)
+	start := sort.Search(n, func(i int) bool { return r.hashes[i] >= h })
+	for i := 0; i < n; i++ {
+		b := r.backends[(start+i)%n]
+		if eligible(b) {
+			return b
+		}
+	}
+	return -1
+}

@@ -1,0 +1,481 @@
+// Package shard is the scale-out front tier over a fleet of ifp-serve
+// backends (cmd/ifp-shard): one HTTP endpoint that consistently hashes
+// requests across N backend processes and merges their answers.
+//
+// Routing is by content, not by connection: /v1/run routes on
+// sha256(source), /v1/juliet on the case name, /v1/workload on the
+// workload name, and the batch endpoints scatter each campaign cell by
+// its stable plan key (exp.Plan.Key). Consistent hashing with virtual
+// nodes means every backend sees a stable subset of the key space, so
+// each backend's program interner and result LRU stay hot on their own
+// slice of the workload — the property that makes N backends behave
+// like one big cache rather than N cold ones.
+//
+// Backends are health-checked continuously; a backend that fails
+// DownAfter consecutive probes is drained — new requests route past it,
+// in-flight batch cells it never delivered are reassigned to the
+// survivors — and it rejoins automatically on the first healthy probe.
+package shard
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"infat/internal/server"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultReplicas       = 64
+	DefaultHealthInterval = time.Second
+	DefaultHealthTimeout  = 2 * time.Second
+	DefaultDownAfter      = 2
+	DefaultMaxBodyBytes   = 8 << 20
+)
+
+// Config parameterizes a Shard. Backends is required; every other zero
+// value takes the documented default.
+type Config struct {
+	// Backends are the ifp-serve base URLs, e.g.
+	// ["http://10.0.0.1:8080", "http://10.0.0.2:8080"]. At least one is
+	// required; order is irrelevant to routing (the ring hashes URLs).
+	Backends []string
+	// Replicas is the virtual-node count per backend on the hash ring
+	// (0 = DefaultReplicas). More replicas smooth the key distribution.
+	Replicas int
+	// HealthInterval is the probe period (0 = DefaultHealthInterval).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one probe (0 = DefaultHealthTimeout).
+	HealthTimeout time.Duration
+	// DownAfter is the consecutive probe failures that mark a backend
+	// down (0 = DefaultDownAfter).
+	DownAfter int
+	// MaxBodyBytes bounds proxied request bodies (0 = DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = DefaultReplicas
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = DefaultHealthInterval
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = DefaultHealthTimeout
+	}
+	if c.DownAfter <= 0 {
+		c.DownAfter = DefaultDownAfter
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	return c
+}
+
+// backend is one ifp-serve process behind the ring.
+type backend struct {
+	url    string
+	client *server.Client
+	// fails counts consecutive failed health probes; up flips to false
+	// at DownAfter and back to true on the first success. A transport
+	// error on a proxied request also counts one failure, so a crashed
+	// backend starts draining before the next probe tick.
+	fails atomic.Int32
+	up    atomic.Bool
+}
+
+func (b *backend) isUp() bool { return b.up.Load() }
+
+// shardMetrics are the front tier's own counters, reported under
+// "shard" in /metrics alongside the backend aggregate.
+type shardMetrics struct {
+	proxied         atomic.Uint64 // unary requests forwarded
+	failovers       atomic.Uint64 // unary retries on a different backend
+	noBackend       atomic.Uint64 // requests failed with no backend available
+	batchStreams    atomic.Uint64 // batch/grid/chaos fan-outs started
+	batchCells      atomic.Uint64 // cells merged into client streams
+	reassignedCells atomic.Uint64 // cells re-scattered after a backend loss
+	transitions     atomic.Uint64 // backend up/down state changes
+}
+
+// Shard is the front tier: an http.Handler serving the same API surface
+// as one ifp-serve, fanned over Config.Backends. Construct with New;
+// Close stops the health loop.
+type Shard struct {
+	cfg      Config
+	backends []*backend
+	ring     *ring
+	mux      *http.ServeMux
+	metrics  shardMetrics
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New builds a Shard over cfg.Backends and starts its health loop.
+// Backends start optimistically up: a fleet that is still booting
+// serves as soon as the first probe (or first proxied request) settles
+// the truth, and unary failover covers the window.
+func New(cfg Config) (*Shard, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("shard: at least one backend required")
+	}
+	seen := make(map[string]bool, len(cfg.Backends))
+	s := &Shard{cfg: cfg, mux: http.NewServeMux(), stop: make(chan struct{})}
+	for _, u := range cfg.Backends {
+		if seen[u] {
+			return nil, fmt.Errorf("shard: duplicate backend %q", u)
+		}
+		seen[u] = true
+		b := &backend{url: u, client: server.NewClient(u)}
+		b.up.Store(true)
+		s.backends = append(s.backends, b)
+	}
+	s.ring = newRing(len(s.backends), cfg.Replicas, func(i int) string { return s.backends[i].url })
+
+	s.mux.HandleFunc("POST /v1/run", s.handleRun)
+	s.mux.HandleFunc("POST /v1/juliet", s.handleJuliet)
+	s.mux.HandleFunc("GET /v1/juliet", s.handleJulietList)
+	s.mux.HandleFunc("POST /v1/workload", s.handleWorkload)
+	s.mux.HandleFunc("POST "+server.BatchPath, s.handleBatch)
+	s.mux.HandleFunc("POST "+server.GridPath, s.handleGrid)
+	s.mux.HandleFunc("POST "+server.ChaosPath, s.handleChaos)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+
+	s.wg.Add(1)
+	go s.healthLoop()
+	return s, nil
+}
+
+// Close stops the health loop. In-flight requests are unaffected.
+func (s *Shard) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}
+
+// ServeHTTP dispatches to the front-tier handlers.
+func (s *Shard) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// UpBackends returns the URLs currently routed to, for observability.
+func (s *Shard) UpBackends() []string {
+	var up []string
+	for _, b := range s.backends {
+		if b.isUp() {
+			up = append(up, b.url)
+		}
+	}
+	return up
+}
+
+// healthLoop probes every backend each interval. Probes run
+// concurrently so one hung backend cannot delay the others' verdicts.
+func (s *Shard) healthLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+		}
+		var wg sync.WaitGroup
+		for _, b := range s.backends {
+			wg.Add(1)
+			go func(b *backend) {
+				defer wg.Done()
+				s.probe(b)
+			}(b)
+		}
+		wg.Wait()
+	}
+}
+
+func (s *Shard) probe(b *backend) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.HealthTimeout)
+	defer cancel()
+	probe := *b.client
+	probe.NoRetry = true // the loop itself is the retry policy
+	if err := probe.Healthz(ctx); err != nil {
+		s.noteFailure(b)
+		return
+	}
+	b.fails.Store(0)
+	if !b.up.Swap(true) {
+		s.metrics.transitions.Add(1)
+	}
+}
+
+// noteFailure records one failed probe or proxied transport error and
+// marks the backend down at the DownAfter threshold.
+func (s *Shard) noteFailure(b *backend) {
+	if int(b.fails.Add(1)) >= s.cfg.DownAfter {
+		if b.up.Swap(false) {
+			s.metrics.transitions.Add(1)
+		}
+	}
+}
+
+// routeKey computes the unary routing keys. Namespaced so a workload
+// named like a Juliet case still owns its own ring arc.
+func runRouteKey(source string) string {
+	h := sha256.Sum256([]byte(source))
+	return fmt.Sprintf("run|%x", h)
+}
+
+// readBody drains a bounded request body.
+func (s *Shard) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeShardError(w, http.StatusRequestEntityTooLarge, err)
+		return nil, false
+	}
+	return body, true
+}
+
+func (s *Shard) handleRun(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	// Decode only the routing field; the owning backend performs the
+	// strict validation, so shard and backend never disagree on what a
+	// valid request is.
+	var req struct {
+		Source string `json:"source"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeShardError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	s.proxy(w, r, runRouteKey(req.Source), "/v1/run", body)
+}
+
+func (s *Shard) handleJuliet(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req struct {
+		Case string `json:"case"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeShardError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	s.proxy(w, r, "juliet|"+req.Case, "/v1/juliet", body)
+}
+
+func (s *Shard) handleJulietList(w http.ResponseWriter, r *http.Request) {
+	// The list is identical on every backend (the generated suite), so
+	// any up backend may answer.
+	s.proxy(w, r, "juliet-list", "/v1/juliet", nil)
+}
+
+func (s *Shard) handleWorkload(w http.ResponseWriter, r *http.Request) {
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req struct {
+		Name string `json:"name"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeShardError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	s.proxy(w, r, "workload|"+req.Name, "/v1/workload", body)
+}
+
+// proxy forwards one unary request to the key's owner, failing over to
+// the next ring backend on transport errors only. HTTP statuses —
+// including 503 back-pressure — are the backend's answer and pass
+// through untouched (with their Retry-After hints), so end-to-end retry
+// stays the client's decision and a saturated fleet is visible as such.
+func (s *Shard) proxy(w http.ResponseWriter, r *http.Request, key, path string, body []byte) {
+	tried := make(map[int]bool)
+	first := true
+	for {
+		bi := s.ring.owner(key, func(i int) bool { return !tried[i] && s.backends[i].isUp() })
+		if bi < 0 {
+			s.metrics.noBackend.Add(1)
+			writeShardError(w, http.StatusBadGateway, errors.New("no backend available"))
+			return
+		}
+		tried[bi] = true
+		if !first {
+			s.metrics.failovers.Add(1)
+		}
+		first = false
+		if s.forward(w, r, s.backends[bi], path, body) {
+			s.metrics.proxied.Add(1)
+			return
+		}
+		// Transport failure: count it toward the health verdict and try
+		// the next owner.
+		s.noteFailure(s.backends[bi])
+	}
+}
+
+// forward performs one proxied exchange, copying the backend's status,
+// relevant headers, and body through verbatim. It reports false only on
+// transport errors, where no response bytes were produced and failover
+// is safe.
+func (s *Shard) forward(w http.ResponseWriter, r *http.Request, b *backend, path string, body []byte) bool {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, b.url+path, rd)
+	if err != nil {
+		writeShardError(w, http.StatusInternalServerError, err)
+		return true // not a transport failure: failing over cannot help
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		if r.Context().Err() != nil {
+			// The client gave up, not the backend: stop failing over.
+			writeShardError(w, http.StatusBadGateway, err)
+			return true
+		}
+		return false
+	}
+	defer resp.Body.Close()
+	for _, h := range []string{"Content-Type", server.CacheHeader, server.RetryAfterHeader} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true
+}
+
+func (s *Shard) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// Flat string map: the bundled client's Healthz decodes exactly this
+	// shape, so the shard is probeable by the same WaitReady loop as a
+	// backend.
+	resp := map[string]string{"status": "ok"}
+	up := 0
+	for _, b := range s.backends {
+		state := "down"
+		if b.isUp() {
+			state = "up"
+			up++
+		}
+		resp[b.url] = state
+	}
+	status := http.StatusOK
+	if up == 0 {
+		resp["status"] = "degraded"
+		status = http.StatusServiceUnavailable
+	}
+	writeShardJSON(w, status, resp)
+}
+
+// MetricsResponse is the shard's GET /metrics body: the front tier's
+// own counters, the summed backend snapshot, and each backend's raw
+// snapshot (or probe error) keyed by URL.
+type MetricsResponse struct {
+	Shard     map[string]uint64      `json:"shard"`
+	Aggregate server.MetricsSnapshot `json:"aggregate"`
+	Backends  map[string]any         `json:"backends"`
+}
+
+func (s *Shard) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	resp := MetricsResponse{
+		Shard: map[string]uint64{
+			"proxied":          s.metrics.proxied.Load(),
+			"failovers":        s.metrics.failovers.Load(),
+			"no_backend":       s.metrics.noBackend.Load(),
+			"batch_streams":    s.metrics.batchStreams.Load(),
+			"batch_cells":      s.metrics.batchCells.Load(),
+			"reassigned_cells": s.metrics.reassignedCells.Load(),
+			"transitions":      s.metrics.transitions.Load(),
+			"backends_up":      uint64(len(s.UpBackends())),
+		},
+		Backends: make(map[string]any, len(s.backends)),
+	}
+	type scraped struct {
+		url  string
+		snap *server.MetricsSnapshot
+		err  error
+	}
+	results := make([]scraped, len(s.backends))
+	var wg sync.WaitGroup
+	for i, b := range s.backends {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.HealthTimeout)
+			defer cancel()
+			snap, err := b.client.Metrics(ctx)
+			results[i] = scraped{url: b.url, snap: snap, err: err}
+		}(i, b)
+	}
+	wg.Wait()
+	agg := &resp.Aggregate
+	for _, sc := range results {
+		if sc.err != nil {
+			resp.Backends[sc.url] = map[string]string{"error": sc.err.Error()}
+			continue
+		}
+		resp.Backends[sc.url] = sc.snap
+		mergeSnapshot(agg, sc.snap)
+	}
+	writeShardJSON(w, http.StatusOK, resp)
+}
+
+// mergeSnapshot sums one backend's counters into the aggregate.
+func mergeSnapshot(agg *server.MetricsSnapshot, snap *server.MetricsSnapshot) {
+	agg.InFlight += snap.InFlight
+	agg.Requests = sumMap(agg.Requests, snap.Requests)
+	agg.Admission = sumMap(agg.Admission, snap.Admission)
+	agg.Cache = sumMap(agg.Cache, snap.Cache)
+	agg.Batch = sumMap(agg.Batch, snap.Batch)
+	agg.Traps = sumMap(agg.Traps, snap.Traps)
+	agg.Latency = sumMap(agg.Latency, snap.Latency)
+	agg.Pool = sumMap(agg.Pool, snap.Pool)
+}
+
+func sumMap(dst, src map[string]uint64) map[string]uint64 {
+	if dst == nil {
+		dst = make(map[string]uint64, len(src))
+	}
+	for k, v := range src {
+		dst[k] += v
+	}
+	return dst
+}
+
+func writeShardJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(b)
+	w.Write([]byte("\n"))
+}
+
+func writeShardError(w http.ResponseWriter, status int, err error) {
+	writeShardJSON(w, status, server.ErrorResponse{Error: err.Error()})
+}

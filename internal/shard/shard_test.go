@@ -1,0 +1,286 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"infat/internal/exp"
+	"infat/internal/server"
+	"infat/internal/workloads"
+)
+
+// TestRingStableOwnership pins the consistent-hashing contract: keys
+// spread over every backend, ownership is deterministic, and removing
+// one backend moves only that backend's keys.
+func TestRingStableOwnership(t *testing.T) {
+	r := newRing(3, DefaultReplicas, func(i int) string { return fmt.Sprintf("http://backend-%d", i) })
+	allUp := func(int) bool { return true }
+	counts := make([]int, 3)
+	owners := make(map[string]int)
+	for i := 0; i < 3000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		o := r.owner(k, allUp)
+		if o < 0 || o > 2 {
+			t.Fatalf("owner(%q) = %d", k, o)
+		}
+		if again := r.owner(k, allUp); again != o {
+			t.Fatalf("owner(%q) unstable: %d then %d", k, o, again)
+		}
+		owners[k] = o
+		counts[o]++
+	}
+	for b, n := range counts {
+		if n < 300 {
+			t.Errorf("backend %d owns %d of 3000 keys: ring is unbalanced", b, n)
+		}
+	}
+	// Drop backend 1: its keys must move, everyone else's must not.
+	without1 := func(b int) bool { return b != 1 }
+	for k, o := range owners {
+		no := r.owner(k, without1)
+		if o != 1 && no != o {
+			t.Fatalf("key %q moved %d->%d though its owner stayed up", k, o, no)
+		}
+		if o == 1 && no == 1 {
+			t.Fatalf("key %q still routed to the removed backend", k)
+		}
+	}
+	if r.owner("anything", func(int) bool { return false }) != -1 {
+		t.Error("owner with no eligible backend != -1")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New with no backends succeeded")
+	}
+	if _, err := New(Config{Backends: []string{"http://a", "http://a"}}); err == nil {
+		t.Error("New with duplicate backends succeeded")
+	}
+}
+
+// testWorkloads is the small subset the equivalence tests run.
+var testWorkloads = []string{"treeadd", "health"}
+
+func workloadSet(t *testing.T) []workloads.Workload {
+	t.Helper()
+	var ws []workloads.Workload
+	for _, name := range testWorkloads {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			t.Fatalf("unknown workload %q", name)
+		}
+		ws = append(ws, w)
+	}
+	return ws
+}
+
+// newFleet boots n in-process backends plus the shard front tier and
+// returns a client against the shard.
+func newFleet(t *testing.T, n int) (*Shard, []*httptest.Server, *server.Client) {
+	t.Helper()
+	var urls []string
+	var backs []*httptest.Server
+	for i := 0; i < n; i++ {
+		ts := httptest.NewServer(server.New(server.Config{}))
+		t.Cleanup(ts.Close)
+		backs = append(backs, ts)
+		urls = append(urls, ts.URL)
+	}
+	sh, err := New(Config{
+		Backends:       urls,
+		HealthInterval: 50 * time.Millisecond,
+		HealthTimeout:  time.Second,
+		DownAfter:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sh.Close)
+	front := httptest.NewServer(sh)
+	t.Cleanup(front.Close)
+	return sh, backs, server.NewClient(front.URL)
+}
+
+// serialGroundTruth computes the serial run the sharded campaigns must
+// reproduce, once per test process (both equivalence tests share it).
+var serialGroundTruth = struct {
+	sync.Once
+	results []exp.Result
+	mem     []exp.MemResult
+	err     error
+}{}
+
+func serialRun(t *testing.T) ([]exp.Result, []exp.MemResult) {
+	t.Helper()
+	g := &serialGroundTruth
+	g.Do(func() {
+		ws := workloadSet(t)
+		workers := runtime.NumCPU()
+		if g.results, g.err = exp.RunSet(ws, 1, workers); g.err != nil {
+			return
+		}
+		g.mem, g.err = exp.RunMemSet(ws, exp.MemScale, workers)
+	})
+	if g.err != nil {
+		t.Fatal(g.err)
+	}
+	return g.results, g.mem
+}
+
+// TestShardBatchReportEquivalence is the tentpole acceptance test: a
+// batch campaign scattered over two backends reassembles to the exact
+// bytes a serial run produces — full report and perf-only grid.
+func TestShardBatchReportEquivalence(t *testing.T) {
+	serial, serialMem := serialRun(t)
+
+	_, _, c := newFleet(t, 2)
+	ctx := context.Background()
+	got, err := c.BatchReport(ctx, server.BatchRequest{Workloads: testWorkloads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := exp.Report(serial, serialMem); got != want {
+		t.Fatalf("shard batch report differs from serial run:\n--- shard ---\n%s\n--- serial ---\n%s", got, want)
+	}
+
+	gotGrid, err := c.GridReport(ctx, server.BatchRequest{Workloads: testWorkloads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := exp.PerfReport(serial); gotGrid != want {
+		t.Fatal("shard grid report differs from serial run")
+	}
+}
+
+// TestShardFailover: with one backend killed, unary requests fail over
+// and a batch campaign is reassigned to the survivor — same bytes.
+func TestShardFailover(t *testing.T) {
+	serial, serialMem := serialRun(t)
+
+	sh, backs, c := newFleet(t, 2)
+	ctx := context.Background()
+	backs[0].Close()
+
+	// Unary failover: whichever backend owned this key, the answer comes
+	// from a live one.
+	const src = "int main() { print(1); return 0; }"
+	if _, _, err := c.Run(ctx, server.RunRequest{Source: src}); err != nil {
+		t.Fatalf("run after backend loss: %v", err)
+	}
+	if _, cached, err := c.Run(ctx, server.RunRequest{Source: src}); err != nil || !cached {
+		t.Fatalf("repeat run after backend loss: cached=%v err=%v", cached, err)
+	}
+
+	got, err := c.BatchReport(ctx, server.BatchRequest{Workloads: testWorkloads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := exp.Report(serial, serialMem); got != want {
+		t.Fatal("post-failover shard batch report differs from serial run")
+	}
+	if sh.metrics.reassignedCells.Load() == 0 && sh.metrics.failovers.Load() == 0 {
+		t.Error("failover left no trace in shard metrics")
+	}
+
+	// The health loop drains the dead backend from /healthz.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var h map[string]string
+		resp, err := http.Get(c.BaseURL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if h[backs[0].URL] == "down" && h["status"] == "ok" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("backend never drained: %v", h)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestShardSubsetAndValidation: explicit cell subsets stream exactly
+// those cells; malformed requests fail with 400 before streaming.
+func TestShardSubsetAndValidation(t *testing.T) {
+	_, _, c := newFleet(t, 2)
+	ctx := context.Background()
+
+	var seqs []int
+	trailer, err := c.GridStream(ctx, server.BatchRequest{Workloads: testWorkloads, Cells: []int{0, 7, 3}},
+		func(cell server.BatchCell) error {
+			seqs = append(seqs, cell.Seq)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trailer.Cells != 3 || trailer.Completed != 3 || trailer.Failed != 0 {
+		t.Fatalf("trailer = %+v", trailer)
+	}
+	want := map[int]bool{0: true, 7: true, 3: true}
+	if len(seqs) != 3 {
+		t.Fatalf("received %d cells: %v", len(seqs), seqs)
+	}
+	for _, seq := range seqs {
+		if !want[seq] {
+			t.Errorf("unexpected cell seq %d", seq)
+		}
+	}
+
+	for name, body := range map[string]string{
+		"unknown workload": `{"workloads":["nope"]}`,
+		"bad subset":       `{"cells":[99999]}`,
+		"unknown field":    `{"bogus":1}`,
+	} {
+		resp, err := http.Post(c.BaseURL+server.GridPath, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestShardMetricsAggregation: /metrics sums the fleet and reports the
+// front tier's own counters.
+func TestShardMetricsAggregation(t *testing.T) {
+	_, _, c := newFleet(t, 2)
+	ctx := context.Background()
+	if _, _, err := c.Run(ctx, server.RunRequest{Source: "int main() { return 0; }"}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(c.BaseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m MetricsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Backends) != 2 {
+		t.Fatalf("%d backends in metrics, want 2", len(m.Backends))
+	}
+	if m.Aggregate.Requests["run"] == 0 || m.Aggregate.Requests["total"] == 0 {
+		t.Errorf("aggregate requests %v", m.Aggregate.Requests)
+	}
+	if m.Shard["proxied"] == 0 || m.Shard["backends_up"] != 2 {
+		t.Errorf("shard counters %v", m.Shard)
+	}
+}
