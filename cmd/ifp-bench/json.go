@@ -7,12 +7,16 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sync"
 	"testing"
 	"time"
 
 	"infat/internal/exp"
+	"infat/internal/juliet"
+	"infat/internal/machine"
 	"infat/internal/mem"
 	"infat/internal/minic"
+	"infat/internal/pool"
 	"infat/internal/rt"
 	"infat/internal/server"
 	"infat/internal/stats"
@@ -21,9 +25,10 @@ import (
 
 // benchSchema versions the -json output so downstream tooling can detect
 // format changes across BENCH_*.json files. v2 added grid_bench,
-// mem_bench, and intern; v3 adds batch_bench (all additive; the
-// deterministic workload cycles and overheads are unchanged from v1).
-const benchSchema = "ifp-bench/v3"
+// mem_bench, and intern; v3 added batch_bench; v4 adds temporal_bench
+// (all additive; the deterministic workload cycles and overheads are
+// unchanged from v1).
+const benchSchema = "ifp-bench/v4"
 
 // benchJSON is the machine-readable benchmark summary -json emits: the
 // §5.2 per-workload cycle counts and geomean overheads, cold-vs-warm
@@ -41,11 +46,12 @@ type benchJSON struct {
 	Workloads          []workloadJSON     `json:"workloads"`
 	GeomeanOverheadPct map[string]float64 `json:"geomean_overhead_pct"`
 
-	Serve      serveJSON `json:"serve"`
-	ReuseBench reuseJSON `json:"reuse_bench"`
-	GridBench  gridJSON  `json:"grid_bench"`
-	MemBench   memJSON   `json:"mem_bench"`
-	BatchBench batchJSON `json:"batch_bench"`
+	Serve         serveJSON    `json:"serve"`
+	ReuseBench    reuseJSON    `json:"reuse_bench"`
+	GridBench     gridJSON     `json:"grid_bench"`
+	MemBench      memJSON      `json:"mem_bench"`
+	BatchBench    batchJSON    `json:"batch_bench"`
+	TemporalBench temporalJSON `json:"temporal_bench"`
 
 	Pool   map[string]uint64 `json:"pool"`
 	Intern map[string]int    `json:"intern"`
@@ -82,6 +88,26 @@ type memJSON struct {
 	AlignedNsPerOp  int64 `json:"aligned_ns_per_op"`
 	StraddleNsPerOp int64 `json:"straddle_ns_per_op"`
 	AllocsPerOp     int64 `json:"allocs_per_op"`
+}
+
+// temporalJSON summarizes the generation-tagging mode (rt.IFPTemporal):
+// the modeled per-comparison cycle cost, the geomean cycle overhead of
+// ifp-temporal vs baseline over the full workload grid, the grid's total
+// generation-check volume, and the CWE-415/416 detection counts under a
+// spatial mode vs the temporal one. All fields are modeled/deterministic
+// (no host timing).
+type temporalJSON struct {
+	// GenCheckCycles is the modeled cost charged per generation
+	// comparison (machine.DefaultCost.GenCheckCycles).
+	GenCheckCycles     uint64  `json:"gen_check_cycles"`
+	GeomeanOverheadPct float64 `json:"geomean_overhead_pct"`
+	GenChecks          uint64  `json:"gen_checks"`
+	GenCheckFails      uint64  `json:"gen_check_fails"`
+	// CWE-415/416 suite: bad-variant count and how many each mode
+	// detects (spatial misses type-safe reuse by design).
+	CWE415416BadCases         int `json:"cwe415416_bad_cases"`
+	CWE415416DetectedSpatial  int `json:"cwe415416_detected_spatial"`
+	CWE415416DetectedTemporal int `json:"cwe415416_detected_temporal"`
 }
 
 // workloadJSON is one workload's cycle counts per configuration plus the
@@ -180,6 +206,11 @@ func writeBenchJSON(path string, results []exp.Result, scale, parallel int) erro
 		return err
 	}
 	out.BatchBench = batch
+	temporal, err := benchTemporal(scale, parallel)
+	if err != nil {
+		return err
+	}
+	out.TemporalBench = temporal
 	ps := rt.DefaultPool.Stats()
 	out.Pool = map[string]uint64{
 		"hits":     ps.Hits,
@@ -195,6 +226,50 @@ func writeBenchJSON(path string, results []exp.Result, scale, parallel int) erro
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// benchTemporal runs the full grid with the ifp-temporal configuration
+// (a WithTemporal plan, fanned over parallel workers) and the
+// CWE-415/416 suites under both a spatial mode and the temporal one, and
+// folds the results into the temporal_bench section. Every number is
+// modeled and deterministic across hosts.
+func benchTemporal(scale, parallel int) (temporalJSON, error) {
+	p := exp.NewPlan(workloads.All, scale).WithTemporal(true)
+	a := p.NewAssembly()
+	var mu sync.Mutex
+	if err := pool.Map(parallel, p.NumCells(), func(i int) error {
+		c, err := p.RunCell(i)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return a.Add(i, c)
+	}); err != nil {
+		return temporalJSON{}, err
+	}
+	results, _, err := a.Results()
+	if err != nil {
+		return temporalJSON{}, err
+	}
+
+	out := temporalJSON{GenCheckCycles: machine.DefaultCost.GenCheckCycles}
+	var ratios []float64
+	for i := range results {
+		r := &results[i]
+		ratios = append(ratios, stats.Ratio(r.Temporal.Counters.Cycles, r.Baseline.Counters.Cycles))
+		out.GenChecks += r.Temporal.Counters.GenChecks
+		out.GenCheckFails += r.Temporal.Counters.GenCheckFails
+	}
+	out.GeomeanOverheadPct = stats.Overhead(stats.Geomean(ratios))
+
+	cases := juliet.GenerateCWE415416()
+	spatial := juliet.RunParallel(cases, rt.Hybrid, parallel)
+	temporal := juliet.RunParallel(cases, rt.IFPTemporal, parallel)
+	out.CWE415416BadCases = spatial.BadCases
+	out.CWE415416DetectedSpatial = spatial.Detected
+	out.CWE415416DetectedTemporal = temporal.Detected
+	return out, nil
 }
 
 // benchSrc is the program both micro-benchmarks run: small enough that

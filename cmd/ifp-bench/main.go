@@ -6,7 +6,7 @@
 // Usage:
 //
 //	ifp-bench [-scale N] [-parallel N] [-table4] [-fig10] [-fig11] [-fig12] [-bench name] [-chaos]
-//	          [-json path] [-cpuprofile path] [-memprofile path]
+//	          [-temporal] [-json path] [-cpuprofile path] [-memprofile path]
 //
 // With no selection flags, everything is printed. The (workload ×
 // configuration) grid fans out over -parallel worker goroutines (default:
@@ -50,6 +50,7 @@ func run() int {
 	hybrid := flag.Bool("hybrid", false, "print the hybrid (dynamic allocator selection) comparison")
 	asic := flag.Bool("asic", false, "print the §5.2.4 ASIC extrapolation sweep")
 	related := flag.Bool("related", false, "print the related-work comparison")
+	temporal := flag.Bool("temporal", false, "print the temporal axis: generation-tagging overhead over the grid plus CWE-415/416 detection rates")
 	jsonPath := flag.String("json", "", "write a machine-readable benchmark summary (cycles, overheads, serve/grid/mem timings, pool and interner stats) to this path")
 	noReuse := flag.Bool("no-reuse", false, "disable runtime pooling: construct a fresh simulator per cell")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path (pprof format)")
@@ -143,6 +144,14 @@ func run() int {
 	}
 	if *related {
 		out, err := baseline.Compare(1500)
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Println(out)
+		return 0
+	}
+	if *temporal {
+		out, err := exp.TemporalReportN(*scale, *parallel)
 		if err != nil {
 			return fail(err)
 		}

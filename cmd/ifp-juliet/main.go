@@ -4,9 +4,14 @@
 // object variants), runs good and bad versions under both allocator
 // configurations, and reports detection results.
 //
+// -mode ifp-temporal evaluates the generation-tagging mode instead: the
+// spatial suite minus the intra-object families (the tag bits carry the
+// generation, so subobject granularity is out of scope by design) plus
+// the CWE-415 (double free) and CWE-416 (use-after-free) families.
+//
 // Usage:
 //
-//	ifp-juliet [-mode subheap|wrapped|both] [-parallel N] [-v] [-case name]
+//	ifp-juliet [-mode subheap|wrapped|both|ifp-temporal] [-parallel N] [-v] [-case name]
 //
 // Cases fan out over -parallel worker goroutines (default: the number of
 // CPUs); each case compiles and runs in its own isolated runtime, and the
@@ -25,7 +30,7 @@ import (
 )
 
 func main() {
-	modeFlag := flag.String("mode", "both", "allocator configuration: subheap, wrapped, or both")
+	modeFlag := flag.String("mode", "both", "allocator configuration: subheap, wrapped, both, or ifp-temporal")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker goroutines for the case grid (1 = serial)")
 	verbose := flag.Bool("v", false, "list every case outcome")
 	caseName := flag.String("case", "", "run (and print) a single named case")
@@ -34,13 +39,17 @@ func main() {
 	cases := juliet.Generate()
 
 	if *caseName != "" {
-		for _, c := range cases {
+		// Temporal cases are addressable too; they print the ifp-temporal
+		// verdict alongside the spatial ones.
+		for _, c := range append(cases, juliet.GenerateCWE415416()...) {
 			if c.Name == *caseName {
 				fmt.Printf("--- %s (CWE %s, bad=%v)\n%s\n", c.Name, c.CWE, c.Bad, c.Src)
 				o := juliet.RunCase(c, rt.Subheap)
 				fmt.Printf("subheap: %v %s\n", o.Verdict, o.Detail)
 				o = juliet.RunCase(c, rt.Wrapped)
 				fmt.Printf("wrapped: %v %s\n", o.Verdict, o.Detail)
+				o = juliet.RunCase(c, rt.IFPTemporal)
+				fmt.Printf("ifp-temporal: %v %s\n", o.Verdict, o.Detail)
 				return
 			}
 		}
@@ -56,14 +65,32 @@ func main() {
 		modes = []rt.Mode{rt.Wrapped}
 	case "both":
 		modes = []rt.Mode{rt.Subheap, rt.Wrapped}
+	case "ifp-temporal":
+		modes = []rt.Mode{rt.IFPTemporal}
 	default:
 		fmt.Fprintf(os.Stderr, "ifp-juliet: unknown mode %q\n", *modeFlag)
 		os.Exit(2)
 	}
 
+	// The temporal mode spends the tag bits on the generation, so the
+	// intra-object families are out of scope by design; it gains the
+	// CWE-415/416 temporal families instead.
+	casesFor := func(mode rt.Mode) []juliet.Case {
+		if mode != rt.IFPTemporal {
+			return cases
+		}
+		var out []juliet.Case
+		for _, c := range cases {
+			if c.CWE != "INTRA" {
+				out = append(out, c)
+			}
+		}
+		return append(out, juliet.GenerateCWE415416()...)
+	}
+
 	exit := 0
 	for _, mode := range modes {
-		s := juliet.RunParallel(cases, mode, *parallel)
+		s := juliet.RunParallel(casesFor(mode), mode, *parallel)
 		fmt.Printf("=== %v allocator ===\n%s", mode, s.Report())
 		if *verbose {
 			for _, o := range s.Outcomes {

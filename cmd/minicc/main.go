@@ -4,13 +4,14 @@
 // (§A.4). A guest trap terminates the run with a one-line classification
 // and a distinct exit code:
 //
-//	spatial (poison/bounds detection)  exit 3
-//	fuel    (-fuel budget exhausted)   exit 4
-//	other   (metadata/memory trap, runtime fault)  exit 5
+//	spatial  (poison/bounds detection)  exit 3
+//	fuel     (-fuel budget exhausted)   exit 4
+//	other    (metadata/memory trap, runtime fault)  exit 5
+//	temporal (stale generation / double free, ifp-temporal mode)  exit 6
 //
 // Usage:
 //
-//	minicc [-mode baseline|subheap|wrapped|hybrid] [-fuel CYCLES] [-stats] file.c
+//	minicc [-mode baseline|subheap|wrapped|hybrid|ifp-temporal] [-fuel CYCLES] [-stats] file.c
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 )
 
 func main() {
-	modeFlag := flag.String("mode", "subheap", "baseline, subheap, wrapped, or hybrid")
+	modeFlag := flag.String("mode", "subheap", "baseline, subheap, wrapped, hybrid, or ifp-temporal")
 	fuel := flag.Uint64("fuel", 0, "cycle budget; 0 = unlimited (exhaustion is a fuel trap)")
 	stats := flag.Bool("stats", false, "print dynamic instruction statistics after the run")
 	dumpIR := flag.Bool("S", false, "print the instrumented IR listing instead of running")
@@ -88,11 +89,13 @@ func main() {
 }
 
 // classify maps a run error to the service-wide trap taxonomy (spatial /
-// fuel / other) and the exit code documented above.
+// temporal / fuel / other) and the exit code documented above.
 func classify(err error) (string, int) {
 	switch {
 	case machine.IsTrap(err, machine.TrapPoison) || machine.IsTrap(err, machine.TrapBounds):
 		return "spatial", 3
+	case machine.IsTrap(err, machine.TrapTemporal):
+		return "temporal", 6
 	case machine.IsTrap(err, machine.TrapFuel):
 		return "fuel", 4
 	}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"testing"
+
+	"infat"
+	"infat/internal/machine"
+	"infat/internal/minic"
+	"infat/internal/rt"
+)
+
+const uafProg = `
+long *gv;
+int main() {
+	long *p = (long*)malloc(4 * sizeof(long));
+	gv = p;
+	free(p);
+	long *fresh = (long*)malloc(4 * sizeof(long));
+	fresh[0] = 1;
+	long *q = gv;
+	*q = 2;
+	free(fresh);
+	return 0;
+}`
+
+const overflowProg = `
+int main() {
+	long *p = (long*)malloc(4 * sizeof(long));
+	p[4] = 1;
+	return 0;
+}`
+
+// TestClassifyTemporal pins the new exit class: a same-type slot-reuse
+// UAF under ifp-temporal classifies temporal with its own exit code,
+// and the error satisfies the package-level IsTemporalTrap predicate.
+func TestClassifyTemporal(t *testing.T) {
+	_, _, err := minic.Execute(uafProg, rt.IFPTemporal)
+	if err == nil {
+		t.Fatal("UAF ran clean under ifp-temporal")
+	}
+	if !infat.IsTemporalTrap(err) {
+		t.Fatalf("IsTemporalTrap = false for %v", err)
+	}
+	class, code := classify(err)
+	if class != "temporal" || code != 6 {
+		t.Fatalf("classify = (%s, %d), want (temporal, 6)", class, code)
+	}
+}
+
+// TestClassifySpatialUnchanged: the pre-temporal classes keep their
+// labels and exit codes.
+func TestClassifySpatialUnchanged(t *testing.T) {
+	_, _, err := minic.Execute(overflowProg, rt.Subheap)
+	if err == nil {
+		t.Fatal("overflow ran clean under subheap")
+	}
+	if class, code := classify(err); class != "spatial" || code != 3 {
+		t.Fatalf("classify = (%s, %d), want (spatial, 3)", class, code)
+	}
+	if class, code := classify(&machine.Trap{Kind: machine.TrapFuel}); class != "fuel" || code != 4 {
+		t.Fatalf("classify = (%s, %d), want (fuel, 4)", class, code)
+	}
+	if class, code := classify(&machine.Trap{Kind: machine.TrapMemory}); class != "other" || code != 5 {
+		t.Fatalf("classify = (%s, %d), want (other, 5)", class, code)
+	}
+}
+
+// TestSpatialModeDoesNotClassifyTemporal: under the spatial modes the
+// same UAF never produces the temporal class (type-safe reuse is the
+// documented spatial miss — the run completes clean).
+func TestSpatialModeDoesNotClassifyTemporal(t *testing.T) {
+	for _, mode := range []rt.Mode{rt.Subheap, rt.Wrapped, rt.Hybrid} {
+		_, _, err := minic.Execute(uafProg, mode)
+		if err != nil {
+			t.Fatalf("%v: type-safe reuse UAF no longer runs clean: %v", mode, err)
+		}
+	}
+}

@@ -48,6 +48,12 @@ const (
 	Subheap = rt.Subheap
 	// Wrapped instruments with the wrapped glibc-style allocator.
 	Wrapped = rt.Wrapped
+	// ModeIFPTemporal instruments with Hybrid's dynamic allocator
+	// selection plus xTag-style generation tagging: the 12 shared tag
+	// bits carry an allocation generation instead of a subobject index,
+	// so use-after-free and double free trap (IsTemporalTrap) while
+	// spatial protection coarsens to object granularity. DESIGN.md §14.
+	ModeIFPTemporal = rt.IFPTemporal
 )
 
 // System is a simulated machine with the In-Fat Pointer runtime attached.
@@ -181,6 +187,16 @@ func IsResourceTrap(err error) bool {
 // program can crash the host process.
 func IsInternalTrap(err error) bool {
 	return machine.IsTrap(err, machine.TrapInternal)
+}
+
+// IsTemporalTrap reports whether err is a temporal-safety detection —
+// a use-after-free (dereference through a stale-generation pointer) or a
+// double free (free through a pointer whose generation is behind the
+// store). Only ModeIFPTemporal produces these; in spatial modes temporal
+// bugs surface, at best, as spatial traps when they happen to corrupt
+// metadata.
+func IsTemporalTrap(err error) bool {
+	return machine.IsTrap(err, machine.TrapTemporal)
 }
 
 // RunC compiles and executes a MiniC source program in the given mode,

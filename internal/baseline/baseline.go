@@ -42,6 +42,11 @@ const (
 	ASan
 	// InFat is this repository's defense, for side-by-side runs.
 	InFat
+	// InFatTemporal is the generation-tagging variant (rt.IFPTemporal):
+	// the 12 shared tag bits carry an allocation generation instead of a
+	// subobject index, trading subobject granularity for use-after-free
+	// and double-free detection.
+	InFatTemporal
 )
 
 func (s Scheme) String() string {
@@ -56,6 +61,8 @@ func (s Scheme) String() string {
 		return "asan-like"
 	case InFat:
 		return "in-fat-pointer"
+	case InFatTemporal:
+		return "in-fat-temporal"
 	}
 	return fmt.Sprintf("scheme(%d)", int(s))
 }
@@ -67,6 +74,10 @@ func (s Scheme) Granularity() string {
 		return "subobject"
 	case ASan:
 		return "partial"
+	case InFatTemporal:
+		// The generation field displaces the subobject index, so spatial
+		// protection coarsens to object bounds while gaining UAF detection.
+		return "object+temporal"
 	}
 	return "none"
 }
@@ -93,7 +104,10 @@ type Result struct {
 // returns its measurement. nNodes controls the working set.
 func Run(s Scheme, nNodes int) (Result, error) {
 	if s == InFat {
-		return runInFat(nNodes)
+		return runInFat(InFat, rt.Subheap, nNodes)
+	}
+	if s == InFatTemporal {
+		return runInFat(InFatTemporal, rt.IFPTemporal, nNodes)
 	}
 	r := rt.Acquire(rt.Baseline)
 	defer rt.Release(r)
@@ -217,10 +231,13 @@ func chase(r *rt.Runtime, nNodes int,
 	return sum, nil
 }
 
-// runInFat runs the same kernel under real In-Fat Pointer instrumentation
-// (subheap allocator), using promote on every pointer load.
-func runInFat(nNodes int) (Result, error) {
-	r := rt.Acquire(rt.Subheap)
+// runInFat runs the same kernel under real In-Fat Pointer
+// instrumentation (the subheap allocator for the spatial scheme, the
+// generation-tagging runtime for the temporal one), using promote — and,
+// in temporal mode, the per-load generation comparison — on every
+// pointer load.
+func runInFat(s Scheme, mode rt.Mode, nNodes int) (Result, error) {
+	r := rt.Acquire(mode)
 	defer rt.Release(r)
 	m := r.M
 	const nodeSize = 32
@@ -258,12 +275,12 @@ func runInFat(nNodes int) (Result, error) {
 	}
 	_ = sum
 	return Result{
-		Scheme:     InFat,
+		Scheme:     s,
 		Cycles:     m.C.Cycles,
 		Instrs:     m.C.Instrs,
 		Footprint:  r.Footprint(),
 		DetectsOOB: true,
-		DetectsSub: true,
+		DetectsSub: s == InFat,
 	}, nil
 }
 
@@ -276,12 +293,13 @@ func Compare(nNodes int) (string, error) {
 	var t stats.Table
 	t.Add("Defense", "Granularity", "Cycle overhead", "Memory overhead", "Mechanism cost")
 	notes := map[Scheme]string{
-		SoftBound: "2 shadow words per pointer load/store",
-		MPX:       "directory walk + table entry per pointer load/store",
-		ASan:      "1 shadow check per access + redzones",
-		InFat:     "promote per pointer load (tag-guided metadata)",
+		SoftBound:     "2 shadow words per pointer load/store",
+		MPX:           "directory walk + table entry per pointer load/store",
+		ASan:          "1 shadow check per access + redzones",
+		InFat:         "promote per pointer load (tag-guided metadata)",
+		InFatTemporal: "promote + generation compare per pointer load",
 	}
-	for _, s := range []Scheme{SoftBound, MPX, ASan, InFat} {
+	for _, s := range []Scheme{SoftBound, MPX, ASan, InFat, InFatTemporal} {
 		res, err := Run(s, nNodes)
 		if err != nil {
 			return "", err

@@ -52,7 +52,7 @@ func TestGranularityTable(t *testing.T) {
 	// Table 1's granularity column.
 	want := map[Scheme]string{
 		None: "none", SoftBound: "subobject", MPX: "subobject",
-		ASan: "partial", InFat: "subobject",
+		ASan: "partial", InFat: "subobject", InFatTemporal: "object+temporal",
 	}
 	for s, g := range want {
 		if s.Granularity() != g {
@@ -72,10 +72,40 @@ func TestCompareRenders(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"softbound-like", "mpx-like", "asan-like", "in-fat-pointer", "subobject", "partial"} {
+	for _, want := range []string{"softbound-like", "mpx-like", "asan-like", "in-fat-pointer",
+		"in-fat-temporal", "subobject", "partial", "object+temporal", "generation compare"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("comparison missing %q", want)
 		}
+	}
+}
+
+// TestTemporalRowCost: the generation comparison is a register-compare
+// away from the spatial scheme — the temporal row must cost at least as
+// much as in-fat-pointer but stay far below the shadow-bounds schemes.
+func TestTemporalRowCost(t *testing.T) {
+	const n = 1500
+	spatial, err := Run(InFat, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temporal, err := Run(InFatTemporal, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if temporal.Cycles < spatial.Cycles {
+		t.Errorf("temporal %d cycles < spatial %d (generation checks are not free)",
+			temporal.Cycles, spatial.Cycles)
+	}
+	mpx, err := Run(MPX, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if temporal.Cycles >= mpx.Cycles {
+		t.Errorf("temporal %d cycles >= mpx-like %d", temporal.Cycles, mpx.Cycles)
+	}
+	if temporal.DetectsSub {
+		t.Error("temporal row claims subobject granularity (gen bits displace the subobject index)")
 	}
 }
 

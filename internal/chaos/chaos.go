@@ -89,10 +89,17 @@ const (
 	Exhaust
 	// OOMAt arms an injected allocator failure at a seed-chosen ordinal.
 	OOMAt
+	// CorruptGen desynchronizes the temporal generation check: it either
+	// bumps the generation store behind a live pointer's back or flips one
+	// of the pointer's generation-field bits. Runs under rt.IFPTemporal
+	// (the only mode with generation tagging); the generation comparison
+	// must trap TrapTemporal — except for global-table pointers, which
+	// carry no generation field (documented escape).
+	CorruptGen
 )
 
 // Faults lists every fault kind in campaign order.
-var Faults = []Fault{FlipPoison, FlipScheme, FlipMeta, CorruptMeta, CorruptLayout, SwapKey, Exhaust, OOMAt}
+var Faults = []Fault{FlipPoison, FlipScheme, FlipMeta, CorruptMeta, CorruptLayout, SwapKey, Exhaust, OOMAt, CorruptGen}
 
 func (f Fault) String() string {
 	switch f {
@@ -112,6 +119,8 @@ func (f Fault) String() string {
 		return "alloc-exhaust"
 	case OOMAt:
 		return "alloc-oom-at"
+	case CorruptGen:
+		return "corrupt-gen"
 	}
 	return fmt.Sprintf("fault(%d)", int(f))
 }
@@ -230,6 +239,47 @@ func build(s Scheme) *scenario {
 		panic(fmt.Sprintf("chaos: unknown scheme %d", int(s)))
 	}
 	sc := &scenario{scheme: s, r: r}
+	sc.populate(want)
+	return sc
+}
+
+// buildTemporal constructs the CorruptGen cell scenario: the same target
+// object, but under rt.IFPTemporal so its pointer carries a generation
+// tag. Each scheme is steered the way hybrid selection reaches it:
+// local-offset via a cold signature, subheap by warming the signature
+// past the graduation threshold, global-table via the ForceGlobalTable
+// ablation (whose pointers carry no generation field — the documented
+// escape this fault's Tolerated bucket pins).
+func buildTemporal(s Scheme) *scenario {
+	r := rt.Acquire(rt.IFPTemporal)
+	var want tag.Scheme
+	switch s {
+	case SchemeLocal:
+		want = tag.SchemeLocalOffset
+	case SchemeSubheap:
+		// Warm the chaos_node signature past hybrid graduation so the
+		// target and decoys land in subheap pool slots (the warm-ups stay
+		// live, keeping the block resident).
+		for i := 0; i < 5; i++ {
+			_, err := r.Malloc(chaosNodeT, 1)
+			must(err)
+		}
+		want = tag.SchemeSubheap
+	case SchemeGlobal:
+		r.ForceGlobalTable = true
+		want = tag.SchemeGlobalTable
+	default:
+		panic(fmt.Sprintf("chaos: unknown scheme %d", int(s)))
+	}
+	sc := &scenario{scheme: s, r: r}
+	sc.populate(want)
+	return sc
+}
+
+// populate allocates the decoy/target/decoy triple, asserts the target's
+// tag scheme, resolves the subobject index, and seeds guest memory.
+func (sc *scenario) populate(want tag.Scheme) {
+	r := sc.r
 
 	d1, err := r.Malloc(chaosNodeT, 1)
 	must(err)
@@ -252,7 +302,6 @@ func build(s Scheme) *scenario {
 			must(r.Store(r.GEP(o.P, int64(off), o.B), 0xA5A5_0000+off, 8, o.B))
 		}
 	}
-	return sc
 }
 
 // exercise drives the possibly-corrupted pointer the way instrumented
@@ -324,6 +373,22 @@ func applyFault(sc *scenario, f Fault, rng *rand) applied {
 	case SwapKey:
 		r.M.Key = mac.NewKey(0xC0FFEE ^ rng.next())
 		a.desc = "MAC key swapped"
+	case CorruptGen:
+		if bits := tag.GenBits(tag.SchemeOf(sc.obj.P)); bits > 0 && rng.intn(2) == 1 {
+			// Flip one pointer generation bit: the pointer now claims a
+			// generation the store never issued.
+			a.bit = 48 + rng.intn(bits)
+			a.p = sc.obj.P ^ uint64(1)<<a.bit
+			a.desc = fmt.Sprintf("pointer generation bit %d flipped", a.bit)
+		} else {
+			// Bump the store behind the live pointer's back — the state a
+			// use-after-free leaves: the chunk's generation moved on while
+			// the pointer's stamp did not. (Global-table pointers have no
+			// generation bits, so they always take this arm — and tolerate
+			// it, by design.)
+			g := r.Gens().Bump(sc.obj.Base())
+			a.desc = fmt.Sprintf("generation store bumped to %d behind a live pointer", g)
+		}
 	default:
 		panic(fmt.Sprintf("chaos: applyFault on %v", f))
 	}
@@ -360,11 +425,14 @@ func flipWord(r *rt.Runtime, addr uint64, bit int) {
 }
 
 // detectionTrap reports whether err is a typed trap of the classes that
-// constitute detection for corrupted state: poison, bounds, metadata, or
-// memory (the corrupted lookup walked off the map).
+// constitute detection for corrupted state: poison, bounds, metadata,
+// memory (the corrupted lookup walked off the map), or temporal (the
+// generation comparison caught a CorruptGen desync — never produced by
+// the spatial faults, whose scenarios run without generation tagging).
 func detectionTrap(err error) (machine.TrapKind, bool) {
 	for _, k := range []machine.TrapKind{
-		machine.TrapPoison, machine.TrapBounds, machine.TrapMetadata, machine.TrapMemory,
+		machine.TrapPoison, machine.TrapBounds, machine.TrapMetadata,
+		machine.TrapMemory, machine.TrapTemporal,
 	} {
 		if machine.IsTrap(err, k) {
 			return k, true
@@ -392,7 +460,11 @@ func Run(s Scheme, f Fault, seed uint64) (o Outcome) {
 		}
 	}()
 	rng := newRand(seed<<8 ^ uint64(s)<<4 ^ uint64(f))
-	sc = build(s)
+	if f == CorruptGen {
+		sc = buildTemporal(s)
+	} else {
+		sc = build(s)
+	}
 
 	switch f {
 	case Exhaust:
@@ -409,6 +481,14 @@ func Run(s Scheme, f Fault, seed uint64) (o Outcome) {
 	coarsened := sc.r.M.C.NarrowCoarse > coarseBefore
 	switch kind, det := detectionTrap(err); {
 	case err == nil:
+		// A clean run after a generation desync is only legitimate for
+		// pointers with no generation field; on the tagged schemes it means
+		// the temporal check failed to fire — a simulator bug.
+		if f == CorruptGen && sc.scheme != SchemeGlobal {
+			o.Bucket = Internal
+			o.Detail = a.desc + ": generation desync escaped the temporal check"
+			return o
+		}
 		o.Bucket = Tolerated
 		o.Detail = a.desc + ": " + toleratedReason(sc, f, a, coarsened)
 	case det:
@@ -456,6 +536,8 @@ func toleratedReason(sc *scenario, f Fault, a applied, coarsened bool) string {
 			return "global-table rows carry no MAC (§3.3.3): key swap unobservable for this scheme"
 		}
 		return "MAC did not cover the exercised lookup"
+	case CorruptGen:
+		return "global-table pointers carry no generation field (§3.3.3: all 12 tag bits name the row): temporal checking does not apply"
 	}
 	return "run completed cleanly"
 }

@@ -76,6 +76,29 @@ func TestBucketExpectations(t *testing.T) {
 	}
 }
 
+// TestCorruptGenExpectations pins the temporal fault class: a generation
+// desync on a generation-tagged scheme (local-offset, subheap) must be
+// caught by the generation comparison — a temporal trap, not a spatial
+// one — while global-table pointers, which carry no generation field,
+// tolerate it with the documented reason.
+func TestCorruptGenExpectations(t *testing.T) {
+	for _, s := range Schemes {
+		for seed := uint64(0); seed < 16; seed++ {
+			o := Run(s, CorruptGen, seed)
+			if s == SchemeGlobal {
+				if o.Bucket != Tolerated || !strings.Contains(o.Detail, "no generation field") {
+					t.Errorf("global-table/corrupt-gen seed %d: %v: %s", seed, o.Bucket, o.Detail)
+				}
+				continue
+			}
+			if o.Bucket != Detected || !strings.Contains(o.Detail, "temporal trap") {
+				t.Errorf("%v/corrupt-gen seed %d: %v, want temporal-trap detection: %s",
+					s, seed, o.Bucket, o.Detail)
+			}
+		}
+	}
+}
+
 // TestFlipMetaDetectedOrCoarsened: a flipped subobject index must either
 // trap or land on the §3.4 coarsening guarantee — never silently narrow
 // to the wrong subobject's bounds while the sweep still passes.

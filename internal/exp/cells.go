@@ -14,10 +14,13 @@ package exp
 //
 // The enumeration contract (relied on by clients reassembling streams):
 //
-//   - Perf cells come first: seq = wi*len(cellConfigs) + ci, where wi
-//     indexes the plan's workload list and ci the five configurations in
+//   - Perf cells come first: seq = wi*len(configs) + ci, where wi
+//     indexes the plan's workload list and ci the configurations in
 //     paper comparison order (baseline, subheap, wrapped,
-//     subheap-nopromote, wrapped-nopromote).
+//     subheap-nopromote, wrapped-nopromote). Plans built WithTemporal
+//     append a sixth configuration, ifp-temporal, after the five — the
+//     spatial five keep their relative order, and a plan without the
+//     flag enumerates exactly as before the temporal axis existed.
 //   - Memory cells (plans built with NewReportPlan) follow: seq =
 //     perfCells + wi*len(memModes) + mi, with mi over baseline, subheap,
 //     wrapped. Memory cells run at scale*memScale (Figure 12's larger
@@ -56,7 +59,8 @@ type CellMeta struct {
 type Plan struct {
 	ws       []workloads.Workload
 	scale    int
-	memScale int // 0 = no memory cells
+	memScale int  // 0 = no memory cells
+	temporal bool // append the ifp-temporal configuration per workload
 }
 
 // NewPlan enumerates the perf grid only (the /v1/grid campaign):
@@ -94,7 +98,28 @@ func (p Plan) MemScale() int { return p.memScale }
 // HasMem reports whether the plan includes the Figure-12 memory cells.
 func (p Plan) HasMem() bool { return p.memScale > 0 }
 
-func (p Plan) perfCells() int { return len(p.ws) * len(cellConfigs) }
+// WithTemporal returns a copy of the plan with the temporal axis toggled:
+// when on, each workload gains a sixth perf cell running rt.IFPTemporal
+// after the five spatial configurations. Default plans stay off, which is
+// what keeps pre-temporal campaigns (and their streamed cells) enumerated
+// and reported byte-identically.
+func (p Plan) WithTemporal(on bool) Plan {
+	p.temporal = on
+	return p
+}
+
+// Temporal reports whether the plan includes the ifp-temporal cells.
+func (p Plan) Temporal() bool { return p.temporal }
+
+// configs returns the plan's per-workload configuration list.
+func (p Plan) configs() []cellConfig {
+	if p.temporal {
+		return temporalConfigs
+	}
+	return cellConfigs
+}
+
+func (p Plan) perfCells() int { return len(p.ws) * len(p.configs()) }
 
 func (p Plan) memCells() int {
 	if p.memScale == 0 {
@@ -109,8 +134,9 @@ func (p Plan) NumCells() int { return p.perfCells() + p.memCells() }
 // Meta returns cell i's identity. i must be in [0, NumCells()).
 func (p Plan) Meta(i int) CellMeta {
 	if pc := p.perfCells(); i < pc {
-		wi, ci := i/len(cellConfigs), i%len(cellConfigs)
-		return CellMeta{Seq: i, Kind: CellPerf, Workload: p.ws[wi].Name, Config: cellConfigs[ci].label}
+		cfgs := p.configs()
+		wi, ci := i/len(cfgs), i%len(cfgs)
+		return CellMeta{Seq: i, Kind: CellPerf, Workload: p.ws[wi].Name, Config: cfgs[ci].label}
 	} else {
 		j := i - pc
 		wi, mi := j/len(memModes), j%len(memModes)
@@ -141,8 +167,9 @@ type CellResult struct {
 // any order.
 func (p Plan) RunCell(i int) (CellResult, error) {
 	if pc := p.perfCells(); i < pc {
-		wi, ci := i/len(cellConfigs), i%len(cellConfigs)
-		cfg := cellConfigs[ci]
+		cfgs := p.configs()
+		wi, ci := i/len(cfgs), i%len(cfgs)
+		cfg := cfgs[ci]
 		m, err := runOne(p.ws[wi], cfg.mode, cfg.noPromote, p.scale)
 		if err != nil {
 			return CellResult{}, err
@@ -199,8 +226,9 @@ func (a *Assembly) Add(seq int, c CellResult) error {
 		if c.Perf == nil {
 			return fmt.Errorf("exp: perf cell %d missing perf result", seq)
 		}
-		wi, ci := seq/len(cellConfigs), seq%len(cellConfigs)
-		*cellConfigs[ci].dst(&a.results[wi]) = *c.Perf
+		cfgs := a.p.configs()
+		wi, ci := seq/len(cfgs), seq%len(cfgs)
+		*cfgs[ci].dst(&a.results[wi]) = *c.Perf
 	} else {
 		j := seq - pc
 		wi, mi := j/len(memModes), j%len(memModes)
@@ -230,8 +258,9 @@ func (a *Assembly) Results() ([]Result, []MemResult, error) {
 			len(missing), len(a.have), missing[0])
 	}
 	var errs []error
+	cfgs := a.p.configs()
 	for i := range a.results {
-		if err := a.results[i].verifyChecksums(); err != nil {
+		if err := a.results[i].verifyChecksumsFor(cfgs); err != nil {
 			errs = append(errs, err)
 		}
 	}
@@ -244,15 +273,23 @@ func (a *Assembly) Results() ([]Result, []MemResult, error) {
 // Report renders the assembled campaign: the full Report (Table 4 +
 // Figures 10–12) for plans with memory cells, PerfReport otherwise —
 // byte-identical to a serial run over the same workloads and scales.
+// Plans built WithTemporal append the temporal-axis section after the
+// spatial report, leaving the spatial portion's bytes unchanged.
 func (a *Assembly) Report() (string, error) {
 	results, mem, err := a.Results()
 	if err != nil {
 		return "", err
 	}
+	var rep string
 	if a.p.HasMem() {
-		return Report(results, mem), nil
+		rep = Report(results, mem)
+	} else {
+		rep = PerfReport(results)
 	}
-	return PerfReport(results), nil
+	if a.p.temporal {
+		rep += "\n" + TemporalSection(results)
+	}
+	return rep, nil
 }
 
 // PerfReport renders the perf-grid-only report (Table 4 and Figures 10

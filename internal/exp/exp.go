@@ -32,7 +32,8 @@ type ModeResult struct {
 	L1DMisses uint64
 }
 
-// Result holds all five configurations of one workload.
+// Result holds all five configurations of one workload — plus, for
+// plans with the temporal axis enabled, the ifp-temporal run.
 type Result struct {
 	Name     string
 	Suite    string
@@ -42,6 +43,11 @@ type Result struct {
 	// No-promote variants isolate the promote instruction's cost (§5.2).
 	SubheapNP ModeResult
 	WrappedNP ModeResult
+	// Temporal is the rt.IFPTemporal run (generation tagging). Zero unless
+	// the plan was built WithTemporal — the spatial campaigns never touch
+	// it, which keeps their reports byte-identical to the pre-temporal
+	// harness.
+	Temporal ModeResult
 }
 
 // runOne executes a workload in one configuration.
@@ -62,14 +68,18 @@ func runOne(w workloads.Workload, mode rt.Mode, noPromote bool, scale int) (Mode
 	}, nil
 }
 
-// cellConfigs enumerates the five per-workload configurations in the
-// paper's comparison order; dst selects the slot a cell's result lands in.
-var cellConfigs = []struct {
+// cellConfig is one per-workload run configuration of the evaluation
+// grid; dst selects the slot a cell's result lands in.
+type cellConfig struct {
 	label     string
 	mode      rt.Mode
 	noPromote bool
 	dst       func(*Result) *ModeResult
-}{
+}
+
+// cellConfigs enumerates the five per-workload configurations in the
+// paper's comparison order.
+var cellConfigs = []cellConfig{
 	{"baseline", rt.Baseline, false, func(r *Result) *ModeResult { return &r.Baseline }},
 	{"subheap", rt.Subheap, false, func(r *Result) *ModeResult { return &r.Subheap }},
 	{"wrapped", rt.Wrapped, false, func(r *Result) *ModeResult { return &r.Wrapped }},
@@ -77,11 +87,20 @@ var cellConfigs = []struct {
 	{"wrapped-nopromote", rt.Wrapped, true, func(r *Result) *ModeResult { return &r.WrappedNP }},
 }
 
+// temporalConfigs is the temporal-axis enumeration: the five spatial
+// configurations (unchanged, in the same order, so every spatial cell of
+// a temporal plan has the same seq as in a spatial plan's prefix)
+// followed by the ifp-temporal run.
+var temporalConfigs = append(append([]cellConfig{}, cellConfigs...),
+	cellConfig{"ifp-temporal", rt.IFPTemporal, false, func(r *Result) *ModeResult { return &r.Temporal }})
+
 // verifyChecksums asserts the instrumented configurations reproduced the
 // baseline checksum, naming each diverging mode and both values.
-func (r *Result) verifyChecksums() error {
+func (r *Result) verifyChecksums() error { return r.verifyChecksumsFor(cellConfigs) }
+
+func (r *Result) verifyChecksumsFor(cfgs []cellConfig) error {
 	var errs []error
-	for _, cfg := range cellConfigs[1:] {
+	for _, cfg := range cfgs[1:] {
 		if got := cfg.dst(r).Checksum; got != r.Baseline.Checksum {
 			errs = append(errs, fmt.Errorf("%s: %s checksum %#x != baseline %#x",
 				r.Name, cfg.label, got, r.Baseline.Checksum))

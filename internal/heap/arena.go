@@ -25,6 +25,18 @@ var ErrBadRelease = errors.New("heap: release mark out of range")
 // geometry (order/alignment violations).
 var ErrBadConfig = errors.New("heap: invalid allocator configuration")
 
+// ErrBadFree is returned by FreeList.Free for an address that is not a
+// live allocation — a double free or a free of a never-allocated pointer.
+// Guest-reachable through the VM's free(), so it is a typed error, never
+// a panic; the temporal mode additionally classifies double frees via the
+// generation store before the free-list lookup runs.
+var ErrBadFree = errors.New("heap: free of unallocated address")
+
+// ErrBadBuddyFree is returned by Buddy.Free for a block that is not
+// currently allocated (already freed or never issued). Guest-reachable
+// through subheap whole-block release paths, so typed, never a panic.
+var ErrBadBuddyFree = errors.New("heap: buddy free of unallocated block")
+
 // Arena is a bump region of guest address space.
 type Arena struct {
 	base  uint64

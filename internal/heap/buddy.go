@@ -103,7 +103,7 @@ func (b *Buddy) Alloc(order uint) (uint64, error) {
 func (b *Buddy) Free(addr uint64) error {
 	order, ok := b.alloc[addr]
 	if !ok {
-		return fmt.Errorf("heap: buddy free of unallocated block %#x", addr)
+		return fmt.Errorf("%w %#x", ErrBadBuddyFree, addr)
 	}
 	delete(b.alloc, addr)
 	b.used -= uint64(1) << order

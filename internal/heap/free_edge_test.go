@@ -1,0 +1,119 @@
+package heap
+
+import (
+	"errors"
+	"testing"
+
+	"infat/internal/machine"
+)
+
+// The temporal free path (rt.Free in IFPTemporal mode) bumps a chunk's
+// generation only after the underlying allocator accepts the free, so the
+// allocators' rejection behavior is load-bearing for temporal soundness:
+// a bad free must surface as a typed error — never a panic, never a
+// silent success that would bump a generation for a chunk that was not
+// actually released. These tests pin the typed sentinels and the
+// no-state-change guarantee on every rejection path.
+
+func TestBuddyFreeAlreadyFreeTyped(t *testing.T) {
+	b := mustBuddy(t, 0x4000_0000, 14, 12) // 16 KiB region, 4 KiB blocks
+	p, err := b.Alloc(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	used := b.Used()
+	// Double free of a coalesced block, a never-allocated aligned address,
+	// and an interior (misaligned) address all reject with the sentinel.
+	for _, bad := range []uint64{p, 0x4000_1000, p + 8} {
+		err := b.Free(bad)
+		if !errors.Is(err, ErrBadBuddyFree) {
+			t.Errorf("Free(%#x) = %v, want ErrBadBuddyFree", bad, err)
+		}
+		if b.Used() != used {
+			t.Fatalf("failed free changed accounting: used = %d, want %d", b.Used(), used)
+		}
+	}
+	// The allocator is still coherent: the freed block is reusable.
+	q, err := b.Alloc(12)
+	if err != nil {
+		t.Fatalf("alloc after rejected frees: %v", err)
+	}
+	if err := b.Free(q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeListDoubleFreeTyped(t *testing.T) {
+	_, f := newFL(t)
+	p, err := f.Malloc(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	live := f.LiveBytes()
+	for _, bad := range []uint64{p, 0xdead0, p + 16} {
+		err := f.Free(bad)
+		if !errors.Is(err, ErrBadFree) {
+			t.Errorf("Free(%#x) = %v, want ErrBadFree", bad, err)
+		}
+		if f.LiveBytes() != live {
+			t.Fatalf("failed free changed accounting: live = %d, want %d", f.LiveBytes(), live)
+		}
+	}
+	// The rejected double free did not corrupt the bin: the chunk comes
+	// back exactly once.
+	q, err := f.Malloc(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != p {
+		t.Errorf("recycled chunk = %#x, want %#x", q, p)
+	}
+}
+
+// A large-class chunk takes the other Free branch (the sorted large list
+// rather than a size bin); its double free must reject identically.
+func TestFreeListLargeDoubleFreeTyped(t *testing.T) {
+	_, f := newFL(t)
+	p, err := f.Malloc(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Free(p); !errors.Is(err, ErrBadFree) {
+		t.Errorf("large double free = %v, want ErrBadFree", err)
+	}
+}
+
+// Arena release rejections must also be typed (they guard the stack and
+// layout arenas, whose marks flow through the same runtime free paths).
+// TestArenaReleaseOutOfRange pins the rejection itself; here we pin that
+// a rejected release leaves later legitimate traffic untouched even when
+// the arena is shared with an allocator front end.
+func TestArenaReleaseAfterRejection(t *testing.T) {
+	m := machine.New()
+	a := NewArena(0x2000_0000, 1<<20)
+	f := NewFreeList(m, a)
+	p, err := f.Malloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Release(0x100); !errors.Is(err, ErrBadRelease) {
+		t.Fatalf("out-of-range release = %v, want ErrBadRelease", err)
+	}
+	// The freelist's view of its arena is intact.
+	if err := f.Free(p); err != nil {
+		t.Fatalf("free after rejected release: %v", err)
+	}
+	q, err := f.Malloc(64)
+	if err != nil || q != p {
+		t.Fatalf("malloc after rejected release = %#x (err %v), want %#x", q, err, p)
+	}
+}

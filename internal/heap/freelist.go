@@ -130,7 +130,7 @@ func (f *FreeList) Free(addr uint64) error {
 	f.m.Tick(freeListFreeCost)
 	cls, ok := f.allocated[addr]
 	if !ok {
-		return fmt.Errorf("heap: free of unallocated address %#x", addr)
+		return fmt.Errorf("%w %#x", ErrBadFree, addr)
 	}
 	delete(f.allocated, addr)
 	f.live -= cls + HeaderBytes

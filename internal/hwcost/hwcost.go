@@ -39,6 +39,13 @@ type Config struct {
 	LayoutWalk  bool // layout-table walker (§5.3: may be dropped for area)
 	MAC         bool // metadata MAC unit
 	ImplicitChk bool // implicit bounds checking in the LSU
+	// Temporal adds the generation comparator to promote (the xTag-style
+	// temporal extension): an up-to-12-bit equality compare between the
+	// pointer's tag generation and the per-chunk generation store, plus
+	// the trap wiring. The runtime charges the matching per-comparison
+	// cycle cost as machine.DefaultCost.GenCheckCycles. Off in the
+	// paper's prototype (zero value), so Default is unchanged.
+	Temporal bool
 }
 
 // Default is the paper's prototype configuration.
@@ -74,6 +81,10 @@ const (
 
 	macUnitLUTs    = 1900
 	ifpControlLUTs = 973
+
+	// Generation comparator: a 12-bit equality compare against the tag
+	// field, the generation-store read port mux, and trap generation.
+	genCompareLUTs = 210
 
 	plumbingLUTs = 1283 // decode, CSRs, perf counters, cache bandwidth
 )
@@ -152,11 +163,17 @@ func ifpUnit(cfg Config) int {
 	if cfg.MAC {
 		total += macUnitLUTs
 	}
+	if cfg.Temporal {
+		total += genCompareLUTs
+	}
 	if anyScheme(cfg) {
 		total += ifpControlLUTs
 	}
 	return total
 }
+
+// GenCompareLUTs is the temporal generation comparator's area.
+func GenCompareLUTs() int { return genCompareLUTs }
 
 // WalkerLUTs is the layout-table walker's area (§5.3: 3,059 LUTs, 36% of
 // the IFP unit).
@@ -224,6 +241,8 @@ func Ablations() string {
 		}, "heap-only protection"},
 		{"no subheap scheme", func(c Config) Config { c.Subheap = false; return c },
 			"per-object metadata for every heap object"},
+		{"add temporal generation tagging", func(c Config) Config { c.Temporal = true; return c },
+			"UAF/double-free detection; subobject index displaced (no extra tag bits)"},
 	}
 	for _, r := range rows {
 		_, mod := Totals(Model(r.mut(base)))

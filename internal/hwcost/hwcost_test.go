@@ -118,6 +118,27 @@ func TestSchemeKnobs(t *testing.T) {
 	}
 }
 
+// TestTemporalKnob: the generation comparator is additive (and small —
+// it must not disturb the calibrated Default totals, which model the
+// paper's spatial-only prototype), and Default itself stays temporal-off
+// so TestDefaultMatchesPaper keeps pinning the published numbers.
+func TestTemporalKnob(t *testing.T) {
+	if Default.Temporal {
+		t.Fatal("Default enables the temporal comparator; the paper's prototype is spatial-only")
+	}
+	_, full := Totals(Model(Default))
+	tc := Default
+	tc.Temporal = true
+	_, withGen := Totals(Model(tc))
+	if withGen-full != GenCompareLUTs() {
+		t.Errorf("temporal knob adds %d LUTs, want %d", withGen-full, GenCompareLUTs())
+	}
+	if GenCompareLUTs() <= 0 || GenCompareLUTs() >= schemeLocalLUTs {
+		t.Errorf("generation comparator %d LUTs out of range (0, %d): it is a compare+mux, not a scheme",
+			GenCompareLUTs(), schemeLocalLUTs)
+	}
+}
+
 func TestRendering(t *testing.T) {
 	out := Fig13(Default)
 	for _, want := range []string{"IFP Unit", "LSU", "paper:", "layout walker"} {
@@ -126,7 +147,8 @@ func TestRendering(t *testing.T) {
 		}
 	}
 	ab := Ablations()
-	for _, want := range []string{"no layout walker", "no bounds registers", "full design"} {
+	for _, want := range []string{"no layout walker", "no bounds registers", "full design",
+		"add temporal generation tagging"} {
 		if !strings.Contains(ab, want) {
 			t.Errorf("Ablations output missing %q", want)
 		}

@@ -1,0 +1,185 @@
+package juliet
+
+// CWE-415 (double free) and CWE-416 (use-after-free) generator families,
+// the workloads ModeIFPTemporal's generation tagging protects. They follow
+// the spatial suite's structure — a grid of allocation sites × error
+// flows, each with a good (well-ordered) and a bad (temporally unsafe)
+// variant — but live in their own generator: the spatial suites pin the
+// spatial guarantee and must stay byte-identical, and several of these bad
+// variants are *expected* to run clean (or fault in the allocator) under
+// the spatial modes. The acceptance contract is one-sided: under
+// ModeIFPTemporal every bad variant traps and every good variant passes.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tempSite describes where the victim allocation comes from: the wrapped
+// free-list path (scalar and struct-typed signatures) and the subheap pool
+// path (reached by warming the allocation signature past Hybrid's
+// graduation threshold, so the victim is a pool slot whose block stays
+// live through sibling allocations).
+type tempSite struct {
+	name string
+	decl string // declares `buf` (long*) and any warm-up allocations
+	free string // the expression freeing the victim (always "free(buf);")
+}
+
+var tempSites = []tempSite{
+	{
+		name: "heap_small",
+		decl: "\tlong *buf = (long*)malloc(4 * sizeof(long));\n\tbuf[0] = 7;",
+	},
+	{
+		name: "heap_struct",
+		decl: "\tstruct N *s = (struct N*)malloc(sizeof(struct N));\n" +
+			"\ts->a = 7;\n\tlong *buf = (long*)s;",
+	},
+	{
+		name: "heap_pool",
+		decl: "\tlong *w1 = (long*)malloc(4 * sizeof(long));\n" +
+			"\tlong *w2 = (long*)malloc(4 * sizeof(long));\n" +
+			"\tlong *w3 = (long*)malloc(4 * sizeof(long));\n" +
+			"\tlong *w4 = (long*)malloc(4 * sizeof(long));\n" +
+			"\tlong *w5 = (long*)malloc(4 * sizeof(long));\n" +
+			"\tlong *buf = (long*)malloc(4 * sizeof(long));\n\tbuf[0] = 7;",
+	},
+}
+
+// tempFlow describes how the temporal error (or its safely-ordered twin)
+// is reached. Each gen returns the body after the site's declaration; the
+// victim is `buf`, `gv` is a long* global for round-tripping pointers
+// through memory.
+type tempFlow struct {
+	cwe  string
+	name string
+	gen  func(bad bool) string
+}
+
+var tempFlows = []tempFlow{
+	// --- CWE-416: use-after-free ---
+	{
+		cwe:  "CWE416",
+		name: "reload_write",
+		gen: func(bad bool) string {
+			if bad {
+				return "\tgv = buf;\n\tfree(buf);\n\tlong *q = gv;\n\t*q = 1;"
+			}
+			return "\tgv = buf;\n\tlong *q = gv;\n\t*q = 1;\n\tfree(buf);"
+		},
+	},
+	{
+		cwe:  "CWE416",
+		name: "reload_read",
+		gen: func(bad bool) string {
+			if bad {
+				return "\tgv = buf;\n\tfree(buf);\n\tlong *q = gv;\n\tsink = sink + *q;"
+			}
+			return "\tgv = buf;\n\tlong *q = gv;\n\tsink = sink + *q;\n\tfree(buf);"
+		},
+	},
+	{
+		cwe:  "CWE416",
+		name: "realloc_reuse",
+		// The previously-missed pattern: the chunk is reallocated to a
+		// same-signature object, so the stale pointer's metadata lookup
+		// still resolves — only the generation comparison catches it.
+		gen: func(bad bool) string {
+			if bad {
+				return "\tgv = buf;\n\tfree(buf);\n" +
+					"\tlong *fresh = (long*)malloc(4 * sizeof(long));\n\tfresh[0] = 1;\n" +
+					"\tlong *q = gv;\n\t*q = 2;\n\tfree(fresh);"
+			}
+			return "\tgv = buf;\n\tfree(buf);\n" +
+				"\tlong *fresh = (long*)malloc(4 * sizeof(long));\n\tfresh[0] = 1;\n" +
+				"\tlong *q = fresh;\n\t*q = 2;\n\tfree(fresh);"
+		},
+	},
+	// --- CWE-415: double free ---
+	{
+		cwe:  "CWE415",
+		name: "direct",
+		gen: func(bad bool) string {
+			if bad {
+				return "\tfree(buf);\n\tfree(buf);"
+			}
+			return "\tfree(buf);"
+		},
+	},
+	{
+		cwe:  "CWE415",
+		name: "alias",
+		gen: func(bad bool) string {
+			if bad {
+				return "\tgv = buf;\n\tfree(buf);\n\tlong *q = gv;\n\tfree(q);"
+			}
+			return "\tgv = buf;\n\tlong *q = gv;\n\tfree(q);"
+		},
+	},
+	{
+		cwe:  "CWE415",
+		name: "realloc",
+		// Freeing through the stale pointer after the chunk has been
+		// reallocated: without generation checks the record lookup matches
+		// the *new* object at the same base and silently releases it.
+		gen: func(bad bool) string {
+			if bad {
+				return "\tfree(buf);\n" +
+					"\tlong *fresh = (long*)malloc(4 * sizeof(long));\n\tfresh[0] = 1;\n" +
+					"\tfree(buf);\n\tfree(fresh);"
+			}
+			return "\tfree(buf);\n" +
+				"\tlong *fresh = (long*)malloc(4 * sizeof(long));\n\tfresh[0] = 1;\n" +
+				"\tfree(fresh);"
+		},
+	},
+}
+
+const tempPrologue = `struct N { long a; long b; };
+long *gv;
+long sink = 0;
+int main() {
+`
+
+const tempEpilogue = `	print(sink);
+	return 0;
+}`
+
+func buildTemporalCase(st tempSite, fl tempFlow, bad bool) Case {
+	var b strings.Builder
+	b.WriteString(tempPrologue)
+	b.WriteString(st.decl)
+	b.WriteString("\n")
+	b.WriteString(fl.gen(bad))
+	b.WriteString("\n")
+	b.WriteString(tempEpilogue)
+	variant := "good"
+	if bad {
+		variant = "bad"
+	}
+	return Case{
+		Name: fmt.Sprintf("%s_%s_%s_%s", fl.cwe, st.name, fl.name, variant),
+		CWE:  fl.cwe,
+		Bad:  bad,
+		Src:  b.String(),
+	}
+}
+
+// GenerateCWE415416 produces the temporal CWE families: every allocation
+// site crossed with every double-free/use-after-free flow, good and bad.
+// Run them under rt.IFPTemporal — the spatial suites (Generate) do not
+// include them, because spatial modes legitimately miss several bad
+// variants and the baseline allocator faults on the double frees.
+func GenerateCWE415416() []Case {
+	var cases []Case
+	for _, st := range tempSites {
+		for _, fl := range tempFlows {
+			cases = append(cases,
+				buildTemporalCase(st, fl, false),
+				buildTemporalCase(st, fl, true),
+			)
+		}
+	}
+	return cases
+}

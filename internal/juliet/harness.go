@@ -3,6 +3,7 @@ package juliet
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"infat/internal/machine"
@@ -59,16 +60,21 @@ type Summary struct {
 	Outcomes       []Outcome
 }
 
-// RunCase executes one case in one mode and classifies the result.
+// RunCase executes one case in one mode and classifies the result. A
+// detection is a spatial trap (poison or bounds) or a temporal trap
+// (stale generation / double free) — the latter only ever occurs under
+// rt.IFPTemporal, so spatial-mode classification is unchanged by it.
 func RunCase(c Case, mode rt.Mode) Outcome {
 	_, _, err := minic.Execute(c.Src, mode)
 	o := Outcome{Case: c, Mode: mode}
-	spatial := false
+	detected := false
 	if err != nil {
 		var re *minic.RunError
 		if errors.As(err, &re) &&
-			(machine.IsTrap(re.Err, machine.TrapPoison) || machine.IsTrap(re.Err, machine.TrapBounds)) {
-			spatial = true
+			(machine.IsTrap(re.Err, machine.TrapPoison) ||
+				machine.IsTrap(re.Err, machine.TrapBounds) ||
+				machine.IsTrap(re.Err, machine.TrapTemporal)) {
+			detected = true
 		}
 	}
 	switch {
@@ -76,10 +82,10 @@ func RunCase(c Case, mode rt.Mode) Outcome {
 		o.Verdict = Pass
 	case err == nil && c.Bad:
 		o.Verdict = Missed
-	case spatial && c.Bad:
+	case detected && c.Bad:
 		o.Verdict = Pass
 		o.Detail = err.Error()
-	case spatial && !c.Bad:
+	case detected && !c.Bad:
 		o.Verdict = FalsePositive
 		o.Detail = err.Error()
 	default:
@@ -147,12 +153,43 @@ func (s Summary) Report() string {
 		}
 		byCWE[o.Case.CWE] = v
 	}
-	for _, cwe := range []string{"CWE121", "CWE122", "CWE124", "CWE126", "CWE127", "INTRA"} {
+	for _, cwe := range knownCWEs {
 		if v, ok := byCWE[cwe]; ok {
 			fmt.Fprintf(&b, "  %-7s %d/%d detected\n", cwe, v[0], v[1])
 		}
 	}
+	// Any family outside the known list still gets a row (marked, sorted)
+	// instead of silently vanishing from the table; UnknownCWEs lets tests
+	// turn such a key into a failure.
+	for _, cwe := range s.UnknownCWEs() {
+		v := byCWE[cwe]
+		fmt.Fprintf(&b, "  %-7s %d/%d detected (unexpected family)\n", cwe, v[0], v[1])
+	}
 	return b.String()
+}
+
+// knownCWEs is every family the generators produce, in report order.
+var knownCWEs = []string{"CWE121", "CWE122", "CWE124", "CWE126", "CWE127", "CWE415", "CWE416", "INTRA"}
+
+// UnknownCWEs returns, sorted, every CWE key present in the outcomes that
+// is not in the known family list. A non-empty result means a generator
+// produced a family the report table was never taught about — the tests
+// treat that as a failure rather than letting the row drop invisibly.
+func (s Summary) UnknownCWEs() []string {
+	known := make(map[string]bool, len(knownCWEs))
+	for _, c := range knownCWEs {
+		known[c] = true
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, o := range s.Outcomes {
+		if c := o.Case.CWE; !known[c] && !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Failures lists non-pass outcomes for debugging.

@@ -11,19 +11,27 @@ package juliet
 type TemporalCase struct {
 	Name string
 	Src  string
-	// ExpectDetect: the run should fail (metadata invalidation catches
-	// it). When false, the program exercises a temporal error the design
-	// documents as out of scope — the run is expected to complete.
+	// ExpectDetect: the run should fail under the *spatial* modes
+	// (metadata invalidation catches it). When false, the program
+	// exercises a temporal error the spatial design documents as out of
+	// scope — the run is expected to complete. This field keeps pinning
+	// the spatial guarantee and must not change when temporal modes are
+	// added.
 	ExpectDetect bool
-	Why          string
+	// ExpectDetectTemporal: the run should fail under rt.IFPTemporal,
+	// where generation tagging catches what metadata invalidation alone
+	// cannot (notably same-type slot reuse).
+	ExpectDetectTemporal bool
+	Why                  string
 }
 
 // GenerateTemporal produces the characterization suite.
 func GenerateTemporal() []TemporalCase {
 	return []TemporalCase{
 		{
-			Name:         "uaf_reload_promote",
-			ExpectDetect: true,
+			Name:                 "uaf_reload_promote",
+			ExpectDetect:         true,
+			ExpectDetectTemporal: true,
 			Why: "the stale pointer is reloaded from memory, so promote " +
 				"re-fetches the (now cleared) object metadata and poisons it",
 			Src: `
@@ -38,8 +46,9 @@ int main() {
 }`,
 		},
 		{
-			Name:         "uaf_subheap_block_reuse",
-			ExpectDetect: true,
+			Name:                 "uaf_subheap_block_reuse",
+			ExpectDetect:         true,
+			ExpectDetectTemporal: true,
 			Why: "freeing the last object returns the block and zeroes its " +
 				"shared metadata, so the stale pointer's promote fails",
 			Src: `
@@ -55,8 +64,9 @@ int main() {
 }`,
 		},
 		{
-			Name:         "uaf_immediate_reuse_of_variable",
-			ExpectDetect: true,
+			Name:                 "uaf_immediate_reuse_of_variable",
+			ExpectDetect:         true,
+			ExpectDetectTemporal: true,
 			Why: "this VM spills every pointer variable to its stack slot " +
 				"and re-promotes on each use, so even the immediate reuse " +
 				"re-reads the cleared metadata; a register-allocating " +
@@ -73,8 +83,9 @@ int main() {
 }`,
 		},
 		{
-			Name:         "uaf_slot_reused_same_type",
-			ExpectDetect: false,
+			Name:                 "uaf_slot_reused_same_type",
+			ExpectDetect:         false,
+			ExpectDetectTemporal: true,
 			Why: "the slot was reallocated to a same-type object, so the " +
 				"stale pointer's promote resolves live, matching metadata — " +
 				"type-safe reuse, the classic limit of invalidation-based " +
@@ -94,9 +105,10 @@ int main() {
 }`,
 		},
 		{
-			Name:         "double_free",
-			ExpectDetect: true,
-			Why:          "the allocator rejects the second free of the same chunk",
+			Name:                 "double_free",
+			ExpectDetect:         true,
+			ExpectDetectTemporal: true,
+			Why:                  "the allocator rejects the second free of the same chunk",
 			Src: `
 int main() {
 	long *p = (long*)malloc(2 * sizeof(long));

@@ -25,8 +25,8 @@ func (m *Machine) tick1(class *uint64) {
 // against the paired bounds register when one is valid.
 func (m *Machine) IfpAdd(p uint64, delta int64, breg BoundsReg) uint64 {
 	m.tick1(&m.C.IfpAdd)
-	if tag.PoisonOf(p) == tag.Invalid {
-		return p // invalid pointers stay invalid through arithmetic
+	if ps := tag.PoisonOf(p); ps == tag.Invalid || (m.TemporalTags && ps == tag.Stale) {
+		return p // invalid (and, temporally, stale) pointers stay poisoned through arithmetic
 	}
 	oldAddr := tag.Addr(p)
 	newAddr := (oldAddr + uint64(delta)) & tag.AddrMask
@@ -94,6 +94,9 @@ func (m *Machine) IfpChk(p uint64, size uint64, breg BoundsReg) uint64 {
 	if !breg.Valid {
 		return p // cleared bounds: unchecked, matching legacy behaviour
 	}
+	if m.TemporalTags && tag.PoisonOf(p) == tag.Stale {
+		return p // a spatial check must not re-validate a temporal detection
+	}
 	m.C.Checks++
 	if !breg.B.Contains(tag.Addr(p), size) {
 		m.C.CheckFails++
@@ -111,7 +114,7 @@ func (m *Machine) IfpChk(p uint64, size uint64, breg BoundsReg) uint64 {
 // out-of-bounds").
 func (m *Machine) IfpExtract(p uint64, breg BoundsReg) uint64 {
 	m.tick1(&m.C.IfpExtract)
-	if breg.Valid && tag.PoisonOf(p) != tag.Invalid {
+	if ps := tag.PoisonOf(p); breg.Valid && ps != tag.Invalid && !(m.TemporalTags && ps == tag.Stale) {
 		return tag.WithPoison(p, poisonFor(breg.B, tag.Addr(p)))
 	}
 	return p

@@ -20,6 +20,7 @@ import (
 	"infat/internal/mem"
 	"infat/internal/metadata"
 	"infat/internal/tag"
+	"infat/internal/temporal"
 )
 
 // BoundsReg is the 96-bit bounds register paired with a GPR to form a
@@ -45,10 +46,15 @@ type CostModel struct {
 	DivCycles     uint64 // layout-walker division (unconstrained divisor, §5.3)
 	SlotDivCycles uint64 // subheap slot division (divisor constrained cheap, §3.3.2)
 	MacCycles     uint64 // MAC verify/generate latency
+	// GenCheckCycles is the temporal-mode generation comparison charged
+	// per metadata-fetching promote (ModeIFPTemporal only): an equality
+	// compare of the tag's generation field against the generation store,
+	// a narrow-width comparator in the IFP unit (hwcost models its area).
+	GenCheckCycles uint64
 }
 
 // DefaultCost is the standard calibration.
-var DefaultCost = CostModel{MissPenalty: 20, PromoteBase: 2, DivCycles: 12, SlotDivCycles: 2, MacCycles: 2}
+var DefaultCost = CostModel{MissPenalty: 20, PromoteBase: 2, DivCycles: 12, SlotDivCycles: 2, MacCycles: 2, GenCheckCycles: 1}
 
 // Counters accumulates the dynamic event counts the evaluation reports
 // (Table 4, Figure 11) plus cycle and cache-side statistics.
@@ -79,6 +85,10 @@ type Counters struct {
 	MetaFetches     uint64 // object-metadata words fetched
 	LayoutFetches   uint64 // layout-table entries fetched
 	LayoutDivisions uint64
+
+	GenChecks     uint64 // temporal-mode generation comparisons performed
+	GenCheckFails uint64 // stale generations detected (use-after-free)
+	TemporalTraps uint64 // TrapTemporal traps raised
 }
 
 // IfpArith is Figure 11's "IFP Arithmetic" class: every single-cycle IFP
@@ -126,6 +136,19 @@ type Machine struct {
 	// uses so that a guest infinite loop cannot pin a server worker. Zero
 	// means unlimited (the default for local CLI and experiment runs).
 	FuelLimit uint64
+
+	// TemporalTags switches the 12 shared metadata/subobject tag bits
+	// from a subobject index to an allocation generation (ModeIFPTemporal,
+	// DESIGN.md §14): promote skips subobject narrowing and instead
+	// compares the pointer's generation field against Gens, poisoning
+	// mismatches Stale; dereferencing a Stale pointer raises TrapTemporal.
+	// Off (the default) in every spatial mode — with it off, Gens is
+	// never consulted and Stale is never produced.
+	TemporalTags bool
+	// Gens is the generation store consulted when TemporalTags is set.
+	// The runtime that owns the machine stamps generations at malloc and
+	// bumps them on free; the machine only reads it.
+	Gens *temporal.Store
 }
 
 // DefaultKeySeed seeds the MAC key of every freshly built (or reset)
@@ -159,6 +182,7 @@ func (m *Machine) Reset() {
 	m.C = Counters{}
 	m.NoPromote, m.NoNarrow = false, false
 	m.FuelLimit = 0
+	m.TemporalTags, m.Gens = false, nil
 }
 
 // TrapKind classifies architectural traps.
@@ -188,6 +212,12 @@ const (
 	// yields a classified error instead of killing the process; any
 	// occurrence is counted and treated as a defect.
 	TrapInternal
+	// TrapTemporal is a temporal-safety detection (ModeIFPTemporal only):
+	// a dereference through a stale-generation pointer (use-after-free)
+	// or a free of a chunk whose stored generation is already ahead of
+	// the freeing pointer (double free). Appended after TrapInternal so
+	// every pre-existing kind keeps its numeric value.
+	TrapTemporal
 )
 
 func (k TrapKind) String() string {
@@ -206,6 +236,8 @@ func (k TrapKind) String() string {
 		return "alloc"
 	case TrapInternal:
 		return "internal"
+	case TrapTemporal:
+		return "temporal"
 	}
 	return fmt.Sprintf("trap(%d)", int(k))
 }
@@ -315,6 +347,11 @@ func (m *Machine) Store(p uint64, v uint64, size int, breg BoundsReg) error {
 // access-size check against the paired bounds register.
 func (m *Machine) checkAccess(p uint64, size int, breg BoundsReg) error {
 	if ps := tag.PoisonOf(p); ps != tag.Valid {
+		if ps == tag.Stale && m.TemporalTags {
+			m.C.TemporalTraps++
+			return &Trap{Kind: TrapTemporal, Ptr: p, Size: size,
+				Msg: "use-after-free: dereference of stale-generation pointer"}
+		}
 		m.C.PoisonTraps++
 		return &Trap{Kind: TrapPoison, Ptr: p, Size: size,
 			Msg: fmt.Sprintf("dereference of %s pointer", ps)}

@@ -35,7 +35,12 @@ func (m *Machine) Promote(p uint64) (uint64, BoundsReg) {
 		return p, Cleared
 	}
 
-	if tag.PoisonOf(p) == tag.Invalid {
+	if ps := tag.PoisonOf(p); ps == tag.Invalid || (m.TemporalTags && ps == tag.Stale) {
+		// A Stale pointer stays stale across re-promotion in temporal
+		// mode: the generation mismatch already proved the chunk was
+		// freed, and a later reallocation must not re-validate it. In
+		// spatial modes 0b10 is an undefined encoding and falls through
+		// to the lookup as before, so this branch changes nothing there.
 		m.C.PromotePoison++
 		return p, Cleared
 	}
@@ -70,6 +75,27 @@ func (m *Machine) Promote(p uint64) (uint64, BoundsReg) {
 	}
 
 	b := layout.Bounds{Lower: objBase, Upper: objBase + objSize}
+
+	// Temporal mode: the 12 shared bits carry an allocation generation,
+	// not a subobject index, so narrowing is skipped entirely and the
+	// generation is compared against the store instead (DESIGN.md §14).
+	// Schemes without a generation field (global-table) pass unchecked —
+	// the same bit-budget trade-off that denies them narrowing.
+	if m.TemporalTags {
+		if g, has := tag.Gen(p); has {
+			m.C.GenChecks++
+			m.C.Cycles += m.Cost.GenCheckCycles
+			if !tag.GenMatches(g, m.Gens.Gen(objBase), tag.GenBits(tag.SchemeOf(p))) {
+				m.C.GenCheckFails++
+				return tag.WithPoison(p, tag.Stale), Cleared
+			}
+		}
+		ps := poisonFor(b, tag.Addr(p))
+		if tag.PoisonOf(p) == tag.OOB {
+			ps = tag.OOB
+		}
+		return tag.WithPoison(p, ps), BoundsReg{B: b, Valid: true}
+	}
 
 	// Subobject bounds narrowing (§3.4).
 	if sub, has := tag.SubobjIndex(p); has && sub != 0 {

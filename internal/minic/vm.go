@@ -444,6 +444,14 @@ func (vm *VM) call(fnIdx, argBase, nargs int) (value, error) {
 // heapObjs tracks live heap allocations so free(ptr) can find its Obj.
 // (The runtime needs the Obj record; real code derives it from the tag.)
 func (vm *VM) freeByPtr(p uint64) error {
+	// Temporal mode checks the guest's own pointer before the record scan:
+	// a stale-generation pointer is a double free even when its base has
+	// since been reallocated (the scan below would otherwise match — and
+	// wrongly release — the new object at the same address). No-op in
+	// every other mode.
+	if err := vm.R.TemporalFreeCheck(p); err != nil {
+		return err
+	}
 	addr := p & (1<<48 - 1)
 	for i, o := range vm.heapObjs {
 		if o.Base() == addr {

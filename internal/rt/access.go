@@ -71,9 +71,12 @@ func (r *Runtime) GEP(p Ptr, delta int64, b machine.BoundsReg) Ptr {
 
 // SetSub updates the subobject index (ifpidx) when code takes the address
 // of a struct member. Baseline code has no equivalent instruction — this
-// is pure instrumentation overhead.
+// is pure instrumentation overhead. In IFPTemporal mode the shared bits
+// hold the allocation generation, so the compiler emits no ifpidx at all
+// and the pointer passes through unchanged (subobject narrowing is the
+// capability the temporal mode trades away, DESIGN.md §14).
 func (r *Runtime) SetSub(p Ptr, idx uint16) Ptr {
-	if !r.Instrumented() {
+	if !r.Instrumented() || r.mode == IFPTemporal {
 		return p
 	}
 	return r.M.IfpIdx(p, idx)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"infat/internal/layout"
+	"infat/internal/machine"
 	"infat/internal/metadata"
 	"infat/internal/tag"
 )
@@ -75,8 +76,25 @@ func (r *Runtime) mallocSized(size uint64, layoutPtr uint64) (Obj, error) {
 		return r.mallocSubheap(size, layoutPtr)
 	case r.mode == Hybrid:
 		return r.mallocHybrid(size, layoutPtr)
+	case r.mode == IFPTemporal:
+		return r.mallocTemporal(size, layoutPtr)
 	}
 	return Obj{}, fmt.Errorf("rt: unknown mode %v", r.mode)
+}
+
+// mallocTemporal is the IFPTemporal allocation path: Hybrid's dynamic
+// allocator selection (so the free list, the buddy allocator, and the
+// subheap pools are all exercised by the same workloads), with the chunk's
+// current generation stamped into the returned pointer's tag. Global-table
+// fallbacks carry no generation field — all 12 bits name the row — and
+// stay temporally unchecked, the documented gap of the scheme.
+func (r *Runtime) mallocTemporal(size uint64, layoutPtr uint64) (Obj, error) {
+	o, err := r.mallocHybrid(size, layoutPtr)
+	if err != nil {
+		return Obj{}, err
+	}
+	o.P = tag.WithGen(o.P, r.gens.Gen(o.Base()))
+	return o, nil
 }
 
 // hybridGraduation is the allocation count at which a (size, type)
@@ -330,8 +348,51 @@ func (r *Runtime) newBlock(pl *pool) (*block, error) {
 }
 
 // Free releases a heap object allocated with Malloc/MallocBytes/
-// MallocLegacy, dispatching on how it was registered.
+// MallocLegacy, dispatching on how it was registered. In IFPTemporal mode
+// the free path first compares the pointer's stamped generation against
+// the generation store — a pointer whose generation is already behind the
+// store refers to a chunk freed since it was derived, so the free itself
+// is a double free and traps TrapTemporal — and, on success, bumps the
+// chunk's generation so every outstanding pointer into it goes stale.
 func (r *Runtime) Free(o Obj) error {
+	if r.mode == IFPTemporal {
+		if err := r.TemporalFreeCheck(o.P); err != nil {
+			return err
+		}
+		err := r.freeDispatch(o)
+		if err == nil {
+			r.gens.Bump(o.Base())
+		}
+		return err
+	}
+	return r.freeDispatch(o)
+}
+
+// TemporalFreeCheck is the generation comparison guarding every temporal-
+// mode free: a TrapTemporal double-free trap when the pointer's stamped
+// generation is behind the generation store. The VM calls it with the
+// guest's *freeing* pointer before resolving the allocation record, so a
+// free through a pointer whose chunk was freed and reallocated traps
+// instead of releasing the unrelated new object at the same base.
+// Pointers without a generation field (legacy, global-table) pass
+// unchecked, and every non-temporal mode returns nil.
+func (r *Runtime) TemporalFreeCheck(p Ptr) error {
+	if r.mode != IFPTemporal {
+		return nil
+	}
+	g, has := tag.Gen(p)
+	if !has {
+		return nil
+	}
+	base := tag.Addr(p)
+	if !tag.GenMatches(g, r.gens.Gen(base), tag.GenBits(tag.SchemeOf(p))) {
+		return &machine.Trap{Kind: machine.TrapTemporal, Ptr: p,
+			Msg: "double free: pointer generation is behind the generation store"}
+	}
+	return nil
+}
+
+func (r *Runtime) freeDispatch(o Obj) error {
 	switch o.Kind {
 	case KindLegacy:
 		return r.fl.Free(tag.Addr(o.P))

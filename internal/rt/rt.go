@@ -21,6 +21,7 @@ import (
 	"infat/internal/machine"
 	"infat/internal/metadata"
 	"infat/internal/tag"
+	"infat/internal/temporal"
 )
 
 // Mode selects the allocator/instrumentation configuration of a run
@@ -42,6 +43,16 @@ const (
 	// metadata amortizes), while one-off allocations stay on the cheaper-
 	// to-set-up wrapped path.
 	Hybrid
+	// IFPTemporal is the xTag-style temporal extension (DESIGN.md §14):
+	// Hybrid's allocator selection, but the 12 shared metadata/subobject
+	// tag bits carry an allocation generation instead of a subobject
+	// index. Free paths bump a per-chunk generation store, malloc stamps
+	// the current generation, and promote/check paths trap TrapTemporal
+	// on mismatch (use-after-free) or on freeing through a stale pointer
+	// (double free). Subobject narrowing is unavailable — the bit budget
+	// is spent on the generation — so protection is spatial at object
+	// granularity plus temporal.
+	IFPTemporal
 )
 
 func (m Mode) String() string {
@@ -54,12 +65,14 @@ func (m Mode) String() string {
 		return "wrapped"
 	case Hybrid:
 		return "hybrid"
+	case IFPTemporal:
+		return "ifp-temporal"
 	}
 	return fmt.Sprintf("mode(%d)", int(m))
 }
 
 // Modes lists every run configuration in declaration order.
-var Modes = []Mode{Baseline, Subheap, Wrapped, Hybrid}
+var Modes = []Mode{Baseline, Subheap, Wrapped, Hybrid, IFPTemporal}
 
 // ParseMode parses a mode name as spelled by the command-line flags and
 // the ifp-serve request API (the String form of each Mode).
@@ -69,7 +82,7 @@ func ParseMode(s string) (Mode, error) {
 			return m, nil
 		}
 	}
-	return 0, fmt.Errorf("unknown mode %q (want baseline, subheap, wrapped, or hybrid)", s)
+	return 0, fmt.Errorf("unknown mode %q (want baseline, subheap, wrapped, hybrid, or ifp-temporal)", s)
 }
 
 // Guest address-space map. All regions are far apart; the memory is sparse
@@ -161,6 +174,11 @@ type Runtime struct {
 	// InjectAllocFault (0 = disarmed).
 	allocFaultAt int
 
+	// gens is the temporal-mode allocation-generation store (one per
+	// runtime, reset with it). Only consulted when mode == IFPTemporal;
+	// the machine reads it through M.Gens during promote.
+	gens *temporal.Store
+
 	Stats Stats
 }
 
@@ -194,10 +212,15 @@ func New(mode Mode) *Runtime {
 		wrappedLocal: make(map[uint64]bool),
 		heapRows:     make(map[uint64]uint16),
 		sigCount:     make(map[poolKey]int),
+		gens:         temporal.NewStore(),
 	}
 	if mode != Baseline {
 		m.GlobalBase = globalTableBase
 		m.GlobalCap = uint32(globalTableCap)
+	}
+	if mode == IFPTemporal {
+		m.TemporalTags = true
+		m.Gens = r.gens
 	}
 	return r
 }
@@ -231,15 +254,25 @@ func (r *Runtime) Reset(mode Mode) {
 	r.ForceGlobalTable = false
 	r.ExplicitChecks = false
 	r.allocFaultAt = 0
+	r.gens.Reset()
 	r.Stats = Stats{}
 	if mode != Baseline {
 		r.M.GlobalBase = globalTableBase
 		r.M.GlobalCap = uint32(globalTableCap)
 	}
+	if mode == IFPTemporal {
+		r.M.TemporalTags = true
+		r.M.Gens = r.gens
+	}
 }
 
 // Mode returns the runtime's mode.
 func (r *Runtime) Mode() Mode { return r.mode }
+
+// Gens exposes the temporal generation store (always non-nil; only
+// consulted in IFPTemporal mode). Chaos scenarios corrupt it directly and
+// tests inspect it.
+func (r *Runtime) Gens() *temporal.Store { return r.gens }
 
 // Instrumented reports whether the run carries IFP instrumentation.
 func (r *Runtime) Instrumented() bool { return r.mode != Baseline }

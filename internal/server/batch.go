@@ -57,6 +57,10 @@ type BatchRequest struct {
 	// numbers (empty = every cell). The shard tier uses this to scatter
 	// one campaign across backends.
 	Cells []int `json:"cells,omitempty"`
+	// Temporal appends the ifp-temporal configuration per workload (the
+	// generation-tagging temporal axis). Requests without it enumerate —
+	// and stream — exactly as before the temporal subsystem existed.
+	Temporal bool `json:"temporal,omitempty"`
 }
 
 // BatchPlan resolves the request onto its full-report cell plan (perf +
@@ -67,7 +71,7 @@ func (r BatchRequest) BatchPlan() (exp.Plan, error) {
 	if err != nil {
 		return exp.Plan{}, err
 	}
-	return exp.NewReportPlan(ws, r.Scale, r.MemScale), nil
+	return exp.NewReportPlan(ws, r.Scale, r.MemScale).WithTemporal(r.Temporal), nil
 }
 
 // GridPlan resolves the request onto its perf-only cell plan (the
@@ -77,7 +81,7 @@ func (r BatchRequest) GridPlan() (exp.Plan, error) {
 	if err != nil {
 		return exp.Plan{}, err
 	}
-	return exp.NewPlan(ws, r.Scale), nil
+	return exp.NewPlan(ws, r.Scale).WithTemporal(r.Temporal), nil
 }
 
 func resolveWorkloads(names []string) ([]workloads.Workload, error) {

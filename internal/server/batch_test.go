@@ -149,20 +149,70 @@ func TestBatchValidation(t *testing.T) {
 	}
 }
 
+// TestGridStreamTemporalEquivalence: a Temporal grid request streams the
+// six-configuration plan (spatial five + ifp-temporal) and reassembles
+// to the exact bytes a local temporal assembly renders — spatial report
+// prefix plus the temporal section — while a request without the flag
+// never mentions the temporal axis.
+func TestGridStreamTemporalEquivalence(t *testing.T) {
+	ws := batchWorkloadSet(t)
+	plan := exp.NewPlan(ws, 1).WithTemporal(true)
+	a := plan.NewAssembly()
+	for i := 0; i < plan.NumCells(); i++ {
+		cell, err := plan.RunCell(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Add(i, cell); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := a.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, c, done := newTestServer(t, Config{})
+	defer done()
+	ctx := context.Background()
+
+	got, err := c.GridReport(ctx, BatchRequest{Workloads: batchTestWorkloads, Temporal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("streamed temporal grid report differs from local assembly:\n--- streamed ---\n%s\n--- local ---\n%s", got, want)
+	}
+	if !strings.Contains(got, "Temporal axis") {
+		t.Fatal("temporal grid report missing the temporal section")
+	}
+
+	spatial, err := c.GridReport(ctx, BatchRequest{Workloads: batchTestWorkloads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(spatial, "Temporal axis") || strings.Contains(spatial, "ifp-temporal") {
+		t.Fatal("spatial grid report mentions the temporal axis")
+	}
+}
+
 // TestBatchMidStreamCancellation is the leak regression test: a client
 // that disconnects halfway through a batch stream must leave no trace —
 // every worker-semaphore slot released, the runtime pool's checkout
 // ledger balanced, and the truncation counted.
 func TestBatchMidStreamCancellation(t *testing.T) {
-	s, c, done := newTestServer(t, Config{})
+	// One worker and a scaled-up campaign (864 cells through a single
+	// slot) guarantee the stream is still mid-flight when we walk away
+	// after two lines — even with a warm runtime pool, which makes
+	// individual cells fast enough that a default-sized campaign can
+	// complete before the server notices the disconnect.
+	s, c, done := newTestServer(t, Config{Workers: 1})
 	defer done()
 
 	before := rt.DefaultPool.Stats()
 
-	// A chaos campaign has plenty of cells (192) to guarantee the stream
-	// is still mid-flight when we walk away after two lines.
 	ctx, cancel := context.WithCancel(context.Background())
-	body, _ := json.Marshal(ChaosRequest{})
+	body, _ := json.Marshal(ChaosRequest{Scale: 4})
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+ChaosPath, strings.NewReader(string(body)))
 	if err != nil {
 		t.Fatal(err)

@@ -20,6 +20,7 @@ import (
 // Trap classes: the service's verdict on a trapped run.
 const (
 	trapClassSpatial  = "spatial"  // an In-Fat Pointer detection (poison / bounds)
+	trapClassTemporal = "temporal" // a generation-tagging detection (UAF / double free)
 	trapClassFuel     = "fuel"     // execution budget exhausted (resource trap)
 	trapClassInternal = "internal" // recovered simulator panic (a bug, never guest behavior)
 	trapClassOther    = "other"    // metadata/memory/alloc trap or non-trap runtime fault
@@ -36,7 +37,7 @@ type RunRequest struct {
 	// Source is the MiniC program text (required).
 	Source string `json:"source"`
 	// Mode is the run configuration: baseline, subheap (default),
-	// wrapped, or hybrid.
+	// wrapped, hybrid, or ifp-temporal.
 	Mode string `json:"mode,omitempty"`
 	// Fuel overrides the server's per-run cycle budget. 0 keeps the
 	// server default; non-zero values are clamped to the server's MaxFuel
@@ -47,7 +48,7 @@ type RunRequest struct {
 
 // TrapInfo describes why a run stopped early.
 type TrapInfo struct {
-	// Class is the service verdict: spatial, fuel, or other.
+	// Class is the service verdict: spatial, temporal, fuel, or other.
 	Class string `json:"class"`
 	// Kind is the machine trap kind (poisoned-pointer, bounds, fuel,
 	// metadata, memory); empty for non-trap runtime faults.
@@ -196,6 +197,8 @@ func classifyTrap(err error) (class, kind string) {
 	switch t.Kind {
 	case machine.TrapPoison, machine.TrapBounds:
 		return trapClassSpatial, t.Kind.String()
+	case machine.TrapTemporal:
+		return trapClassTemporal, t.Kind.String()
 	case machine.TrapFuel:
 		return trapClassFuel, t.Kind.String()
 	case machine.TrapInternal:

@@ -48,6 +48,7 @@ type metrics struct {
 	internalPanics atomic.Uint64 // worker panics recovered into 500s (simulator bugs)
 
 	trapSpatial  atomic.Uint64
+	trapTemporal atomic.Uint64 // generation-tagging detections (UAF / double free)
 	trapFuel     atomic.Uint64
 	trapInternal atomic.Uint64 // recovered-panic traps surfaced by a run
 	trapOther    atomic.Uint64
@@ -72,6 +73,8 @@ func (m *metrics) countTrap(class string) {
 	switch class {
 	case trapClassSpatial:
 		m.trapSpatial.Add(1)
+	case trapClassTemporal:
+		m.trapTemporal.Add(1)
 	case trapClassFuel:
 		m.trapFuel.Add(1)
 	case trapClassInternal:
@@ -92,9 +95,9 @@ type MetricsSnapshot struct {
 	Cache     map[string]uint64 `json:"cache"`     // hits, misses, evictions, entries
 	// Batch covers the streaming campaign endpoints: streams, cells,
 	// cell_errors, cancelled.
-	Batch map[string]uint64 `json:"batch"`
-	Traps     map[string]uint64 `json:"traps"`     // spatial, fuel, other, none
-	Latency   map[string]uint64 `json:"latency_ms"`
+	Batch   map[string]uint64 `json:"batch"`
+	Traps   map[string]uint64 `json:"traps"` // spatial, temporal, fuel, other, none
+	Latency map[string]uint64 `json:"latency_ms"`
 	// Pool reports the runtime pool behind the workers: hits (acquisitions
 	// served by resetting an idle runtime), misses (fresh constructions),
 	// releases, discards, idle. The pool is process-global (rt.DefaultPool),
@@ -148,6 +151,7 @@ func (s *Server) snapshot() MetricsSnapshot {
 		},
 		Traps: map[string]uint64{
 			"spatial":  m.trapSpatial.Load(),
+			"temporal": m.trapTemporal.Load(),
 			"fuel":     m.trapFuel.Load(),
 			"internal": m.trapInternal.Load(),
 			"other":    m.trapOther.Load(),

@@ -333,6 +333,48 @@ func TestSpatialTrap(t *testing.T) {
 	}
 }
 
+// TestTemporalTrap: a same-type slot-reuse UAF — invisible to metadata
+// invalidation, so the spatial modes run it clean — is classified
+// temporal under the generation-tagging mode.
+func TestTemporalTrap(t *testing.T) {
+	const uafProg = `
+long *gv;
+int main() {
+	long *p = (long*)malloc(4 * sizeof(long));
+	gv = p;
+	free(p);
+	long *fresh = (long*)malloc(4 * sizeof(long));
+	fresh[0] = 1;
+	long *q = gv;
+	*q = 2;
+	free(fresh);
+	return 0;
+}`
+	_, c, done := newTestServer(t, Config{})
+	defer done()
+	ctx := context.Background()
+
+	resp, _, err := c.Run(ctx, RunRequest{Source: uafProg, Mode: "ifp-temporal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trap == nil || resp.Trap.Class != trapClassTemporal || resp.Trap.Kind != "temporal" {
+		t.Fatalf("ifp-temporal: trap = %+v, want temporal class", resp.Trap)
+	}
+	if resp.Counters.GenCheckFails == 0 {
+		t.Fatalf("ifp-temporal: GenCheckFails = 0, want a recorded stale generation")
+	}
+	for _, mode := range []string{"subheap", "hybrid"} {
+		resp, _, err := c.Run(ctx, RunRequest{Source: uafProg, Mode: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Trap != nil {
+			t.Fatalf("%s flagged the type-safe reuse UAF: %+v (spatial behavior changed)", mode, resp.Trap)
+		}
+	}
+}
+
 // TestJulietAndWorkloadEndpoints drives the remaining simulation
 // endpoints through the client.
 func TestJulietAndWorkloadEndpoints(t *testing.T) {

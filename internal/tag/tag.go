@@ -43,6 +43,11 @@ const (
 	Valid Poison = 0b00
 	// OOB means out-of-bounds but recoverable (notably one-past-the-end).
 	OOB Poison = 0b01
+	// Stale marks a pointer whose allocation generation no longer matches
+	// the generation store: the chunk it points into was freed after the
+	// pointer was derived. Only the temporal mode (ModeIFPTemporal)
+	// produces this encoding; the spatial modes leave 0b10 unused.
+	Stale Poison = 0b10
 	// Invalid means the pointer hit an irrecoverable error (bad metadata,
 	// indexing after a failed check) and must never be dereferenced.
 	Invalid Poison = 0b11
@@ -54,6 +59,8 @@ func (p Poison) String() string {
 		return "valid"
 	case OOB:
 		return "oob"
+	case Stale:
+		return "stale"
 	case Invalid:
 		return "invalid"
 	}
@@ -276,6 +283,58 @@ func WithSubobjIndex(p uint64, idx uint16) uint64 {
 	// (the pointer remains unchecked, matching the paper's partial
 	// protection for legacy code).
 	return p
+}
+
+// --- Generation fields (temporal mode) ---
+//
+// ModeIFPTemporal repurposes the subobject-index bits as an allocation
+// generation: 6 bits under the local-offset scheme, 8 under subheap. The
+// global-table scheme spends all 12 bits on the row index and therefore
+// carries no generation (its pointers are temporally unchecked — the
+// same trade-off that denies it subobject narrowing). Legacy pointers
+// carry no tag at all.
+
+// GenBits returns the width of the generation field available under
+// scheme s (0 if the scheme cannot carry one).
+func GenBits(s Scheme) int {
+	switch s {
+	case SchemeLocalOffset:
+		return LocalSubobjBits
+	case SchemeSubheap:
+		return SubheapSubobjBits
+	}
+	return 0
+}
+
+// Gen returns the allocation generation stamped in p's tag, and whether
+// p's scheme carries one. It is the temporal-mode reading of the same
+// bits SubobjIndex decodes spatially.
+func Gen(p uint64) (uint16, bool) { return SubobjIndex(p) }
+
+// WithGen returns p with its generation field replaced by g truncated to
+// the scheme's field width. Schemes without a generation field (legacy,
+// global-table) return p unchanged: such pointers cannot be temporally
+// checked and must not be poisoned for it.
+func WithGen(p uint64, g uint32) uint64 {
+	switch SchemeOf(p) {
+	case SchemeLocalOffset:
+		off, _ := LocalFields(p)
+		return WithMeta(p, off<<LocalSubobjBits|uint16(g)&MaxLocalSubobj)
+	case SchemeSubheap:
+		cr, _ := SubheapFields(p)
+		return WithMeta(p, cr<<SubheapSubobjBits|uint16(g)&MaxSubheapSubobj)
+	}
+	return p
+}
+
+// GenMatches reports whether pointer generation pg (already truncated to
+// the scheme's field width) matches store generation sg under a field of
+// the given width.
+func GenMatches(pg uint16, sg uint32, bits int) bool {
+	if bits <= 0 {
+		return true
+	}
+	return pg == uint16(sg)&(1<<bits-1)
 }
 
 // Format renders a tagged pointer for diagnostics.

@@ -1,0 +1,80 @@
+// Package temporal implements the generation store backing the
+// ModeIFPTemporal runtime mode: an xTag-style allocation-generation
+// counter per heap chunk, keyed by the chunk's 48-bit base address.
+//
+// The scheme repurposes the 12 shared metadata/subobject tag bits (which
+// the spatial modes spend on a subobject index) as a generation field:
+// malloc stamps the chunk's current generation into the returned pointer,
+// every free bumps the stored generation, and promote/check paths compare
+// the pointer's generation against the store. A mismatch means the chunk
+// was freed (and possibly reallocated) after the pointer was derived —
+// a use-after-free — and traps. A free that observes a pointer whose
+// generation is already behind the store is a double free.
+//
+// Generations are narrower than the store's counter: the local-offset
+// scheme exposes 6 tag bits and the subheap scheme 8, so a pointer's
+// stamped generation is the store value truncated to the scheme's field
+// width. After 2^6 (or 2^8) frees of the same chunk base a stale pointer's
+// generation can wrap back into validity — the classic generation-tagging
+// blind spot, documented in DESIGN.md §14. The store itself counts in
+// uint32 so the wrap statistics remain observable even when the tag field
+// has wrapped.
+package temporal
+
+// Store maps chunk base addresses (48-bit, tag-stripped) to their current
+// allocation generation. Generation 0 is the state of a never-freed chunk,
+// so pointers stamped at first allocation carry 0 and an absent store
+// entry compares equal to them.
+type Store struct {
+	gens  map[uint64]uint32
+	bumps uint64 // total Bump calls, for diagnostics/benchmarks
+}
+
+// NewStore returns an empty generation store.
+func NewStore() *Store {
+	return &Store{gens: make(map[uint64]uint32)}
+}
+
+// Gen returns the current generation of the chunk at base (0 if the chunk
+// has never been freed).
+func (s *Store) Gen(base uint64) uint32 {
+	if s == nil {
+		return 0
+	}
+	return s.gens[base]
+}
+
+// Bump increments the generation of the chunk at base (a free event) and
+// returns the new generation.
+func (s *Store) Bump(base uint64) uint32 {
+	g := s.gens[base] + 1
+	s.gens[base] = g
+	s.bumps++
+	return g
+}
+
+// Bumps returns the total number of free events recorded since the last
+// Reset.
+func (s *Store) Bumps() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.bumps
+}
+
+// Len returns the number of chunk bases with a non-zero generation.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.gens)
+}
+
+// Reset returns the store to its empty state, retaining the map's storage
+// so pooled runtimes do not reallocate it.
+func (s *Store) Reset() {
+	for k := range s.gens {
+		delete(s.gens, k)
+	}
+	s.bumps = 0
+}

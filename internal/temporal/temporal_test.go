@@ -1,0 +1,56 @@
+package temporal
+
+import "testing"
+
+func TestStoreBumpAndGen(t *testing.T) {
+	s := NewStore()
+	if g := s.Gen(0x1000); g != 0 {
+		t.Errorf("fresh chunk gen = %d, want 0", g)
+	}
+	if g := s.Bump(0x1000); g != 1 {
+		t.Errorf("first bump = %d, want 1", g)
+	}
+	if g := s.Bump(0x1000); g != 2 {
+		t.Errorf("second bump = %d, want 2", g)
+	}
+	if g := s.Gen(0x1000); g != 2 {
+		t.Errorf("gen after two bumps = %d, want 2", g)
+	}
+	// Bumps are per-base: a different chunk is unaffected.
+	if g := s.Gen(0x2000); g != 0 {
+		t.Errorf("unrelated chunk gen = %d, want 0", g)
+	}
+	if s.Bumps() != 2 || s.Len() != 1 {
+		t.Errorf("bumps = %d len = %d, want 2, 1", s.Bumps(), s.Len())
+	}
+}
+
+func TestStoreReset(t *testing.T) {
+	s := NewStore()
+	s.Bump(0x1000)
+	s.Bump(0x2000)
+	s.Reset()
+	if s.Len() != 0 || s.Bumps() != 0 {
+		t.Errorf("after reset: len = %d bumps = %d, want 0, 0", s.Len(), s.Bumps())
+	}
+	// A reset store behaves like a fresh one: generation 0 everywhere,
+	// counting restarts from scratch.
+	if g := s.Gen(0x1000); g != 0 {
+		t.Errorf("gen after reset = %d, want 0", g)
+	}
+	if g := s.Bump(0x1000); g != 1 {
+		t.Errorf("bump after reset = %d, want 1", g)
+	}
+}
+
+// Read-side accessors tolerate a nil store so non-temporal machines can
+// consult Gens unconditionally.
+func TestNilStoreReads(t *testing.T) {
+	var s *Store
+	if g := s.Gen(0x1000); g != 0 {
+		t.Errorf("nil store Gen = %d, want 0", g)
+	}
+	if s.Bumps() != 0 || s.Len() != 0 {
+		t.Errorf("nil store bumps = %d len = %d, want 0, 0", s.Bumps(), s.Len())
+	}
+}
