@@ -16,6 +16,7 @@ import (
 	"infat/internal/machine"
 	"infat/internal/mem"
 	"infat/internal/minic"
+	"infat/internal/netchaos"
 	"infat/internal/pool"
 	"infat/internal/rt"
 	"infat/internal/server"
@@ -25,10 +26,10 @@ import (
 
 // benchSchema versions the -json output so downstream tooling can detect
 // format changes across BENCH_*.json files. v2 added grid_bench,
-// mem_bench, and intern; v3 added batch_bench; v4 adds temporal_bench
-// (all additive; the deterministic workload cycles and overheads are
-// unchanged from v1).
-const benchSchema = "ifp-bench/v4"
+// mem_bench, and intern; v3 added batch_bench; v4 added temporal_bench;
+// v5 adds netchaos_bench (all additive; the deterministic workload
+// cycles and overheads are unchanged from v1).
+const benchSchema = "ifp-bench/v5"
 
 // benchJSON is the machine-readable benchmark summary -json emits: the
 // §5.2 per-workload cycle counts and geomean overheads, cold-vs-warm
@@ -52,6 +53,7 @@ type benchJSON struct {
 	MemBench      memJSON      `json:"mem_bench"`
 	BatchBench    batchJSON    `json:"batch_bench"`
 	TemporalBench temporalJSON `json:"temporal_bench"`
+	NetchaosBench netchaosJSON `json:"netchaos_bench"`
 
 	Pool   map[string]uint64 `json:"pool"`
 	Intern map[string]int    `json:"intern"`
@@ -108,6 +110,32 @@ type temporalJSON struct {
 	CWE415416BadCases         int `json:"cwe415416_bad_cases"`
 	CWE415416DetectedSpatial  int `json:"cwe415416_detected_spatial"`
 	CWE415416DetectedTemporal int `json:"cwe415416_detected_temporal"`
+}
+
+// netchaosJSON summarizes a reduced network-fault campaign: in-process
+// backends behind deterministic fault-injecting proxies, the shard's
+// self-healing machinery (breakers, hedging, reassignment, stream
+// validation) recovering every cell. The counters are the robustness
+// trajectory the BENCH_*.json series tracks — how much rescue work the
+// faults forced — and the gates (zero lost, all reports byte-identical)
+// fail the whole -json run if the tier regresses. wall_ms is host
+// timing; everything else is deterministic under the campaign seed.
+type netchaosJSON struct {
+	Faults        []string `json:"faults"`
+	Seeds         int      `json:"seeds"`
+	Runs          int      `json:"runs"`
+	Failed        int      `json:"failed"`
+	Cells         int      `json:"cells"`
+	Injected      uint64   `json:"injected"`
+	Recovered     uint64   `json:"recovered"`
+	FailedOver    uint64   `json:"failed_over"`
+	Hedged        uint64   `json:"hedged"`
+	Shed          uint64   `json:"shed"`
+	CorruptLines  uint64   `json:"corrupt_lines"`
+	DupSuppressed uint64   `json:"dup_suppressed"`
+	Lost          int      `json:"lost"`
+	AllIdentical  bool     `json:"all_identical"`
+	WallMs        int64    `json:"wall_ms"`
 }
 
 // workloadJSON is one workload's cycle counts per configuration plus the
@@ -211,6 +239,11 @@ func writeBenchJSON(path string, results []exp.Result, scale, parallel int) erro
 		return err
 	}
 	out.TemporalBench = temporal
+	nc, err := benchNetchaos()
+	if err != nil {
+		return err
+	}
+	out.NetchaosBench = nc
 	ps := rt.DefaultPool.Stats()
 	out.Pool = map[string]uint64{
 		"hits":     ps.Hits,
@@ -269,6 +302,53 @@ func benchTemporal(scale, parallel int) (temporalJSON, error) {
 	out.CWE415416BadCases = spatial.BadCases
 	out.CWE415416DetectedSpatial = spatial.Detected
 	out.CWE415416DetectedTemporal = temporal.Detected
+	return out, nil
+}
+
+// benchNetchaosFaults is the reduced fault set the -json snapshot runs:
+// the three stream-sabotage faults that exercise every recovery path
+// (reassignment, validation, dedup) without the multi-second stalls the
+// full grid's blackhole and slowloris arms pay. ifp-shard -netchaos
+// remains the exhaustive gate.
+var benchNetchaosFaults = []netchaos.Fault{
+	netchaos.FaultNone, netchaos.FaultTruncate, netchaos.FaultCorrupt, netchaos.FaultDuplicate,
+}
+
+// benchNetchaos runs the reduced fault campaign (batch leg, one seed,
+// one workload) and folds its totals into the netchaos_bench section.
+// Campaign gate failures — a lost cell, a non-identical report — fail
+// the benchmark run itself.
+func benchNetchaos() (netchaosJSON, error) {
+	start := time.Now()
+	res, err := netchaos.RunCampaign(netchaos.CampaignConfig{
+		Workloads: []string{"treeadd"},
+		Seeds:     []uint64{1},
+		FaultSet:  benchNetchaosFaults,
+		SkipChaos: true,
+	})
+	if err != nil {
+		return netchaosJSON{}, err
+	}
+	s := res.Summarize()
+	out := netchaosJSON{
+		Seeds:         1,
+		Runs:          s.Runs,
+		Failed:        s.Failed,
+		Cells:         s.Cells,
+		Injected:      s.Injected,
+		Recovered:     s.Recovered,
+		FailedOver:    s.FailedOver,
+		Hedged:        s.Hedged,
+		Shed:          s.Shed,
+		CorruptLines:  s.CorruptLines,
+		DupSuppressed: s.DupSuppressed,
+		Lost:          s.Lost,
+		AllIdentical:  s.AllIdentical,
+		WallMs:        time.Since(start).Milliseconds(),
+	}
+	for _, f := range benchNetchaosFaults {
+		out.Faults = append(out.Faults, string(f))
+	}
 	return out, nil
 }
 

@@ -11,7 +11,7 @@
 //
 //	ifp-shard -backends http://h1:8080,http://h2:8080 [-addr :8090]
 //	          [-replicas N] [-health-interval D] [-down-after N]
-//	          [-wait D] [-selftest]
+//	          [-wait D] [-selftest] [-netchaos]
 //
 // -wait blocks startup until every backend answers /healthz (0 skips
 // the wait; backends that are still down merely start drained).
@@ -19,6 +19,12 @@
 // in-process backends plus the shard on loopback ports, proves the
 // routed, fanned-out, and failed-over answers byte-identical to a
 // serial run, and exits non-zero on any failure — the CI smoke test.
+// -netchaos runs the full network-fault campaign: in-process backends
+// behind deterministic fault-injecting proxies (latency, refused/reset
+// connections, blackholes, truncation, corruption, duplication,
+// slowloris), gating on zero lost, zero duplicated, zero
+// corrupt-accepted cells and byte-identical reports — the CI
+// resilience gate.
 package main
 
 import (
@@ -44,6 +50,7 @@ func main() {
 	downAfter := flag.Int("down-after", shard.DefaultDownAfter, "consecutive probe failures before a backend is drained")
 	wait := flag.Duration("wait", 0, "wait for every backend to be healthy before serving (0 = don't wait)")
 	selftest := flag.Bool("selftest", false, "boot two in-process backends and the shard, verify equivalence, exit")
+	netchaosFlag := flag.Bool("netchaos", false, "run the full network-fault campaign grid against an in-process faulted fleet, verify self-healing, exit")
 	flag.Parse()
 
 	if *selftest {
@@ -52,6 +59,14 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("ifp-shard: selftest ok")
+		return
+	}
+	if *netchaosFlag {
+		if err := runNetchaos(); err != nil {
+			fmt.Fprintln(os.Stderr, "ifp-shard: netchaos FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Println("ifp-shard: netchaos ok")
 		return
 	}
 

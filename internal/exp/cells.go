@@ -53,6 +53,43 @@ type CellMeta struct {
 	Config   string `json:"config"`
 }
 
+// ErrCorruptCell is the sentinel every cell-contract violation wraps: a
+// sequence number outside the campaign, coordinates that disagree with
+// the plan's enumeration at that seq, or a payload of the wrong shape.
+// A corrupt cell is never folded into an assembly — consumers reject it
+// (and, in the serving tier, fail the stream that carried it) instead of
+// indexing blindly and silently producing a wrong report.
+var ErrCorruptCell = errors.New("exp: corrupt cell")
+
+// ErrDuplicateCell is the sentinel a second Add of the same sequence
+// number wraps. Distinct from ErrCorruptCell: the duplicate's content
+// may be perfectly valid — the violation is the repetition, which the
+// dedup layers (shard stream merge, client reassembly) must suppress
+// rather than double-count.
+var ErrDuplicateCell = errors.New("exp: duplicate cell")
+
+// cellContractError is the concrete error behind both sentinels: the
+// offending seq, the full diagnosis, and which contract was broken.
+type cellContractError struct {
+	seq      int
+	msg      string
+	sentinel error
+}
+
+func (e *cellContractError) Error() string        { return e.msg }
+func (e *cellContractError) Is(target error) bool { return target == e.sentinel }
+
+// Seq returns the offending cell's sequence number as received.
+func (e *cellContractError) Seq() int { return e.seq }
+
+func corruptCell(seq int, format string, args ...any) error {
+	return &cellContractError{seq: seq, msg: fmt.Sprintf(format, args...), sentinel: ErrCorruptCell}
+}
+
+func duplicateCell(seq int, format string, args ...any) error {
+	return &cellContractError{seq: seq, msg: fmt.Sprintf(format, args...), sentinel: ErrDuplicateCell}
+}
+
 // Plan is the cell-level view of a (workload × configuration) evaluation
 // campaign: the §5.2 perf grid, optionally plus the Figure-12 memory
 // cells. The zero value is empty; build with NewPlan or NewReportPlan.
@@ -213,18 +250,18 @@ func (p Plan) NewAssembly() *Assembly {
 }
 
 // Add records cell seq's result. It rejects out-of-range sequence
-// numbers, duplicates, and results missing the payload their kind
-// requires.
+// numbers (ErrCorruptCell), duplicates (ErrDuplicateCell), and results
+// missing the payload their kind requires (ErrCorruptCell).
 func (a *Assembly) Add(seq int, c CellResult) error {
 	if seq < 0 || seq >= len(a.have) {
-		return fmt.Errorf("exp: cell seq %d out of range [0, %d)", seq, len(a.have))
+		return corruptCell(seq, "exp: cell seq %d out of range [0, %d)", seq, len(a.have))
 	}
 	if a.have[seq] {
-		return fmt.Errorf("exp: duplicate cell seq %d", seq)
+		return duplicateCell(seq, "exp: duplicate cell seq %d", seq)
 	}
 	if pc := a.p.perfCells(); seq < pc {
 		if c.Perf == nil {
-			return fmt.Errorf("exp: perf cell %d missing perf result", seq)
+			return corruptCell(seq, "exp: perf cell %d missing perf result", seq)
 		}
 		cfgs := a.p.configs()
 		wi, ci := seq/len(cfgs), seq%len(cfgs)
@@ -236,6 +273,37 @@ func (a *Assembly) Add(seq int, c CellResult) error {
 	}
 	a.have[seq] = true
 	return nil
+}
+
+// AddChecked is Add with the full cell-identity contract enforced: the
+// received coordinates must match the plan's enumeration at m.Seq, and
+// the payload must have exactly the shape the cell's kind requires. A
+// streaming consumer fed by an untrusted (or faulty) backend uses this
+// so an alien or mangled cell is a typed ErrCorruptCell, never a wrong
+// slot written blindly.
+func (a *Assembly) AddChecked(m CellMeta, c CellResult) error {
+	if m.Seq < 0 || m.Seq >= len(a.have) {
+		return corruptCell(m.Seq, "exp: cell seq %d out of range [0, %d)", m.Seq, len(a.have))
+	}
+	want := a.p.Meta(m.Seq)
+	if m.Kind != want.Kind || m.Workload != want.Workload || m.Config != want.Config {
+		return corruptCell(m.Seq, "exp: cell %d identity %s|%s|%s does not match plan %s|%s|%s",
+			m.Seq, m.Kind, m.Workload, m.Config, want.Kind, want.Workload, want.Config)
+	}
+	switch want.Kind {
+	case CellPerf:
+		if c.Perf == nil {
+			return corruptCell(m.Seq, "exp: perf cell %d missing perf result", m.Seq)
+		}
+		if c.Footprint != 0 {
+			return corruptCell(m.Seq, "exp: perf cell %d carries a footprint payload", m.Seq)
+		}
+	case CellMem:
+		if c.Perf != nil {
+			return corruptCell(m.Seq, "exp: mem cell %d carries a perf payload", m.Seq)
+		}
+	}
+	return a.Add(m.Seq, c)
 }
 
 // Missing lists the sequence numbers not yet added, in order.
@@ -351,6 +419,7 @@ func (p ChaosPlan) RunCell(i int) chaos.Outcome {
 // ChaosAssembly folds streamed chaos outcomes back into campaign order.
 // Add is safe for concurrent use on distinct sequence numbers.
 type ChaosAssembly struct {
+	p        ChaosPlan
 	outcomes []chaos.Outcome
 	have     []bool
 }
@@ -358,21 +427,43 @@ type ChaosAssembly struct {
 // NewAssembly builds an empty assembly for the plan.
 func (p ChaosPlan) NewAssembly() *ChaosAssembly {
 	n := p.NumCells()
-	return &ChaosAssembly{outcomes: make([]chaos.Outcome, n), have: make([]bool, n)}
+	return &ChaosAssembly{p: p, outcomes: make([]chaos.Outcome, n), have: make([]bool, n)}
 }
 
-// Add records cell seq's outcome, rejecting out-of-range and duplicate
-// sequence numbers.
+// Add records cell seq's outcome, rejecting out-of-range
+// (ErrCorruptCell) and duplicate (ErrDuplicateCell) sequence numbers.
 func (a *ChaosAssembly) Add(seq int, o chaos.Outcome) error {
 	if seq < 0 || seq >= len(a.have) {
-		return fmt.Errorf("exp: chaos cell seq %d out of range [0, %d)", seq, len(a.have))
+		return corruptCell(seq, "exp: chaos cell seq %d out of range [0, %d)", seq, len(a.have))
 	}
 	if a.have[seq] {
-		return fmt.Errorf("exp: duplicate chaos cell seq %d", seq)
+		return duplicateCell(seq, "exp: duplicate chaos cell seq %d", seq)
 	}
 	a.outcomes[seq] = o
 	a.have[seq] = true
 	return nil
+}
+
+// AddChecked is Add with the cell-identity contract enforced: the
+// received coordinates must match the plan's enumeration at m.Seq, and
+// the outcome's own (scheme, fault, seed) must be the exact cell the
+// plan put there — a hostile or corrupted backend cannot smuggle a
+// different cell's outcome into the slot.
+func (a *ChaosAssembly) AddChecked(m CellMeta, o chaos.Outcome) error {
+	if m.Seq < 0 || m.Seq >= len(a.have) {
+		return corruptCell(m.Seq, "exp: chaos cell seq %d out of range [0, %d)", m.Seq, len(a.have))
+	}
+	want := a.p.Meta(m.Seq)
+	if m.Kind != want.Kind || m.Workload != want.Workload || m.Config != want.Config {
+		return corruptCell(m.Seq, "exp: chaos cell %d identity %s|%s|%s does not match plan %s|%s|%s",
+			m.Seq, m.Kind, m.Workload, m.Config, want.Kind, want.Workload, want.Config)
+	}
+	s, f, seed := a.p.coords(m.Seq)
+	if o.Scheme != s || o.Fault != f || o.Seed != seed {
+		return corruptCell(m.Seq, "exp: chaos cell %d outcome coordinates (%s,%s,%d) do not match plan (%s,%s,%d)",
+			m.Seq, o.Scheme, o.Fault, o.Seed, s, f, seed)
+	}
+	return a.Add(m.Seq, o)
 }
 
 // Missing lists the sequence numbers not yet added, in order.

@@ -1,9 +1,11 @@
 package exp
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
+	"infat/internal/chaos"
 	"infat/internal/pool"
 	"infat/internal/workloads"
 )
@@ -149,6 +151,112 @@ func TestAssemblyValidation(t *testing.T) {
 	}
 	if _, err := a.Report(); err == nil || !strings.Contains(err.Error(), "incomplete") {
 		t.Errorf("incomplete Report error = %v", err)
+	}
+}
+
+// TestAddCheckedCellContract pins the trust boundary a streaming
+// consumer relies on: AddChecked must reject any cell whose identity or
+// payload shape disagrees with the plan's own enumeration, as a typed
+// ErrCorruptCell — and a repeated valid cell as ErrDuplicateCell, never
+// the other sentinel.
+func TestAddCheckedCellContract(t *testing.T) {
+	ws := cellTestWorkloads(t)
+	p := NewReportPlan(ws, 1, MemScale)
+	a := p.NewAssembly()
+	perf := CellResult{Perf: &ModeResult{}}
+
+	// Out-of-campaign sequence numbers, positive and negative.
+	for _, seq := range []int{-1, p.NumCells(), p.NumCells() + 100000} {
+		err := a.AddChecked(CellMeta{Seq: seq, Kind: CellPerf}, perf)
+		if !errors.Is(err, ErrCorruptCell) {
+			t.Errorf("alien seq %d: err = %v, want ErrCorruptCell", seq, err)
+		}
+	}
+
+	// Identity that disagrees with the plan's enumeration at that seq:
+	// wrong kind, wrong workload, wrong config — each must be corrupt.
+	good := p.Meta(0)
+	for name, m := range map[string]CellMeta{
+		"kind":     {Seq: 0, Kind: CellMem, Workload: good.Workload, Config: good.Config},
+		"workload": {Seq: 0, Kind: good.Kind, Workload: "alien", Config: good.Config},
+		"config":   {Seq: 0, Kind: good.Kind, Workload: good.Workload, Config: "alien"},
+	} {
+		if err := a.AddChecked(m, perf); !errors.Is(err, ErrCorruptCell) {
+			t.Errorf("mismatched %s: err = %v, want ErrCorruptCell", name, err)
+		}
+	}
+
+	// Payload shape: a perf cell without a perf result, a perf cell
+	// smuggling a footprint, a mem cell smuggling a perf result.
+	memMeta := p.Meta(p.NumCells() - 1)
+	for name, bad := range map[string]struct {
+		m CellMeta
+		c CellResult
+	}{
+		"perf cell missing perf":     {good, CellResult{}},
+		"perf cell with footprint":   {good, CellResult{Perf: &ModeResult{}, Footprint: 7}},
+		"mem cell with perf payload": {memMeta, perf},
+	} {
+		if err := a.AddChecked(bad.m, bad.c); !errors.Is(err, ErrCorruptCell) {
+			t.Errorf("%s: err = %v, want ErrCorruptCell", name, err)
+		}
+	}
+
+	// Nothing above may have landed in a slot.
+	if n := len(a.Missing()); n != p.NumCells() {
+		t.Fatalf("rejected cells filled slots: %d missing, want %d", n, p.NumCells())
+	}
+
+	// A valid cell passes; its repeat is a duplicate, not a corruption,
+	// and the two sentinels stay distinct.
+	if err := a.AddChecked(good, perf); err != nil {
+		t.Fatalf("valid AddChecked: %v", err)
+	}
+	err := a.AddChecked(good, perf)
+	if !errors.Is(err, ErrDuplicateCell) {
+		t.Fatalf("repeat AddChecked err = %v, want ErrDuplicateCell", err)
+	}
+	if errors.Is(err, ErrCorruptCell) {
+		t.Error("duplicate also matches ErrCorruptCell: sentinels not distinct")
+	}
+	var cerr *cellContractError
+	if !errors.As(err, &cerr) || cerr.Seq() != good.Seq {
+		t.Errorf("contract error seq = %v, want %d", err, good.Seq)
+	}
+}
+
+// TestChaosAddCheckedOutcomeCoordinates: a chaos cell whose outcome's
+// own (scheme, fault, seed) disagrees with the plan slot is corrupt —
+// a hostile backend cannot smuggle one cell's outcome into another's
+// slot even with a perfectly matching envelope.
+func TestChaosAddCheckedOutcomeCoordinates(t *testing.T) {
+	p := NewChaosPlan(1)
+	a := p.NewAssembly()
+	s, f, seed := p.coords(0)
+	good := chaos.Outcome{Scheme: s, Fault: f, Seed: seed}
+
+	if err := a.AddChecked(CellMeta{Seq: p.NumCells() + 100000, Kind: CellChaos}, good); !errors.Is(err, ErrCorruptCell) {
+		t.Errorf("alien seq: err = %v, want ErrCorruptCell", err)
+	}
+	m := p.Meta(0)
+	if err := a.AddChecked(CellMeta{Seq: 0, Kind: CellChaos, Workload: "alien", Config: m.Config}, good); !errors.Is(err, ErrCorruptCell) {
+		t.Errorf("mismatched envelope: err = %v, want ErrCorruptCell", err)
+	}
+	// Envelope matches the plan, outcome coordinates do not.
+	for name, o := range map[string]chaos.Outcome{
+		"scheme": {Scheme: s + 1, Fault: f, Seed: seed},
+		"fault":  {Scheme: s, Fault: f + 1, Seed: seed},
+		"seed":   {Scheme: s, Fault: f, Seed: seed + 1},
+	} {
+		if err := a.AddChecked(m, o); !errors.Is(err, ErrCorruptCell) {
+			t.Errorf("smuggled %s: err = %v, want ErrCorruptCell", name, err)
+		}
+	}
+	if err := a.AddChecked(m, good); err != nil {
+		t.Fatalf("valid chaos AddChecked: %v", err)
+	}
+	if err := a.AddChecked(m, good); !errors.Is(err, ErrDuplicateCell) {
+		t.Fatalf("repeat chaos AddChecked err = %v, want ErrDuplicateCell", err)
 	}
 }
 

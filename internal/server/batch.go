@@ -132,6 +132,14 @@ type BatchCell struct {
 	Error  string          `json:"error,omitempty"`
 }
 
+// Meta returns the cell's identity as received — the envelope a checked
+// assembly (exp.Assembly.AddChecked, exp.ChaosAssembly.AddChecked)
+// verifies against the plan's own enumeration before folding the
+// payload in.
+func (c BatchCell) Meta() exp.CellMeta {
+	return exp.CellMeta{Seq: c.Seq, Kind: c.Kind, Workload: c.Workload, Config: c.Config}
+}
+
 // BatchTrailer is the final NDJSON line of a batch stream: the stream's
 // own accounting, distinguished from cells by done=true. A client that
 // never sees a trailer received a truncated stream.

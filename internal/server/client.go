@@ -249,6 +249,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, r
 	if body != nil {
 		hreq.Header.Set("Content-Type", "application/json")
 	}
+	SetDeadlineHeader(hreq.Header, ctx)
 	hc := c.HTTP
 	if hc == nil {
 		hc = http.DefaultClient

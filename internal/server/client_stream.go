@@ -80,6 +80,7 @@ func (c *Client) streamOnce(ctx context.Context, path string, body []byte, onLin
 		return 0, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	SetDeadlineHeader(hreq.Header, ctx)
 	hc := c.HTTP
 	if hc == nil {
 		hc = http.DefaultClient

@@ -1,0 +1,67 @@
+package server
+
+// Cross-process deadline propagation. A context deadline dies at the
+// process boundary: the shard's context cancels its *own* outgoing
+// request when the client hangs up, but the backend has no idea how much
+// budget the original caller actually has left — it would happily start
+// a simulation the client stopped waiting for seconds ago. The
+// DeadlineHeader carries the remaining budget downstream explicitly:
+// the client stamps it from its context, the shard re-derives its own
+// context from it (so the shard's outgoing calls re-stamp a fresher,
+// smaller value), and the backend clamps its per-request timeout to it.
+// The result is one deadline, honoured end to end, with each hop only
+// ever shrinking it.
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// DeadlineHeader propagates the caller's remaining deadline budget, in
+// whole milliseconds, from client through shard to backend. A hop that
+// receives it clamps its own per-request timeout down to the value —
+// never up: the header can only shrink a budget, so a client cannot use
+// it to outstay the operator's configured deadline.
+const DeadlineHeader = "X-Ifp-Deadline-Ms"
+
+// maxPropagatedDeadline bounds the header value a server honours, so a
+// nonsense value cannot install a multi-day context timer per request.
+const maxPropagatedDeadline = 24 * time.Hour
+
+// SetDeadlineHeader stamps ctx's remaining budget onto h when ctx has a
+// deadline (and drops the header otherwise, so a stale value from a
+// reused header map never outlives the context that set it). An
+// already-expired deadline is stamped as 1ms rather than omitted: the
+// receiver should reject promptly, not run the full request.
+func SetDeadlineHeader(h http.Header, ctx context.Context) {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		h.Del(DeadlineHeader)
+		return
+	}
+	ms := time.Until(dl).Milliseconds()
+	if ms < 1 {
+		ms = 1
+	}
+	h.Set(DeadlineHeader, strconv.FormatInt(ms, 10))
+}
+
+// ParseDeadlineHeader decodes a DeadlineHeader value into a duration.
+// Absent, malformed, or non-positive values mean "no propagated
+// deadline" (0); oversized values are capped at maxPropagatedDeadline.
+func ParseDeadlineHeader(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	ms, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || ms <= 0 {
+		return 0
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d > maxPropagatedDeadline {
+		d = maxPropagatedDeadline
+	}
+	return d
+}

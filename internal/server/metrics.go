@@ -41,11 +41,12 @@ type metrics struct {
 	batchCellErrors atomic.Uint64 // cells that ended in an error line
 	batchCancelled  atomic.Uint64 // streams truncated by disconnect/deadline
 
-	inFlight       atomic.Int64
-	badRequests    atomic.Uint64 // malformed/rejected request bodies (4xx)
-	rejected       atomic.Uint64 // admission control: deadline hit while queued
-	deadline       atomic.Uint64 // deadline hit while simulating
-	internalPanics atomic.Uint64 // worker panics recovered into 500s (simulator bugs)
+	inFlight           atomic.Int64
+	badRequests        atomic.Uint64 // malformed/rejected request bodies (4xx)
+	rejected           atomic.Uint64 // admission control: deadline hit while queued
+	deadline           atomic.Uint64 // deadline hit while simulating
+	deadlinePropagated atomic.Uint64 // requests whose timeout was clamped by DeadlineHeader
+	internalPanics     atomic.Uint64 // worker panics recovered into 500s (simulator bugs)
 
 	trapSpatial  atomic.Uint64
 	trapTemporal atomic.Uint64 // generation-tagging detections (UAF / double free)
@@ -132,10 +133,11 @@ func (s *Server) snapshot() MetricsSnapshot {
 		Requests: req,
 		InFlight: m.inFlight.Load(),
 		Admission: map[string]uint64{
-			"bad_request":     m.badRequests.Load(),
-			"rejected":        m.rejected.Load(),
-			"deadline":        m.deadline.Load(),
-			"internal_panics": m.internalPanics.Load(),
+			"bad_request":         m.badRequests.Load(),
+			"rejected":            m.rejected.Load(),
+			"deadline":            m.deadline.Load(),
+			"deadline_propagated": m.deadlinePropagated.Load(),
+			"internal_panics":     m.internalPanics.Load(),
 		},
 		Cache: map[string]uint64{
 			"hits":      hits,

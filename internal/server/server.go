@@ -192,7 +192,10 @@ func (s *Server) instrument(counter interface{ Add(uint64) uint64 }, deadline bo
 }
 
 // instrumentTimeout is instrument with an explicit deadline (0 = none);
-// the streaming batch endpoints run under their own, longer budget.
+// the streaming batch endpoints run under their own, longer budget. A
+// propagated client deadline (DeadlineHeader) clamps the configured
+// timeout down — never up — so the worker gives up the moment the
+// original caller would, instead of simulating into the void.
 func (s *Server) instrumentTimeout(counter interface{ Add(uint64) uint64 }, timeout time.Duration, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		counter.Add(1)
@@ -202,8 +205,13 @@ func (s *Server) instrumentTimeout(counter interface{ Add(uint64) uint64 }, time
 			s.metrics.inFlight.Add(-1)
 			s.metrics.observeLatency(time.Since(start))
 		}()
-		if timeout > 0 {
-			ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		effective := timeout
+		if d := ParseDeadlineHeader(r.Header.Get(DeadlineHeader)); d > 0 && timeout > 0 && d < timeout {
+			effective = d
+			s.metrics.deadlinePropagated.Add(1)
+		}
+		if effective > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), effective)
 			defer cancel()
 			r = r.WithContext(ctx)
 		}

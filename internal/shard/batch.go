@@ -9,10 +9,21 @@ package shard
 // the identical report either way.
 //
 // Draining: when a backend's stream fails (transport error, truncated
-// stream), the cells it never delivered are re-scattered over the
-// surviving backends, up to one round per backend. Cells that no
-// backend can run are emitted as error cells, so the stream still ends
-// with an honest trailer.
+// stream, corrupt line), the cells it never delivered are re-scattered
+// over the surviving backends, up to one round per backend. Within a
+// round, cells still undelivered HedgeAfter into the dispatch are
+// hedged — re-sent to a second backend while the primary keeps running
+// — and whichever answer lands first wins (seq dedup drops the other).
+// Cells that no backend can run are emitted as error cells, so the
+// stream still ends with an honest trailer.
+//
+// Trust boundary: backend stream lines are validated, not relayed
+// blindly. A line must decode, carry a seq the backend was actually
+// assigned, match the plan's cell identity for that seq, and have the
+// right payload shape — anything else is ErrCorruptLine, which fails
+// the relay and reassigns the backend's remaining cells. Validation is
+// what makes hedging and failover safe against a byte-corrupting
+// backend, not just a dead one.
 
 import (
 	"context"
@@ -22,10 +33,18 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"infat/internal/exp"
 	"infat/internal/server"
 )
+
+// ErrCorruptLine reports a backend stream line that failed validation:
+// undecodable JSON, a seq outside the backend's assigned part, a cell
+// identity that contradicts the plan, or a malformed payload. The relay
+// treats it like a transport failure — the backend's remaining cells
+// get a new home — and never forwards the line to the client.
+var ErrCorruptLine = errors.New("shard: corrupt stream line")
 
 // campaignPlan is the slice of exp.Plan / exp.ChaosPlan the fan-out
 // needs: the cell count, each cell's routing key, and its identity for
@@ -150,14 +169,18 @@ func (s *Shard) streamScattered(w http.ResponseWriter, r *http.Request, path str
 			flusher.Flush()
 		}
 	}
-	// deliver merges one relayed cell line: deduplicated on seq (a
-	// backend that errored after delivering some cells gets only its
-	// missing cells reassigned, but dedup keeps even a misbehaving
-	// backend from corrupting the merged stream).
+	// deliver merges one relayed cell line: deduplicated on seq. Dedup is
+	// the invariant that makes hedging and reassignment safe — whichever
+	// copy of a cell arrives first wins, every later copy (hedge answer,
+	// duplicated backend line) is counted and dropped.
 	deliver := func(seq int, line []byte, isErr bool) {
 		mu.Lock()
 		defer mu.Unlock()
-		if seq < 0 || seq >= len(received) || received[seq] {
+		if seq < 0 || seq >= len(received) {
+			return
+		}
+		if received[seq] {
+			s.metrics.dupSuppressed.Add(1)
 			return
 		}
 		received[seq] = true
@@ -170,15 +193,46 @@ func (s *Shard) streamScattered(w http.ResponseWriter, r *http.Request, path str
 		emitLocked(line)
 	}
 
-	pending := cells
+	var exMu sync.Mutex
 	excluded := make(map[int]bool, len(s.backends))
+	isExcluded := func(b int) bool {
+		exMu.Lock()
+		defer exMu.Unlock()
+		return excluded[b]
+	}
+	// runPart relays one backend's cell subset under the relay timeout,
+	// feeding the health verdict and breaker with the outcome. A failed
+	// relay excludes the backend for the rest of this campaign — its
+	// undelivered cells are picked up by the next round.
+	runPart := func(wg *sync.WaitGroup, bi int, part []int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rctx := ctx
+			if s.cfg.RelayTimeout > 0 {
+				var cancel context.CancelFunc
+				rctx, cancel = context.WithTimeout(ctx, s.cfg.RelayTimeout)
+				defer cancel()
+			}
+			if err := s.relayStream(rctx, s.backends[bi], path, plan, part, subReq(part), deliver); err != nil {
+				s.noteFailure(s.backends[bi])
+				exMu.Lock()
+				excluded[bi] = true
+				exMu.Unlock()
+				return
+			}
+			s.noteSuccess(s.backends[bi])
+		}()
+	}
+
+	pending := cells
 	for round := 0; round <= len(s.backends) && len(pending) > 0 && ctx.Err() == nil; round++ {
 		if round > 0 {
 			s.metrics.reassignedCells.Add(uint64(len(pending)))
 		}
 		parts := make(map[int][]int)
 		for _, i := range pending {
-			bi := s.ring.owner(plan.Key(i), func(b int) bool { return !excluded[b] && s.backends[b].isUp() })
+			bi := s.ring.owner(plan.Key(i), func(b int) bool { return !excluded[b] && s.backends[b].eligible() })
 			if bi < 0 {
 				continue // orphan: retried next round if a backend recovers, else error cell
 			}
@@ -188,20 +242,56 @@ func (s *Shard) streamScattered(w http.ResponseWriter, r *http.Request, path str
 			break
 		}
 		var wg sync.WaitGroup
-		var exMu sync.Mutex
 		for bi, part := range parts {
-			wg.Add(1)
-			go func(bi int, part []int) {
-				defer wg.Done()
-				if err := s.relayStream(ctx, s.backends[bi], path, subReq(part), deliver); err != nil {
-					s.noteFailure(s.backends[bi])
-					exMu.Lock()
-					excluded[bi] = true
-					exMu.Unlock()
+			runPart(&wg, bi, part)
+		}
+		// Hedge watchdog: if stragglers remain HedgeAfter into the round,
+		// re-dispatch each undelivered cell to a backend other than its
+		// primary. The primary keeps running — first answer wins, dedup
+		// absorbs the loser — so a stalled-but-alive backend costs the
+		// campaign one hedge budget, not a relay timeout.
+		roundDone := make(chan struct{})
+		var hedgeWG sync.WaitGroup
+		if s.cfg.HedgeAfter > 0 && len(s.backends) > 1 {
+			hedgeWG.Add(1)
+			go func() {
+				defer hedgeWG.Done()
+				t := time.NewTimer(s.cfg.HedgeAfter)
+				defer t.Stop()
+				select {
+				case <-roundDone:
+					return
+				case <-ctx.Done():
+					return
+				case <-t.C:
 				}
-			}(bi, part)
+				hedgeParts := make(map[int][]int)
+				mu.Lock()
+				for bi, part := range parts {
+					for _, i := range part {
+						if received[i] {
+							continue
+						}
+						hb := s.ring.owner(plan.Key(i), func(b int) bool {
+							return b != bi && !isExcluded(b) && s.backends[b].eligible()
+						})
+						if hb >= 0 {
+							hedgeParts[hb] = append(hedgeParts[hb], i)
+						}
+					}
+				}
+				mu.Unlock()
+				var hwg sync.WaitGroup
+				for bi, part := range hedgeParts {
+					s.metrics.hedgedCells.Add(uint64(len(part)))
+					runPart(&hwg, bi, part)
+				}
+				hwg.Wait()
+			}()
 		}
 		wg.Wait()
+		close(roundDone)
+		hedgeWG.Wait()
 		var rest []int
 		mu.Lock()
 		for _, i := range pending {
@@ -216,8 +306,9 @@ func (s *Shard) streamScattered(w http.ResponseWriter, r *http.Request, path str
 	if ctx.Err() != nil {
 		return // client gone: truncated stream, no trailer
 	}
-	// Cells nobody could run become explicit error cells, so the client
-	// sees a complete, honest accounting instead of silent gaps.
+	// Cells nobody could run are shed: emitted as explicit error cells,
+	// so the client sees a complete, honest accounting instead of silent
+	// gaps.
 	for _, i := range pending {
 		m := plan.Meta(i)
 		cell := server.BatchCell{Seq: m.Seq, Kind: m.Kind, Workload: m.Workload, Config: m.Config,
@@ -226,6 +317,7 @@ func (s *Shard) streamScattered(w http.ResponseWriter, r *http.Request, path str
 		if !received[i] {
 			received[i] = true
 			failed++
+			s.metrics.shedCells.Add(1)
 			emitLocked(mustShardJSON(cell))
 		}
 		mu.Unlock()
@@ -240,26 +332,41 @@ func (s *Shard) streamScattered(w http.ResponseWriter, r *http.Request, path str
 	}))
 }
 
-// relayStream consumes one backend's NDJSON stream, handing every cell
-// line (with its decoded seq) to deliver. It fails on transport errors,
-// protocol violations, and truncation — the cases where the backend's
-// remaining cells need a new home.
-func (s *Shard) relayStream(ctx context.Context, b *backend, path string, req any, deliver func(seq int, line []byte, isErr bool)) error {
+// relayStream consumes one backend's NDJSON stream, validating every
+// cell line against the plan and the backend's assigned part before
+// handing it to deliver. It fails on transport errors, truncation, and
+// corrupt lines — the cases where the backend's remaining cells need a
+// new home. Valid lines are relayed byte-for-byte, so the client's
+// reassembled report stays identical to a serial run's.
+func (s *Shard) relayStream(ctx context.Context, b *backend, path string, plan campaignPlan, part []int, req any, deliver func(seq int, line []byte, isErr bool)) error {
+	assigned := make(map[int]bool, len(part))
+	for _, i := range part {
+		assigned[i] = true
+	}
+	isChaos := path == server.ChaosPath
 	sawTrailer := false
 	err := b.client.StreamNDJSON(ctx, path, req, func(line []byte) error {
 		var probe struct {
-			Done  bool   `json:"done"`
-			Seq   int    `json:"seq"`
-			Error string `json:"error"`
+			Done bool `json:"done"`
 		}
 		if err := json.Unmarshal(line, &probe); err != nil {
-			return fmt.Errorf("shard: bad stream line from %s: %w", b.url, err)
+			s.metrics.corruptLines.Add(1)
+			return fmt.Errorf("shard: %s: %w: undecodable line: %v", b.url, ErrCorruptLine, err)
 		}
 		if probe.Done {
 			sawTrailer = true
 			return nil
 		}
-		deliver(probe.Seq, line, probe.Error != "")
+		var cell server.BatchCell
+		if err := json.Unmarshal(line, &cell); err != nil {
+			s.metrics.corruptLines.Add(1)
+			return fmt.Errorf("shard: %s: %w: undecodable cell: %v", b.url, ErrCorruptLine, err)
+		}
+		if err := validateCell(plan, assigned, &cell, isChaos); err != nil {
+			s.metrics.corruptLines.Add(1)
+			return fmt.Errorf("shard: %s: %w: %v", b.url, ErrCorruptLine, err)
+		}
+		deliver(cell.Seq, line, cell.Error != "")
 		return nil
 	})
 	if err != nil {
@@ -267,6 +374,35 @@ func (s *Shard) relayStream(ctx context.Context, b *backend, path string, req an
 	}
 	if !sawTrailer {
 		return fmt.Errorf("shard: %s: %w", b.url, server.ErrTruncatedStream)
+	}
+	return nil
+}
+
+// validateCell enforces the stream contract on one decoded cell line: a
+// seq the backend was assigned (which implies in-plan range), the
+// plan's identity for that seq, and a payload whose shape matches the
+// campaign type. A violation means the backend answered a question it
+// was not asked — a corrupted stream, not a failed simulation.
+func validateCell(plan campaignPlan, assigned map[int]bool, cell *server.BatchCell, isChaos bool) error {
+	if !assigned[cell.Seq] {
+		return fmt.Errorf("cell seq %d not in this backend's assignment", cell.Seq)
+	}
+	m := plan.Meta(cell.Seq)
+	if cell.Kind != m.Kind || cell.Workload != m.Workload || cell.Config != m.Config {
+		return fmt.Errorf("cell seq %d identity %s|%s|%s contradicts plan %s|%s|%s",
+			cell.Seq, cell.Kind, cell.Workload, cell.Config, m.Kind, m.Workload, m.Config)
+	}
+	if cell.Error != "" {
+		return nil // error cells carry no payload
+	}
+	if isChaos {
+		if cell.Chaos == nil || cell.Result != nil {
+			return fmt.Errorf("cell seq %d has a malformed chaos payload", cell.Seq)
+		}
+		return nil
+	}
+	if cell.Result == nil || cell.Chaos != nil {
+		return fmt.Errorf("cell seq %d has a malformed result payload", cell.Seq)
 	}
 	return nil
 }

@@ -40,6 +40,17 @@ const (
 	DefaultHealthTimeout  = 2 * time.Second
 	DefaultDownAfter      = 2
 	DefaultMaxBodyBytes   = 8 << 20
+	// DefaultHedgeAfter is the straggler budget per scatter round: cells
+	// still undelivered this long after dispatch are hedged to a second
+	// backend (dedup-by-seq makes the duplicate answer safe to absorb).
+	DefaultHedgeAfter = 10 * time.Second
+	// DefaultRelayTimeout bounds one backend relay stream, so a backend
+	// that accepts the campaign and then stalls (a blackhole, not a
+	// crash) is cut off and its cells reassigned rather than hanging the
+	// whole merged stream.
+	DefaultRelayTimeout = 2 * time.Minute
+	// DefaultSeed seeds the shard's deterministic jitter stream.
+	DefaultSeed = 1
 )
 
 // Config parameterizes a Shard. Backends is required; every other zero
@@ -61,6 +72,22 @@ type Config struct {
 	DownAfter int
 	// MaxBodyBytes bounds proxied request bodies (0 = DefaultMaxBodyBytes).
 	MaxBodyBytes int64
+	// BreakerThreshold is the consecutive request failures that open a
+	// backend's circuit breaker (0 = DefaultBreakerThreshold).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker refuses traffic before
+	// admitting one half-open probe (0 = DefaultBreakerCooldown).
+	BreakerCooldown time.Duration
+	// HedgeAfter is the straggler budget before undelivered batch cells
+	// are hedged to a second backend (0 = DefaultHedgeAfter, < 0 disables
+	// hedging).
+	HedgeAfter time.Duration
+	// RelayTimeout bounds one backend relay stream during a batch
+	// fan-out (0 = DefaultRelayTimeout, < 0 disables the bound).
+	RelayTimeout time.Duration
+	// Seed seeds the shard's deterministic jitter (probe
+	// desynchronization). 0 = DefaultSeed, so runs reproduce by default.
+	Seed uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +106,21 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if c.HedgeAfter == 0 {
+		c.HedgeAfter = DefaultHedgeAfter
+	}
+	if c.RelayTimeout == 0 {
+		c.RelayTimeout = DefaultRelayTimeout
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
 	return c
 }
 
@@ -92,9 +134,17 @@ type backend struct {
 	// backend starts draining before the next probe tick.
 	fails atomic.Int32
 	up    atomic.Bool
+	// brk is the request-side circuit breaker; routing eligibility is
+	// isUp() && brk.allow(), so either signal drains the backend.
+	brk *breaker
 }
 
 func (b *backend) isUp() bool { return b.up.Load() }
+
+// eligible is the routing predicate shared by the unary and batch
+// paths. It mutates (a half-open breaker reserves its probe slot), so
+// callers must actually send to a backend this admits.
+func (b *backend) eligible() bool { return b.isUp() && b.brk.allow() }
 
 // shardMetrics are the front tier's own counters, reported under
 // "shard" in /metrics alongside the backend aggregate.
@@ -105,6 +155,10 @@ type shardMetrics struct {
 	batchStreams    atomic.Uint64 // batch/grid/chaos fan-outs started
 	batchCells      atomic.Uint64 // cells merged into client streams
 	reassignedCells atomic.Uint64 // cells re-scattered after a backend loss
+	hedgedCells     atomic.Uint64 // straggler cells re-dispatched to a second backend
+	shedCells       atomic.Uint64 // cells emitted as error cells (no backend could run them)
+	corruptLines    atomic.Uint64 // backend stream lines rejected by validation
+	dupSuppressed   atomic.Uint64 // duplicate cell lines dropped by seq dedup
 	transitions     atomic.Uint64 // backend up/down state changes
 }
 
@@ -139,7 +193,11 @@ func New(cfg Config) (*Shard, error) {
 			return nil, fmt.Errorf("shard: duplicate backend %q", u)
 		}
 		seen[u] = true
-		b := &backend{url: u, client: server.NewClient(u)}
+		b := &backend{
+			url:    u,
+			client: server.NewClient(u),
+			brk:    newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		}
 		b.up.Store(true)
 		s.backends = append(s.backends, b)
 	}
@@ -155,8 +213,12 @@ func New(cfg Config) (*Shard, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 
-	s.wg.Add(1)
-	go s.healthLoop()
+	// One probe loop per backend, each with its own seeded jitter stream,
+	// so probes never tick in lockstep across the fleet.
+	for i := range s.backends {
+		s.wg.Add(1)
+		go s.probeLoop(i, s.backends[i])
+	}
 	return s, nil
 }
 
@@ -166,8 +228,19 @@ func (s *Shard) Close() {
 	s.wg.Wait()
 }
 
-// ServeHTTP dispatches to the front-tier handlers.
-func (s *Shard) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP dispatches to the front-tier handlers. A propagated client
+// deadline (server.DeadlineHeader) becomes this request's context
+// deadline, so every outgoing call the handlers make re-stamps the
+// shrinking remainder downstream — the shard is a hop in the deadline
+// chain, not a reset point.
+func (s *Shard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if d := server.ParseDeadlineHeader(r.Header.Get(server.DeadlineHeader)); d > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 // UpBackends returns the URLs currently routed to, for observability.
 func (s *Shard) UpBackends() []string {
@@ -180,11 +253,15 @@ func (s *Shard) UpBackends() []string {
 	return up
 }
 
-// healthLoop probes every backend each interval. Probes run
-// concurrently so one hung backend cannot delay the others' verdicts.
-func (s *Shard) healthLoop() {
+// probeLoop health-checks one backend forever. Each backend has its own
+// loop and jitter stream: the delay between probes is the interval plus
+// seeded jitter, doubled per consecutive failure (see probeDelay), so
+// fleet probes are desynchronized and a dead backend is probed with
+// backoff instead of hammered every tick.
+func (s *Shard) probeLoop(idx int, b *backend) {
 	defer s.wg.Done()
-	t := time.NewTicker(s.cfg.HealthInterval)
+	rng := newPrng(s.cfg.Seed + uint64(idx)*0x9E3779B97F4A7C15)
+	t := time.NewTimer(probeDelay(s.cfg.HealthInterval, 0, rng))
 	defer t.Stop()
 	for {
 		select {
@@ -192,15 +269,8 @@ func (s *Shard) healthLoop() {
 			return
 		case <-t.C:
 		}
-		var wg sync.WaitGroup
-		for _, b := range s.backends {
-			wg.Add(1)
-			go func(b *backend) {
-				defer wg.Done()
-				s.probe(b)
-			}(b)
-		}
-		wg.Wait()
+		s.probe(b)
+		t.Reset(probeDelay(s.cfg.HealthInterval, int(b.fails.Load()), rng))
 	}
 }
 
@@ -213,20 +283,30 @@ func (s *Shard) probe(b *backend) {
 		s.noteFailure(b)
 		return
 	}
+	s.noteSuccess(b)
+}
+
+// noteSuccess records one successful probe or proxied exchange: the
+// failure streak resets, the backend rejoins the ring, and its breaker
+// closes.
+func (s *Shard) noteSuccess(b *backend) {
 	b.fails.Store(0)
 	if !b.up.Swap(true) {
 		s.metrics.transitions.Add(1)
 	}
+	b.brk.onSuccess()
 }
 
-// noteFailure records one failed probe or proxied transport error and
-// marks the backend down at the DownAfter threshold.
+// noteFailure records one failed probe or proxied transport error: it
+// counts toward both the health verdict (down at DownAfter) and the
+// circuit breaker (open at BreakerThreshold).
 func (s *Shard) noteFailure(b *backend) {
 	if int(b.fails.Add(1)) >= s.cfg.DownAfter {
 		if b.up.Swap(false) {
 			s.metrics.transitions.Add(1)
 		}
 	}
+	b.brk.onFailure()
 }
 
 // routeKey computes the unary routing keys. Namespaced so a workload
@@ -309,7 +389,7 @@ func (s *Shard) proxy(w http.ResponseWriter, r *http.Request, key, path string, 
 	tried := make(map[int]bool)
 	first := true
 	for {
-		bi := s.ring.owner(key, func(i int) bool { return !tried[i] && s.backends[i].isUp() })
+		bi := s.ring.owner(key, func(i int) bool { return !tried[i] && s.backends[i].eligible() })
 		if bi < 0 {
 			s.metrics.noBackend.Add(1)
 			writeShardError(w, http.StatusBadGateway, errors.New("no backend available"))
@@ -347,6 +427,10 @@ func (s *Shard) forward(w http.ResponseWriter, r *http.Request, b *backend, path
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// Re-stamp the remaining deadline budget for the backend: the shard's
+	// context already carries the client's propagated deadline (if any),
+	// so the value sent downstream only ever shrinks.
+	server.SetDeadlineHeader(req.Header, r.Context())
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		if r.Context().Err() != nil {
@@ -357,6 +441,7 @@ func (s *Shard) forward(w http.ResponseWriter, r *http.Request, b *backend, path
 		return false
 	}
 	defer resp.Body.Close()
+	s.noteSuccess(b)
 	for _, h := range []string{"Content-Type", server.CacheHeader, server.RetryAfterHeader} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
@@ -390,12 +475,23 @@ func (s *Shard) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // MetricsResponse is the shard's GET /metrics body: the front tier's
-// own counters, the summed backend snapshot, and each backend's raw
-// snapshot (or probe error) keyed by URL.
+// own counters, each backend's breaker/health state, the summed backend
+// snapshot, and each backend's raw snapshot (or probe error) keyed by
+// URL.
 type MetricsResponse struct {
-	Shard     map[string]uint64      `json:"shard"`
-	Aggregate server.MetricsSnapshot `json:"aggregate"`
-	Backends  map[string]any         `json:"backends"`
+	Shard     map[string]uint64        `json:"shard"`
+	Breakers  map[string]BreakerStatus `json:"breakers"`
+	Aggregate server.MetricsSnapshot   `json:"aggregate"`
+	Backends  map[string]any           `json:"backends"`
+}
+
+// BreakerStatus is one backend's routing state in /metrics: the circuit
+// breaker's state machine position and consecutive-failure count, plus
+// the health-probe up/down verdict.
+type BreakerStatus struct {
+	State string `json:"state"` // closed | open | half-open
+	Fails int    `json:"fails"`
+	Up    bool   `json:"up"`
 }
 
 func (s *Shard) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -407,10 +503,19 @@ func (s *Shard) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"batch_streams":    s.metrics.batchStreams.Load(),
 			"batch_cells":      s.metrics.batchCells.Load(),
 			"reassigned_cells": s.metrics.reassignedCells.Load(),
+			"hedged_cells":     s.metrics.hedgedCells.Load(),
+			"shed_cells":       s.metrics.shedCells.Load(),
+			"corrupt_lines":    s.metrics.corruptLines.Load(),
+			"dup_suppressed":   s.metrics.dupSuppressed.Load(),
 			"transitions":      s.metrics.transitions.Load(),
 			"backends_up":      uint64(len(s.UpBackends())),
 		},
+		Breakers: make(map[string]BreakerStatus, len(s.backends)),
 		Backends: make(map[string]any, len(s.backends)),
+	}
+	for _, b := range s.backends {
+		state, fails := b.brk.snapshot()
+		resp.Breakers[b.url] = BreakerStatus{State: state, Fails: fails, Up: b.isUp()}
 	}
 	type scraped struct {
 		url  string

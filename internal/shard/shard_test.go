@@ -257,6 +257,273 @@ func TestShardSubsetAndValidation(t *testing.T) {
 	}
 }
 
+// TestBreakerStateMachine drives the full circuit:
+// closed → open at the failure threshold → half-open after the cooldown
+// (exactly one probe slot) → closed on probe success, reopened on probe
+// failure. The clock is injected so every transition is deterministic.
+func TestBreakerStateMachine(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	b := newBreaker(2, time.Minute)
+	b.now = func() time.Time { return clock }
+
+	if !b.allow() {
+		t.Fatal("closed breaker refused traffic")
+	}
+	b.onFailure()
+	if st, fails := b.snapshot(); st != BreakerClosed || fails != 1 {
+		t.Fatalf("after 1 failure: state=%s fails=%d", st, fails)
+	}
+	b.onFailure() // hits threshold
+	if st, _ := b.snapshot(); st != BreakerOpen {
+		t.Fatalf("after threshold failures: state=%s, want open", st)
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted traffic inside the cooldown")
+	}
+
+	clock = clock.Add(time.Minute)
+	if !b.allow() {
+		t.Fatal("cooldown elapsed but no half-open probe admitted")
+	}
+	if st, _ := b.snapshot(); st != BreakerHalfOpen {
+		t.Fatalf("post-cooldown state=%s, want half-open", st)
+	}
+	if b.allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.onFailure() // probe failed: straight back to open
+	if st, _ := b.snapshot(); st != BreakerOpen {
+		t.Fatalf("failed probe left state=%s, want open", st)
+	}
+	if b.allow() {
+		t.Fatal("reopened breaker admitted traffic inside the new cooldown")
+	}
+
+	clock = clock.Add(time.Minute)
+	if !b.allow() {
+		t.Fatal("second cooldown elapsed but no probe admitted")
+	}
+	b.onSuccess()
+	if st, fails := b.snapshot(); st != BreakerClosed || fails != 0 {
+		t.Fatalf("successful probe: state=%s fails=%d, want closed/0", st, fails)
+	}
+	if !b.allow() {
+		t.Fatal("reclosed breaker refused traffic")
+	}
+}
+
+// TestProbeDelayBackoffAndJitter pins the probe pacing contract: the
+// delay doubles per consecutive failure up to 8x the base, carries at
+// most a quarter-interval of jitter, is deterministic under a seed, and
+// differs across seeds (no fleet-wide lockstep).
+func TestProbeDelayBackoffAndJitter(t *testing.T) {
+	const base = 100 * time.Millisecond
+	rng := newPrng(42)
+	for fails := 0; fails <= 6; fails++ {
+		want := base << uint(fails)
+		if want > 8*base {
+			want = 8 * base
+		}
+		d := probeDelay(base, fails, rng)
+		if d < want || d >= want+base/4 {
+			t.Errorf("probeDelay(fails=%d) = %v, want [%v, %v)", fails, d, want, want+base/4)
+		}
+	}
+	// Same seed, same schedule — the reproducibility the netchaos
+	// campaign gates on.
+	r1, r2 := newPrng(7), newPrng(7)
+	for i := 0; i < 16; i++ {
+		if d1, d2 := probeDelay(base, i%4, r1), probeDelay(base, i%4, r2); d1 != d2 {
+			t.Fatalf("seeded probe schedule not reproducible: %v vs %v at step %d", d1, d2, i)
+		}
+	}
+	// Different seeds must desynchronize somewhere.
+	ra, rb := newPrng(1), newPrng(2)
+	same := true
+	for i := 0; i < 16; i++ {
+		if probeDelay(base, 0, ra) != probeDelay(base, 0, rb) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("probe jitter identical across seeds: loops would tick in lockstep")
+	}
+}
+
+// throttledHandler slows every response-body write of POSTed streams so
+// a backend demonstrably still has undelivered cells when the test
+// kills it mid-stream.
+type throttledHandler struct {
+	h     http.Handler
+	delay time.Duration
+}
+
+func (th throttledHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		w = &slowWriter{ResponseWriter: w, delay: th.delay}
+	}
+	th.h.ServeHTTP(w, r)
+}
+
+type slowWriter struct {
+	http.ResponseWriter
+	delay time.Duration
+}
+
+func (s *slowWriter) Write(p []byte) (int, error) {
+	time.Sleep(s.delay)
+	return s.ResponseWriter.Write(p)
+}
+
+func (s *slowWriter) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (s *slowWriter) Unwrap() http.ResponseWriter { return s.ResponseWriter }
+
+// TestShardChaosMidStreamBackendKill kills a backend in the middle of a
+// /v1/chaos campaign — connections dropped while its part is streaming
+// — and requires the campaign to finish anyway with the exact serial
+// bytes, the backend's undelivered cells reassigned to the survivor and
+// accounted in the reassigned_cells metric.
+func TestShardChaosMidStreamBackendKill(t *testing.T) {
+	// Backend 0 streams slowly (5ms per write), so when the first cell
+	// arrives at the client, backend 0 provably still holds undelivered
+	// cells; backend 1 is a normal survivor.
+	slow := httptest.NewServer(throttledHandler{h: server.New(server.Config{}), delay: 5 * time.Millisecond})
+	t.Cleanup(slow.Close)
+	fast := httptest.NewServer(server.New(server.Config{}))
+	t.Cleanup(fast.Close)
+
+	sh, err := New(Config{
+		Backends:       []string{slow.URL, fast.URL},
+		HealthInterval: 50 * time.Millisecond,
+		HealthTimeout:  time.Second,
+		DownAfter:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sh.Close)
+	front := httptest.NewServer(sh)
+	t.Cleanup(front.Close)
+	c := server.NewClient(front.URL)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	req := server.ChaosRequest{Scale: 1}
+	plan := req.Plan()
+	a := plan.NewAssembly()
+	// The killer keeps cutting backend 0's connections for a window, not
+	// just once: the relay client retries a stream that died before its
+	// first line, so a single cut could be quietly absorbed by a clean
+	// reconnect instead of forcing a reassignment.
+	killDone := make(chan struct{})
+	var kill sync.Once
+	startKiller := func() {
+		go func() {
+			defer close(killDone)
+			for i := 0; i < 40; i++ {
+				slow.CloseClientConnections()
+				time.Sleep(25 * time.Millisecond)
+			}
+		}()
+	}
+	if _, err := c.ChaosStream(ctx, req, func(cell server.BatchCell) error {
+		kill.Do(startKiller)
+		if cell.Error != "" || cell.Chaos == nil {
+			return fmt.Errorf("cell %d: error=%q chaos=%v", cell.Seq, cell.Error, cell.Chaos)
+		}
+		return a.AddChecked(cell.Meta(), *cell.Chaos)
+	}); err != nil {
+		t.Fatalf("chaos campaign with mid-stream kill: %v", err)
+	}
+	<-killDone
+	got, internal, err := a.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantInternal := exp.ChaosReport(1, runtime.NumCPU())
+	if got != want || internal != wantInternal {
+		t.Fatal("post-kill chaos report differs from serial campaign")
+	}
+	if n := sh.metrics.reassignedCells.Load(); n == 0 {
+		t.Error("mid-stream kill reassigned no cells")
+	}
+	// The metric is also visible on the wire.
+	resp, err := http.Get(c.BaseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m MetricsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Shard["reassigned_cells"] == 0 {
+		t.Error("reassigned_cells missing from /metrics")
+	}
+}
+
+// TestShardRejectsAlienCells fronts the shard over one hostile backend
+// that answers health probes but streams cells from outside its
+// assigned part (alien sequence numbers). The shard must reject every
+// such line at the trust boundary — corrupt_lines, never a wrong report
+// — fail that backend's stream, and complete the campaign on the honest
+// survivor with byte-identical output.
+func TestShardRejectsAlienCells(t *testing.T) {
+	serial, _ := serialRun(t)
+
+	hostile := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			fmt.Fprintln(w, `{"status":"ok"}`)
+			return
+		}
+		// Valid-shaped perf cells with sequence numbers no part could
+		// contain, then a clean trailer claiming success.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for i := 0; i < 3; i++ {
+			fmt.Fprintf(w, `{"seq":%d,"kind":"perf","workload":"treeadd","config":"baseline","result":{"perf":{}}}`+"\n", 100000+i)
+		}
+		fmt.Fprintln(w, `{"done":true,"cells":3,"completed":3}`)
+	}))
+	t.Cleanup(hostile.Close)
+	honest := httptest.NewServer(server.New(server.Config{}))
+	t.Cleanup(honest.Close)
+
+	sh, err := New(Config{
+		Backends:       []string{hostile.URL, honest.URL},
+		HealthInterval: 50 * time.Millisecond,
+		HealthTimeout:  time.Second,
+		DownAfter:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sh.Close)
+	front := httptest.NewServer(sh)
+	t.Cleanup(front.Close)
+	c := server.NewClient(front.URL)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	got, err := c.GridReport(ctx, server.BatchRequest{Workloads: testWorkloads})
+	if err != nil {
+		t.Fatalf("grid campaign over hostile backend: %v", err)
+	}
+	if want := exp.PerfReport(serial); got != want {
+		t.Fatal("hostile backend corrupted the assembled report")
+	}
+	if n := sh.metrics.corruptLines.Load(); n == 0 {
+		t.Error("alien cells drew no corrupt_lines")
+	}
+	if n := sh.metrics.reassignedCells.Load(); n == 0 {
+		t.Error("hostile backend's part was not reassigned")
+	}
+}
+
 // TestShardMetricsAggregation: /metrics sums the fleet and reports the
 // front tier's own counters.
 func TestShardMetricsAggregation(t *testing.T) {
