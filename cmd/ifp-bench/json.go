@@ -27,9 +27,9 @@ import (
 // benchSchema versions the -json output so downstream tooling can detect
 // format changes across BENCH_*.json files. v2 added grid_bench,
 // mem_bench, and intern; v3 added batch_bench; v4 added temporal_bench;
-// v5 adds netchaos_bench (all additive; the deterministic workload
-// cycles and overheads are unchanged from v1).
-const benchSchema = "ifp-bench/v5"
+// v5 added netchaos_bench; v6 adds dispatch_bench (all additive; the
+// deterministic workload cycles and overheads are unchanged from v1).
+const benchSchema = "ifp-bench/v6"
 
 // benchJSON is the machine-readable benchmark summary -json emits: the
 // §5.2 per-workload cycle counts and geomean overheads, cold-vs-warm
@@ -54,6 +54,7 @@ type benchJSON struct {
 	BatchBench    batchJSON    `json:"batch_bench"`
 	TemporalBench temporalJSON `json:"temporal_bench"`
 	NetchaosBench netchaosJSON `json:"netchaos_bench"`
+	DispatchBench dispatchJSON `json:"dispatch_bench"`
 
 	Pool   map[string]uint64 `json:"pool"`
 	Intern map[string]int    `json:"intern"`
@@ -136,6 +137,27 @@ type netchaosJSON struct {
 	Lost          int      `json:"lost"`
 	AllIdentical  bool     `json:"all_identical"`
 	WallMs        int64    `json:"wall_ms"`
+}
+
+// dispatchJSON compares the minic reference stack walker against the
+// register bytecode dispatch loop on a fixed program set: host ns/op per
+// program through the full ExecuteBudget path (pooled runtime, interned
+// program), the superinstruction retirements of one register run of each
+// program, the per-program re-lowering cost, and the geomean
+// reference/register speedup. Counter equality between the two loops is
+// the dispatch-equivalence suite's job; this section tracks only speed.
+type dispatchJSON struct {
+	Programs       []dispatchProgJSON `json:"programs"`
+	SuperHits      map[string]uint64  `json:"super_hits"`
+	LowerNsPerOp   int64              `json:"lower_ns_per_op"`
+	GeomeanSpeedup float64            `json:"geomean_speedup"`
+}
+
+// dispatchProgJSON is one program's timing under both execution loops.
+type dispatchProgJSON struct {
+	Name             string `json:"name"`
+	ReferenceNsPerOp int64  `json:"reference_ns_per_op"`
+	RegisterNsPerOp  int64  `json:"register_ns_per_op"`
 }
 
 // workloadJSON is one workload's cycle counts per configuration plus the
@@ -244,6 +266,11 @@ func writeBenchJSON(path string, results []exp.Result, scale, parallel int) erro
 		return err
 	}
 	out.NetchaosBench = nc
+	dispatch, err := benchDispatch()
+	if err != nil {
+		return err
+	}
+	out.DispatchBench = dispatch
 	ps := rt.DefaultPool.Stats()
 	out.Pool = map[string]uint64{
 		"hits":     ps.Hits,
@@ -349,6 +376,126 @@ func benchNetchaos() (netchaosJSON, error) {
 	for _, f := range benchNetchaosFaults {
 		out.Faults = append(out.Faults, string(f))
 	}
+	return out, nil
+}
+
+// benchDispatchPrograms is the fixed program set dispatch_bench times:
+// recursion (call-heavy, exercises the register-window reslice after
+// LCall), array loops with a constant-index store and a bare pointer
+// deref (GepIdxBnd/ConstGepStore/LoadPChk fusion), and a heap
+// linked-list walk (GepIdx chains over promoted pointers). Sizes are
+// chosen so simulation, not compilation, dominates — compilation is
+// interned away after the first run anyway.
+var benchDispatchPrograms = []struct{ name, src string }{
+	{"fib", `long fib(long n) {
+		if (n < 2) { return n; }
+		return fib(n - 1) + fib(n - 2);
+	}
+	int main() { print(fib(18)); return 0; }`},
+	{"arrays", `int main() {
+		long buf[64]; long i; long r; long acc = 0;
+		long *q = &buf[3];
+		for (r = 0; r < 50; r = r + 1) {
+			buf[0] = r;
+			for (i = 0; i < 64; i = i + 1) { buf[i] = i * r; }
+			for (i = 0; i < 64; i = i + 1) { acc = acc + buf[i]; }
+			acc = acc + *q;
+		}
+		print(acc);
+		return 0;
+	}`},
+	{"list", `struct Node { long val; struct Node *next; };
+	int main() {
+		struct Node *head = (struct Node*)0;
+		long i;
+		for (i = 0; i < 64; i = i + 1) {
+			struct Node *n = (struct Node*)malloc(sizeof(struct Node));
+			n->val = i; n->next = head; head = n;
+		}
+		long sum = 0; long r;
+		for (r = 0; r < 50; r = r + 1) {
+			struct Node *it = head;
+			while (it != (struct Node*)0) { sum = sum + it->val; it = it->next; }
+		}
+		while (head != (struct Node*)0) {
+			struct Node *dead = head; head = head->next; free(dead);
+		}
+		print(sum);
+		return 0;
+	}`},
+}
+
+// benchDispatch times each program through ExecuteBudgetReference (stack
+// walker) and ExecuteBudget (register dispatch), collects one register
+// run's superinstruction retirements, and times re-lowering the set.
+func benchDispatch() (dispatchJSON, error) {
+	out := dispatchJSON{SuperHits: map[string]uint64{}}
+	var ratios []float64
+	for _, p := range benchDispatchPrograms {
+		comp, err := minic.DefaultInterner.Get(p.src)
+		if err != nil {
+			return out, err
+		}
+		r := rt.Acquire(rt.Subheap)
+		vm, err := minic.NewVM(comp, r)
+		if err != nil {
+			rt.Release(r)
+			return out, err
+		}
+		if _, err := vm.Run(); err != nil {
+			rt.Release(r)
+			return out, fmt.Errorf("dispatch bench %s: %w", p.name, err)
+		}
+		for k, v := range vm.SuperHits() {
+			out.SuperHits[k] += v
+		}
+		rt.Release(r)
+
+		var runErr error
+		ref := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := minic.ExecuteBudgetReference(p.src, rt.Subheap, 0); err != nil && runErr == nil {
+					runErr = err
+				}
+			}
+		})
+		reg := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := minic.ExecuteBudget(p.src, rt.Subheap, 0); err != nil && runErr == nil {
+					runErr = err
+				}
+			}
+		})
+		if runErr != nil {
+			return out, runErr
+		}
+		out.Programs = append(out.Programs, dispatchProgJSON{
+			Name:             p.name,
+			ReferenceNsPerOp: ref.NsPerOp(),
+			RegisterNsPerOp:  reg.NsPerOp(),
+		})
+		ratios = append(ratios, stats.Ratio(uint64(ref.NsPerOp()), uint64(reg.NsPerOp())))
+	}
+	out.GeomeanSpeedup = stats.Geomean(ratios)
+
+	var lowerErr error
+	lower := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, p := range benchDispatchPrograms {
+				comp, err := minic.DefaultInterner.Get(p.src)
+				if err == nil {
+					_, err = minic.Lower(comp)
+				}
+				if err != nil && lowerErr == nil {
+					lowerErr = err
+				}
+			}
+		}
+	})
+	if lowerErr != nil {
+		return out, lowerErr
+	}
+	out.LowerNsPerOp = lower.NsPerOp() / int64(len(benchDispatchPrograms))
 	return out, nil
 }
 

@@ -12,6 +12,10 @@
 // Usage:
 //
 //	minicc [-mode baseline|subheap|wrapped|hybrid|ifp-temporal] [-fuel CYCLES] [-stats] file.c
+//
+// -S prints the instrumented stack IR; -disasm prints both that and the
+// register-bytecode form the dispatch loop executes (lowered from the
+// stack IR, with fused IFP superinstructions and per-block fuel charges).
 package main
 
 import (
@@ -29,10 +33,11 @@ func main() {
 	fuel := flag.Uint64("fuel", 0, "cycle budget; 0 = unlimited (exhaustion is a fuel trap)")
 	stats := flag.Bool("stats", false, "print dynamic instruction statistics after the run")
 	dumpIR := flag.Bool("S", false, "print the instrumented IR listing instead of running")
+	disasm := flag.Bool("disasm", false, "print both the stack IR and the lowered register bytecode instead of running")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: minicc [-mode m] [-fuel n] [-stats] file.c")
+		fmt.Fprintln(os.Stderr, "usage: minicc [-mode m] [-fuel n] [-stats] [-S] [-disasm] file.c")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
@@ -56,6 +61,13 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *disasm {
+		fmt.Println("; ==== stack IR (instrumented) ====")
+		fmt.Print(minic.Disassemble(comp))
+		fmt.Println("\n; ==== register bytecode (lowered) ====")
+		fmt.Print(minic.DisassembleLowered(comp))
+		return
 	}
 	if *dumpIR {
 		fmt.Print(minic.Disassemble(comp))

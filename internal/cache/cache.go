@@ -55,29 +55,45 @@ const (
 	keyDirty = 1 << 1
 )
 
+// way pairs a line's packed key with its LRU stamp. Keeping the two
+// side by side means the hit path — key compare plus stamp update —
+// touches one host cache line instead of two parallel arrays.
+type way struct {
+	key uint64 // tag<<2 | dirty<<1 | valid; 0 = invalid
+	lru uint64 // last-touch tick
+}
+
 // Cache is a set-associative write-back, write-allocate cache model.
 type Cache struct {
 	cfg Config
-	// keys and lru hold every way of every set contiguously (set i
-	// occupies index range [i*ways, (i+1)*ways)).
-	keys     []uint64
-	lru      []uint64 // last-touch tick per way
+	// w holds every way of every set contiguously (set i occupies index
+	// range [i*ways, (i+1)*ways)).
+	w        []way
 	ways     int
 	setMask  uint64
 	lineBits uint
 	setBits  uint // log2(set count); tag = line number >> setBits
-	tick     uint64
-	stats    Stats
 
-	// lastLn/lastIdx memoize the flat way index of the most recently
-	// touched line, short-circuiting the set scan for back-to-back
-	// touches of one line (the common case: sequential word accesses
-	// within a line, and multi-word metadata fetches). The memo is
-	// validated against the packed key before use, so a stale entry —
-	// after eviction, Flush, or Reset — simply falls through to the
-	// full probe; it can never change hit/miss outcomes or LRU order.
-	lastLn  uint64
-	lastIdx int
+	// tick is the LRU clock. It advances exactly once per line touch —
+	// the same event Stats counts as an access — so Accesses is derived
+	// as tick-accBase instead of being incremented separately on the hot
+	// path. accBase records the tick at the last ResetStats.
+	tick    uint64
+	accBase uint64
+	stats   Stats // Accesses field unused internally; see Stats()
+
+	// mru holds, per set, a pointer to the way of that set's most
+	// recently touched line. Access probes it before the full set scan,
+	// so the common cases — back-to-back words within one line, and
+	// loops alternating between lines that live in different sets — hit
+	// with a single key compare and no second function call. The probe
+	// is validated against the packed key, and a line occupies at most
+	// one way of its set, so an MRU hit is exactly the hit the scan
+	// would have found: it can never change hit/miss outcomes, LRU
+	// order, or dirty bits. The pointers target c.w's backing array,
+	// which is allocated once in New and never reallocated, so they
+	// stay valid across Reset and Flush.
+	mru []*way
 }
 
 // New builds a cache; it panics on a non-power-of-two geometry since that
@@ -96,8 +112,11 @@ func New(cfg Config) *Cache {
 	c := &Cache{cfg: cfg, ways: cfg.Ways, setMask: uint64(nsets - 1)}
 	c.lineBits = uint(bits.TrailingZeros64(uint64(cfg.LineBytes)))
 	c.setBits = uint(bits.Len64(c.setMask))
-	c.keys = make([]uint64, nsets*cfg.Ways)
-	c.lru = make([]uint64, nsets*cfg.Ways)
+	c.w = make([]way, nsets*cfg.Ways)
+	c.mru = make([]*way, nsets)
+	for i := range c.mru {
+		c.mru[i] = &c.w[i*cfg.Ways]
+	}
 	return c
 }
 
@@ -105,11 +124,18 @@ func New(cfg Config) *Cache {
 func (c *Cache) Config() Config { return c.cfg }
 
 // Stats returns the accumulated counters.
-func (c *Cache) Stats() Stats { return c.stats }
+func (c *Cache) Stats() Stats {
+	s := c.stats
+	s.Accesses = c.tick - c.accBase
+	return s
+}
 
 // ResetStats clears counters but keeps cache contents (used between the
 // warm-up and measured phases of an experiment).
-func (c *Cache) ResetStats() { c.stats = Stats{} }
+func (c *Cache) ResetStats() {
+	c.stats = Stats{}
+	c.accBase = c.tick
+}
 
 // Access simulates one access of size bytes at addr (write if store is
 // true) and returns the number of line misses it caused. Accesses that
@@ -123,7 +149,16 @@ func (c *Cache) Access(addr uint64, size int, store bool) (misses int) {
 	last := (addr + uint64(size) - 1) >> c.lineBits
 	for ln := first; ln <= last; ln++ {
 		c.tick++
-		c.stats.Accesses++
+		// MRU probe: a single key compare against the set's most
+		// recently touched way resolves the overwhelming majority of
+		// touches without the set scan in touch.
+		if wy := c.mru[ln&c.setMask]; wy.key&^keyDirty == ln>>c.setBits<<2|keyValid {
+			wy.lru = c.tick
+			if store {
+				wy.key |= keyDirty
+			}
+			continue
+		}
 		if !c.touch(ln, store) {
 			c.stats.Misses++
 			misses++
@@ -132,31 +167,86 @@ func (c *Cache) Access(addr uint64, size int, store bool) (misses int) {
 	return misses
 }
 
-// touch looks up line number ln, filling on miss; reports hit.
-func (c *Cache) touch(ln uint64, store bool) bool {
-	want := ln>>c.setBits<<2 | keyValid
-	if ln == c.lastLn {
-		// Memoized repeat touch: lastIdx was recorded for this exact line
-		// number, so it lies in ln's set; the key re-check proves the way
-		// still holds this line (i.e. it was not evicted or invalidated in
-		// between). The update below is exactly the hit path's.
-		if i := c.lastIdx; c.keys[i]&^keyDirty == want {
-			c.lru[i] = c.tick
-			if store {
-				c.keys[i] |= keyDirty
-			}
-			return true
+// TryHit attempts the single-line MRU-hit fast path of Access without a
+// function call: it is small enough to inline into the machine's data-
+// access hot path. It returns true only when the access touches exactly
+// one line and that line is the set's most recently touched way, in which
+// case it performs the full effect of Access (tick, LRU stamp, dirty bit;
+// zero misses). On false it has no effect at all and the caller must run
+// Access, which repeats the probe — the duplicated compare is the price of
+// keeping this under the inlining budget. A non-positive size wraps the
+// last-byte computation and falls out through the line-mismatch branch, so
+// the size<=0 normalization stays Access's business.
+func (c *Cache) TryHit(addr uint64, size int, store bool) bool {
+	ln := addr >> c.lineBits
+	if (addr+uint64(size-1))>>c.lineBits != ln {
+		return false
+	}
+	wy := c.mru[ln&c.setMask]
+	if wy.key&^keyDirty != ln>>c.setBits<<2|keyValid {
+		return false
+	}
+	c.tick++
+	wy.lru = c.tick
+	if store {
+		wy.key |= keyDirty
+	}
+	return true
+}
+
+// AccessWords simulates n consecutive 8-byte reads starting at addr —
+// exactly equivalent to n successive Access(addr+8*i, 8, false) calls, but
+// with one tag probe per distinct line: consecutive same-line touches
+// cannot miss after the first (nothing intervenes to evict the line), so a
+// group collapses to a single probe whose LRU stamp is the group's last
+// tick. Accesses (via tick), misses, writebacks, and LRU order all come
+// out bit-identical to the unbatched form; the equivalence test drives
+// both against random streams. Promote's multi-word metadata records are
+// the intended caller.
+func (c *Cache) AccessWords(addr uint64, n int) (misses int) {
+	if addr&7 != 0 || c.cfg.LineBytes < 8 {
+		// A word could straddle lines; the collapse argument needs whole
+		// words per line. No real caller takes this path (metadata is
+		// 8-aligned and L1D lines are ≥8 bytes).
+		for i := 0; i < n; i++ {
+			misses += c.Access(addr+uint64(i)*8, 8, false)
+		}
+		return misses
+	}
+	for i := 0; i < n; {
+		ln := (addr + uint64(i)*8) >> c.lineBits
+		g := i + 1
+		for g < n && (addr+uint64(g)*8)>>c.lineBits == ln {
+			g++
+		}
+		c.tick += uint64(g - i)
+		i = g
+		if wy := c.mru[ln&c.setMask]; wy.key&^keyDirty == ln>>c.setBits<<2|keyValid {
+			wy.lru = c.tick
+			continue
+		}
+		if !c.touch(ln, false) {
+			c.stats.Misses++
+			misses++
 		}
 	}
-	base := int(ln&c.setMask) * c.ways
-	keys := c.keys[base : base+c.ways : base+c.ways]
-	for i, k := range keys {
-		if k&^keyDirty == want {
-			c.lru[base+i] = c.tick
+	return misses
+}
+
+// touch looks up line number ln, filling on miss; reports hit. Access has
+// already ruled out the set's MRU way.
+func (c *Cache) touch(ln uint64, store bool) bool {
+	want := ln>>c.setBits<<2 | keyValid
+	set := int(ln & c.setMask)
+	base := set * c.ways
+	ws := c.w[base : base+c.ways : base+c.ways]
+	for i := range ws {
+		if ws[i].key&^keyDirty == want {
+			ws[i].lru = c.tick
 			if store {
-				keys[i] = k | keyDirty
+				ws[i].key |= keyDirty
 			}
-			c.lastLn, c.lastIdx = ln, base+i
+			c.mru[set] = &ws[i]
 			return true
 		}
 	}
@@ -164,24 +254,23 @@ func (c *Cache) touch(ln uint64, store bool) bool {
 	// un-warmed set).
 	victim := 0
 	for i := 1; i < c.ways; i++ {
-		if keys[i] == 0 {
+		if ws[i].key == 0 {
 			victim = i
 			break
 		}
-		if c.lru[base+i] < c.lru[base+victim] {
+		if ws[i].lru < ws[victim].lru {
 			victim = i
 		}
 	}
-	if keys[victim]&(keyValid|keyDirty) == keyValid|keyDirty {
+	if ws[victim].key&(keyValid|keyDirty) == keyValid|keyDirty {
 		c.stats.Writebacks++
 	}
 	fill := want
 	if store {
 		fill |= keyDirty
 	}
-	keys[victim] = fill
-	c.lru[base+victim] = c.tick
-	c.lastLn, c.lastIdx = ln, base+victim
+	ws[victim] = way{key: fill, lru: c.tick}
+	c.mru[set] = &ws[victim]
 	return false
 }
 
@@ -190,20 +279,19 @@ func (c *Cache) touch(ln uint64, store bool) bool {
 // rather than an invalidation event, so dirty lines do not count as
 // writebacks — a reset cache is indistinguishable from one built by New.
 func (c *Cache) Reset() {
-	clear(c.keys)
-	clear(c.lru)
+	clear(c.w)
 	c.tick = 0
+	c.accBase = 0
 	c.stats = Stats{}
 }
 
 // Flush invalidates all lines (counting writebacks of dirty lines); used
 // between benchmark runs so each mode starts cold.
 func (c *Cache) Flush() {
-	for i, k := range c.keys {
-		if k&(keyValid|keyDirty) == keyValid|keyDirty {
+	for i := range c.w {
+		if c.w[i].key&(keyValid|keyDirty) == keyValid|keyDirty {
 			c.stats.Writebacks++
 		}
-		c.keys[i] = 0
-		c.lru[i] = 0
+		c.w[i] = way{}
 	}
 }

@@ -50,11 +50,8 @@ func TestGeometryAllPowerOfTwoConfigs(t *testing.T) {
 				if got, want := int(c.setBits), refLen64(c.setMask); got != want {
 					t.Fatalf("%+v: setBits = %d, want %d", cfg, got, want)
 				}
-				if got, want := len(c.keys), nsets*ways; got != want {
-					t.Fatalf("%+v: len(keys) = %d, want %d", cfg, got, want)
-				}
-				if got, want := len(c.lru), nsets*ways; got != want {
-					t.Fatalf("%+v: len(lru) = %d, want %d", cfg, got, want)
+				if got, want := len(c.w), nsets*ways; got != want {
+					t.Fatalf("%+v: len(ways) = %d, want %d", cfg, got, want)
 				}
 			}
 		}
@@ -130,6 +127,69 @@ func (c *refCache) touch(ln uint64, store bool) bool {
 	}
 	set[victim] = refLine{tag: tagv, valid: true, dirty: store, lru: c.tick}
 	return false
+}
+
+// TestAccessWordsMatchesUnbatched drives AccessWords and the equivalent
+// sequence of single-word Access calls over identical pseudorandom streams
+// on two caches and asserts the stats, miss returns, and subsequent
+// behavior (via a trailing shared stream) agree exactly — the batching
+// contract promote's metadata fetches rely on.
+func TestAccessWordsMatchesUnbatched(t *testing.T) {
+	configs := []Config{
+		CVA6L1D,
+		{SizeBytes: 1 << 10, LineBytes: 16, Ways: 1},
+		{SizeBytes: 512, LineBytes: 64, Ways: 8},
+		{SizeBytes: 128, LineBytes: 8, Ways: 2}, // lines == word size
+	}
+	for _, cfg := range configs {
+		t.Run(fmt.Sprintf("%dB_%dw_%dl", cfg.SizeBytes, cfg.Ways, cfg.LineBytes), func(t *testing.T) {
+			batched, plain := New(cfg), New(cfg)
+			x := uint64(0x243F6A8885A308D3)
+			next := func() uint64 {
+				x += 0x9E3779B97F4A7C15
+				z := x
+				z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+				z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+				return z ^ (z >> 31)
+			}
+			for i := 0; i < 20_000; i++ {
+				r := next()
+				if r&3 == 0 {
+					// Multi-word record fetch, 8-aligned (the real call
+					// shape) and occasionally unaligned (fallback path).
+					addr := r >> 8 & 0xFFFF8
+					if r&4 != 0 {
+						addr |= r >> 40 & 7
+					}
+					n := 1 + int(r>>32&3) // 1..4 words
+					gotB := batched.AccessWords(addr, n)
+					gotP := 0
+					for w := 0; w < n; w++ {
+						gotP += plain.Access(addr+uint64(w)*8, 8, false)
+					}
+					if gotB != gotP {
+						t.Fatalf("op %d: AccessWords(%#x,%d) misses = %d, unbatched %d", i, addr, n, gotB, gotP)
+					}
+				} else {
+					// Interleaved ordinary traffic keeps eviction state hot.
+					addr := r >> 16 & 0x1FFFF
+					size := 1 << (r >> 2 & 3)
+					store := r&2 != 0
+					if mb, mp := batched.Access(addr, size, store), plain.Access(addr, size, store); mb != mp {
+						t.Fatalf("op %d: Access misses diverge: %d vs %d", i, mb, mp)
+					}
+				}
+				if batched.Stats() != plain.Stats() {
+					t.Fatalf("op %d: stats = %+v, unbatched %+v", i, batched.Stats(), plain.Stats())
+				}
+			}
+			batched.Flush()
+			plain.Flush()
+			if batched.Stats() != plain.Stats() {
+				t.Fatalf("post-flush stats = %+v, unbatched %+v", batched.Stats(), plain.Stats())
+			}
+		})
+	}
 }
 
 // TestPackedKeysMatchReferenceModel drives the packed-key cache and the

@@ -149,6 +149,42 @@ type Machine struct {
 	// The runtime that owns the machine stamps generations at malloc and
 	// bumps them on free; the machine only reads it.
 	Gens *temporal.Store
+
+	// macMemo caches mac.Object computations for the metadata-MAC
+	// verification promote performs on every valid lookup. Hardware
+	// computes the SipHash in a fixed MacCycles pipeline (still charged);
+	// the memo only spares the host the recomputation when the same
+	// metadata record is verified repeatedly — the steady state of every
+	// pointer-chasing loop. An entry matches only when the key AND all
+	// three MAC'd fields are equal, so it returns exactly what
+	// mac.Object would: tampered metadata changes the fields (memo miss,
+	// honest recompute) or the stored MAC (memo hit, still a mismatch),
+	// and a chaos-swapped key misses on the key compare. Entries are
+	// pure math (key, fields) -> MAC, so they stay correct across Reset.
+	macMemo [macMemoSize]macEntry
+}
+
+// macMemoSize is the direct-mapped MAC memo's entry count; 256 covers the
+// distinct metadata records (blocks, stack frames) a workload's hot loops
+// revisit. Must be a power of two.
+const macMemoSize = 256
+
+type macEntry struct {
+	key          mac.Key
+	base, f2, f3 uint64
+	got          uint64
+	ok           bool
+}
+
+// objectMAC is a memoized mac.Object(m.Key, base, f2, f3).
+func (m *Machine) objectMAC(base, f2, f3 uint64) uint64 {
+	e := &m.macMemo[(base>>4)&(macMemoSize-1)]
+	if e.ok && e.key == m.Key && e.base == base && e.f2 == f2 && e.f3 == f3 {
+		return e.got
+	}
+	got := mac.Object(m.Key, base, f2, f3)
+	*e = macEntry{key: m.Key, base: base, f2: f2, f3: f3, got: got, ok: true}
+	return got
 }
 
 // DefaultKeySeed seeds the MAC key of every freshly built (or reset)
@@ -303,8 +339,15 @@ func (m *Machine) Tick(n uint64) {
 	m.C.Cycles += n
 }
 
-// dataAccess charges one data-memory access through the L1D.
+// dataAccess charges one data-memory access through the L1D. The TryHit
+// probe resolves the common single-line MRU hit with inlined code — its
+// effect is exactly Access with zero misses — and everything else takes
+// the full model.
 func (m *Machine) dataAccess(addr uint64, size int, store bool) {
+	if m.L1D.TryHit(addr, size, store) {
+		m.C.Cycles++
+		return
+	}
 	misses := m.L1D.Access(addr, size, store)
 	m.C.Cycles += 1 + uint64(misses)*m.Cost.MissPenalty
 }
@@ -316,8 +359,8 @@ func (m *Machine) dataAccess(addr uint64, size int, store bool) {
 func (m *Machine) Load(p uint64, size int, breg BoundsReg) (uint64, error) {
 	m.C.Instrs++
 	m.C.Loads++
-	if err := m.checkAccess(p, size, breg); err != nil {
-		return 0, err
+	if !m.accessOK(p, size, breg) {
+		return 0, m.checkTrap(p, size, breg)
 	}
 	addr := tag.Addr(p)
 	m.dataAccess(addr, size, false)
@@ -332,8 +375,8 @@ func (m *Machine) Load(p uint64, size int, breg BoundsReg) (uint64, error) {
 func (m *Machine) Store(p uint64, v uint64, size int, breg BoundsReg) error {
 	m.C.Instrs++
 	m.C.Stores++
-	if err := m.checkAccess(p, size, breg); err != nil {
-		return err
+	if !m.accessOK(p, size, breg) {
+		return m.checkTrap(p, size, breg)
 	}
 	addr := tag.Addr(p)
 	m.dataAccess(addr, size, true)
@@ -343,9 +386,27 @@ func (m *Machine) Store(p uint64, v uint64, size int, breg BoundsReg) error {
 	return nil
 }
 
-// checkAccess implements the LSU-side poison check plus the implicit
-// access-size check against the paired bounds register.
-func (m *Machine) checkAccess(p uint64, size int, breg BoundsReg) error {
+// accessOK is the fast half of the LSU-side access check: the poison test
+// (§3.2) plus the implicit access-size check against the paired bounds
+// register (§4.1.1). It performs the success-path counter update (Checks
+// is charged before the bounds compare, like the hardware) but builds no
+// error values, which keeps it inside the inlining budget of Load/Store;
+// on failure checkTrap re-derives the cause out of line.
+func (m *Machine) accessOK(p uint64, size int, breg BoundsReg) bool {
+	if tag.PoisonOf(p) != tag.Valid {
+		return false
+	}
+	if breg.Valid {
+		m.C.Checks++
+		return breg.B.Contains(tag.Addr(p), uint64(size))
+	}
+	return true
+}
+
+// checkTrap is the cold half of accessOK: it classifies the failure,
+// charges the trap counter, and builds the Trap. accessOK has already
+// charged Checks when the failure is a bounds miss.
+func (m *Machine) checkTrap(p uint64, size int, breg BoundsReg) error {
 	if ps := tag.PoisonOf(p); ps != tag.Valid {
 		if ps == tag.Stale && m.TemporalTags {
 			m.C.TemporalTraps++
@@ -356,15 +417,9 @@ func (m *Machine) checkAccess(p uint64, size int, breg BoundsReg) error {
 		return &Trap{Kind: TrapPoison, Ptr: p, Size: size,
 			Msg: fmt.Sprintf("dereference of %s pointer", ps)}
 	}
-	if breg.Valid {
-		m.C.Checks++
-		if !breg.B.Contains(tag.Addr(p), uint64(size)) {
-			m.C.CheckFails++
-			return &Trap{Kind: TrapBounds, Ptr: p, Size: size,
-				Msg: fmt.Sprintf("access outside %v", breg.B)}
-		}
-	}
-	return nil
+	m.C.CheckFails++
+	return &Trap{Kind: TrapBounds, Ptr: p, Size: size,
+		Msg: fmt.Sprintf("access outside %v", breg.B)}
 }
 
 // RawLoad64 / RawStore64 are uninstrumented accesses used by the runtime

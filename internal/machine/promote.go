@@ -159,20 +159,50 @@ func (m *Machine) fetchMetaWord(addr uint64) (uint64, bool) {
 	return v, true
 }
 
-// layoutFetcher adapts fetchMetaWord to the layout walker's interface,
+// fetchMetaWords reads n=len(w) consecutive metadata words through the
+// L1D with one tag probe per line (cache.AccessWords); counters and cycle
+// charges are identical to n fetchMetaWord calls. Reordering the cache
+// probes before the memory reads is sound because the cache model never
+// reads memory and the memory never consults the cache. A non-wrapping
+// range cannot fault (Load64 only faults on address wrap), so the batched
+// path charges everything up front; the wrap fallback — unreachable from
+// real metadata addresses, which live in the 48-bit tagged space — keeps
+// word-at-a-time fault ordering.
+func (m *Machine) fetchMetaWords(addr uint64, w []uint64) bool {
+	n := uint64(len(w))
+	if addr+n*8 < addr {
+		for i := range w {
+			v, ok := m.fetchMetaWord(addr + uint64(i)*8)
+			if !ok {
+				return false
+			}
+			w[i] = v
+		}
+		return true
+	}
+	m.C.MetaFetches += n
+	misses := m.L1D.AccessWords(addr, len(w))
+	m.C.Cycles += n + uint64(misses)*m.Cost.MissPenalty
+	for i := range w {
+		v, err := m.Mem.Load64(addr + uint64(i)*8)
+		if err != nil {
+			return false
+		}
+		w[i] = v
+	}
+	return true
+}
+
+// layoutFetcher adapts fetchMetaWords to the layout walker's interface,
 // charging each entry fetch (two words, but the entry is 16-byte aligned
 // so it is a single line touch in practice).
 func (m *Machine) layoutFetcher() layout.FetchFunc {
 	return func(entryAddr uint64) (uint64, uint64, error) {
-		w0, ok := m.fetchMetaWord(entryAddr)
-		if !ok {
+		var w [2]uint64
+		if !m.fetchMetaWords(entryAddr, w[:]) {
 			return 0, 0, layout.ErrBadTable
 		}
-		w1, ok := m.fetchMetaWord(entryAddr + 8)
-		if !ok {
-			return 0, 0, layout.ErrBadTable
-		}
-		return w0, w1, nil
+		return w[0], w[1], nil
 	}
 }
 
@@ -182,18 +212,17 @@ func (m *Machine) layoutFetcher() layout.FetchFunc {
 func (m *Machine) lookupLocal(p uint64) (base, size, layoutPtr uint64, ok bool) {
 	off, _ := tag.LocalFields(p)
 	metaAddr := metadata.LocalMetaAddr(tag.Addr(p), off)
-	w0, ok0 := m.fetchMetaWord(metaAddr)
-	w1, ok1 := m.fetchMetaWord(metaAddr + 8)
-	if !ok0 || !ok1 {
+	var w [2]uint64
+	if !m.fetchMetaWords(metaAddr, w[:]) {
 		return 0, 0, 0, false
 	}
-	md := metadata.DecodeLocal(w0, w1)
+	md := metadata.DecodeLocal(w[0], w[1])
 	if md.Size == 0 || uint64(md.Size) > tag.MaxLocalObjectSize {
 		return 0, 0, 0, false
 	}
 	base = metadata.LocalObjectBase(metaAddr, md.Size)
 	m.C.Cycles += m.Cost.MacCycles
-	if metadata.LocalMAC(m.Key, base, md.Size, md.LayoutPtr) != md.MAC {
+	if m.objectMAC(metadata.LocalMACFields(base, md.Size, md.LayoutPtr)) != md.MAC {
 		return 0, 0, 0, false
 	}
 	return base, uint64(md.Size), md.LayoutPtr, true
@@ -210,17 +239,13 @@ func (m *Machine) lookupSubheap(p uint64) (base, size, layoutPtr uint64, ok bool
 	}
 	metaAddr := cr.MetaAddr(tag.Addr(p))
 	var w [4]uint64
-	for i := range w {
-		wi, okw := m.fetchMetaWord(metaAddr + uint64(i)*8)
-		if !okw {
-			return 0, 0, 0, false
-		}
-		w[i] = wi
+	if !m.fetchMetaWords(metaAddr, w[:]) {
+		return 0, 0, 0, false
 	}
 	md := metadata.DecodeSubheap(w)
 	blockBase := cr.BlockBase(tag.Addr(p))
 	m.C.Cycles += m.Cost.MacCycles
-	if metadata.SubheapMAC(m.Key, blockBase, md) != md.MAC {
+	if m.objectMAC(metadata.SubheapMACFields(blockBase, md)) != md.MAC {
 		return 0, 0, 0, false
 	}
 	// Slot division: the paper constrains slot sizes to keep this cheap
@@ -241,12 +266,11 @@ func (m *Machine) lookupGlobal(p uint64) (base, size, layoutPtr uint64, ok bool)
 		return 0, 0, 0, false
 	}
 	rowAddr := metadata.RowAddr(m.GlobalBase, idx)
-	w0, ok0 := m.fetchMetaWord(rowAddr)
-	w1, ok1 := m.fetchMetaWord(rowAddr + 8)
-	if !ok0 || !ok1 {
+	var w [2]uint64
+	if !m.fetchMetaWords(rowAddr, w[:]) {
 		return 0, 0, 0, false
 	}
-	row := metadata.DecodeGlobalRow(w0, w1)
+	row := metadata.DecodeGlobalRow(w[0], w[1])
 	if row.IsFree() {
 		return 0, 0, 0, false
 	}

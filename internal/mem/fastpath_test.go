@@ -168,7 +168,7 @@ func TestTLBAlternatingPages(t *testing.T) {
 	// The TLB is a cache over pages, never a source of truth: its frames
 	// must be exactly what the map holds.
 	for i := 0; i < tlbSize; i++ {
-		if m.tlbPg[i] != nil && m.tlbPg[i] != m.pages[m.tlbPN[i]] {
+		if e := m.tlb[i]; e.pn != noPage && e.pg != m.pages[e.pn] {
 			t.Fatalf("tlb entry %d frame diverges from pages map", i)
 		}
 	}

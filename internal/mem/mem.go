@@ -39,12 +39,15 @@ func (f *Fault) Error() string {
 }
 
 // tlbSize is the number of software-TLB entries; the TLB is direct-mapped
-// on the low page-number bits. Sixteen entries cover the working set the
-// grid workloads actually touch per phase (stack page + a few heap pages +
-// the metadata pages promote reads), and direct mapping keeps the hit path
-// free of pointer writes — an MRU scheme's swap-to-front stores pointers on
-// every reordering, and each such store pays a GC write barrier.
-const tlbSize = 16
+// on the low page-number bits. Sixty-four entries cover the working set of
+// the pointer-chasing grid workloads (stack page + heap pages spread
+// across subheap blocks + the metadata pages promote reads) with few
+// conflict evictions — at sixteen, em3d/bh-style runs thrashed slots and
+// fell back to the pages map on a noticeable fraction of accesses. Direct
+// mapping keeps the hit path free of pointer writes — an MRU scheme's
+// swap-to-front stores pointers on every reordering, and each such store
+// pays a GC write barrier.
+const tlbSize = 64
 
 // Memory is a sparse paged guest address space. It is not safe for
 // concurrent use; the simulated core is single-issue in-order (CVA6), and
@@ -59,9 +62,11 @@ type Memory struct {
 	// counter (cycles and cache statistics are charged upstream in
 	// internal/machine before memory is touched) — is identical with the
 	// TLB disabled. Entries stay valid because a mapped page's frame never
-	// changes until Reset, which invalidates the TLB wholesale.
-	tlbPN [tlbSize]uint64
-	tlbPg [tlbSize]*[PageSize]byte
+	// changes until Reset, which invalidates the TLB wholesale. Each entry
+	// pairs page number and frame in one struct so the hit path is a single
+	// index expression — small enough that page's fast path inlines into
+	// LoadN/StoreN.
+	tlb [tlbSize]tlbEntry
 
 	// Mapped tracks the total number of mapped pages, for the memory
 	// overhead accounting of Figure 12.
@@ -74,6 +79,25 @@ type Memory struct {
 	spare []*[PageSize]byte
 }
 
+// tlbEntry is one software-TLB slot: a page number and its frame. Empty
+// slots hold pn == noPage, a page number no address can produce (page
+// numbers are addr>>PageBits, so they fit in 64-PageBits bits), which
+// keeps the hit test to a single compare with no separate nil check.
+type tlbEntry struct {
+	pn uint64
+	pg *[PageSize]byte
+}
+
+// noPage is the empty-slot sentinel page number.
+const noPage = ^uint64(0)
+
+// invalidateTLB empties every slot.
+func (m *Memory) invalidateTLB() {
+	for i := range m.tlb {
+		m.tlb[i] = tlbEntry{pn: noPage}
+	}
+}
+
 // maxSparePages bounds the page frames Reset retains (64 MiB of host
 // memory per address space); anything beyond is dropped to the GC so a
 // single huge run cannot pin its peak footprint inside a pooled system
@@ -82,7 +106,9 @@ const maxSparePages = 16384
 
 // New returns an empty address space.
 func New() *Memory {
-	return &Memory{pages: make(map[uint64]*[PageSize]byte)}
+	m := &Memory{pages: make(map[uint64]*[PageSize]byte)}
+	m.invalidateTLB()
+	return m
 }
 
 // MappedBytes reports the number of bytes of guest memory currently backed
@@ -107,7 +133,7 @@ func (m *Memory) Reset() {
 		m.spare = append(m.spare, p)
 	}
 	clear(m.pages)
-	m.tlbPg = [tlbSize]*[PageSize]byte{}
+	m.invalidateTLB()
 	m.mapped = 0
 }
 
@@ -128,12 +154,22 @@ func (m *Memory) Map(addr, size uint64) {
 // page translates a page number to its frame, demand-mapping on first
 // touch. The TLB front-ends the pages map, direct-mapped on the low bits
 // of the page number; a hit performs no writes at all, a miss refills the
-// slot after the map lookup (or demand-map) resolves the frame.
+// slot after the map lookup (or demand-map) resolves the frame. The hit
+// path is kept small enough to inline into LoadN/StoreN, so the common
+// aligned access resolves its frame without a function call.
 func (m *Memory) page(pn uint64) *[PageSize]byte {
-	i := pn & (tlbSize - 1)
-	if p := m.tlbPg[i]; p != nil && m.tlbPN[i] == pn {
-		return p
+	if e := &m.tlb[pn&(tlbSize-1)]; e.pn == pn {
+		return e.pg
 	}
+	return m.pageSlow(pn)
+}
+
+// pageSlow is the TLB-miss path: pages-map lookup, demand-map, TLB refill.
+// Kept out of line so page's TLB-hit fast path stays under the inlining
+// budget at its LoadN/StoreN call sites.
+//
+//go:noinline
+func (m *Memory) pageSlow(pn uint64) *[PageSize]byte {
 	p, ok := m.pages[pn]
 	if !ok {
 		if n := len(m.spare); n > 0 {
@@ -146,8 +182,7 @@ func (m *Memory) page(pn uint64) *[PageSize]byte {
 		m.pages[pn] = p
 		m.mapped++
 	}
-	m.tlbPN[i] = pn
-	m.tlbPg[i] = p
+	m.tlb[pn&(tlbSize-1)] = tlbEntry{pn: pn, pg: p}
 	return p
 }
 

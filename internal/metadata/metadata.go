@@ -93,7 +93,15 @@ func LocalGranuleOffset(addr, metaAddr uint64) (uint16, bool) {
 
 // LocalMAC computes the MAC over a local-offset record's identity.
 func LocalMAC(k mac.Key, objBase uint64, size uint16, layoutPtr uint64) uint64 {
-	return mac.Object(k, objBase, uint64(size), layoutPtr)
+	base, f2, f3 := LocalMACFields(objBase, size, layoutPtr)
+	return mac.Object(k, base, f2, f3)
+}
+
+// LocalMACFields exposes the (key-independent) mac.Object input triple of
+// LocalMAC, so a caller memoizing MAC computations keys its cache on the
+// exact packing this package MACs over.
+func LocalMACFields(objBase uint64, size uint16, layoutPtr uint64) (uint64, uint64, uint64) {
+	return objBase, uint64(size), layoutPtr
 }
 
 func roundGranule(n uint64) uint64 {
@@ -181,9 +189,16 @@ func (s Subheap) Slot(blockBase, addr uint64) (objBase uint64, ok bool) {
 // block base stands in for the object base: the metadata describes every
 // object in the block.
 func SubheapMAC(k mac.Key, blockBase uint64, s Subheap) uint64 {
-	return mac.Object(k, blockBase,
-		uint64(s.SlotStart)|uint64(s.SlotEnd)<<32|uint64(s.SlotSize)<<16^uint64(s.ObjSize),
-		s.LayoutPtr)
+	base, f2, f3 := SubheapMACFields(blockBase, s)
+	return mac.Object(k, base, f2, f3)
+}
+
+// SubheapMACFields exposes the mac.Object input triple of SubheapMAC (see
+// LocalMACFields).
+func SubheapMACFields(blockBase uint64, s Subheap) (uint64, uint64, uint64) {
+	return blockBase,
+		uint64(s.SlotStart) | uint64(s.SlotEnd)<<32 | uint64(s.SlotSize)<<16 ^ uint64(s.ObjSize),
+		s.LayoutPtr
 }
 
 // --- Global-table scheme (§3.3.3, Figure 8) ---

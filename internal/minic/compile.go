@@ -2,6 +2,7 @@ package minic
 
 import (
 	"fmt"
+	"sync"
 
 	"infat/internal/layout"
 )
@@ -117,6 +118,15 @@ type Compiled struct {
 	// subobject narrowing) still works — the paper's CoreMark/bzip2
 	// limitation, lifted.
 	Wrappers []string
+
+	// Lowered-form cache (see lower.go). The sync.Once carries its own
+	// synchronization, so lazily lowering does not break the read-only
+	// sharing contract above: every reader observes either nil (and
+	// lowers itself, with Do electing one winner) or the same immutable
+	// *Lowered.
+	lowerOnce sync.Once
+	lowered   *Lowered
+	lowerErr  error
 }
 
 // CompileError is a semantic error.

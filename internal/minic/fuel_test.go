@@ -58,6 +58,99 @@ func TestExecuteBudgetUnaffectedRun(t *testing.T) {
 	}
 }
 
+// TestFuelAmortizedOvershootBounded pins the one-block grace of the
+// register dispatch loop: fuel is checked once per basic block (at the
+// LBlock pseudo-instruction), so a trapping run may retire up to one
+// block past the budget — never more, and never a trap before the budget.
+// The loop body here is a fat straight-line block, the worst case for the
+// amortized check.
+func TestFuelAmortizedOvershootBounded(t *testing.T) {
+	const src = `int main() {
+	long a = 0; long b = 1; long c = 2; long d = 3;
+	while (1) {
+		a = a + b; b = b + c; c = c + d; d = d + a;
+		a = a ^ d; b = b | c; c = c & a; d = d + 1;
+	}
+	return 0;
+}`
+	comp, err := DefaultInterner.Get(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := comp.Lowered()
+	if l == nil {
+		t.Fatalf("program did not lower: %v", comp.LowerError())
+	}
+	// An upper bound on the cycles one block can retire: every lowered
+	// instruction ticks a small constant (ALU 1, loads/stores a cache
+	// access), far below 64 cycles each.
+	grace := 64 * l.MaxBlock
+	for _, fuel := range []uint64{500, 1_000, 10_000, 250_000} {
+		_, _, c, err := ExecuteBudget(src, rt.Subheap, fuel)
+		if !machine.IsTrap(err, machine.TrapFuel) {
+			t.Fatalf("fuel=%d: err = %v, want typed fuel trap", fuel, err)
+		}
+		if c.Cycles < fuel {
+			t.Fatalf("fuel=%d: trapped at %d cycles, before the budget", fuel, c.Cycles)
+		}
+		if over := c.Cycles - fuel; over > grace {
+			t.Fatalf("fuel=%d: overshot budget by %d cycles, amortization grace is %d (MaxBlock=%d)",
+				fuel, over, grace, l.MaxBlock)
+		}
+	}
+}
+
+// TestFuelAmortizedNoSpuriousTrap: a run that fits its budget on the
+// reference walker must also fit it on the register loop — the amortized
+// check points are a subset of the reference check points, so amortization
+// can delay a trap but never invent one.
+func TestFuelAmortizedNoSpuriousTrap(t *testing.T) {
+	const src = `int main() {
+	long i; long acc = 0;
+	for (i = 0; i < 500; i = i + 1) { acc = acc + i * i; }
+	print(acc);
+	return 0;
+}`
+	// Learn the exact cycle cost from an unlimited run.
+	_, _, c, err := ExecuteBudget(src, rt.Subheap, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fuel := range []uint64{c.Cycles + 1, c.Cycles * 2} {
+		refOut, refExit, refC, refErr := ExecuteBudgetReference(src, rt.Subheap, fuel)
+		regOut, regExit, regC, regErr := ExecuteBudget(src, rt.Subheap, fuel)
+		if refErr != nil || regErr != nil {
+			t.Fatalf("fuel=%d: spurious trap: reference %v, register %v", fuel, refErr, regErr)
+		}
+		if refExit != regExit || refC != regC || refOut[0] != regOut[0] {
+			t.Fatalf("fuel=%d: budgeted runs diverged", fuel)
+		}
+	}
+}
+
+// TestFuelTypedTrapBeatsBackstop: with a fat-block loop and a large fuel
+// budget, the register loop must still surface the typed TrapFuel, never
+// the untyped step backstop — the backstop scales with the lowered
+// program's maximum block size precisely so amortized over-charging cannot
+// outrun it.
+func TestFuelTypedTrapBeatsBackstop(t *testing.T) {
+	const src = `int main() {
+	long a = 0;
+	while (1) {
+		a = a + 1; a = a + 2; a = a + 3; a = a + 4;
+		a = a + 5; a = a + 6; a = a + 7; a = a + 8;
+		a = a ^ 1; a = a ^ 2; a = a ^ 3; a = a ^ 4;
+	}
+	return 0;
+}`
+	for _, fuel := range []uint64{100_000, 5_000_000} {
+		_, _, _, err := ExecuteBudget(src, rt.Subheap, fuel)
+		if !machine.IsTrap(err, machine.TrapFuel) {
+			t.Fatalf("fuel=%d: err = %v, want typed fuel trap (not the step backstop)", fuel, err)
+		}
+	}
+}
+
 // TestExecuteBudgetSpatialTrapFirst: a spatial error inside the budget
 // still surfaces as the spatial trap, not fuel.
 func TestExecuteBudgetSpatialTrapFirst(t *testing.T) {

@@ -77,6 +77,12 @@ func (in *Interner) Get(src string) (*Compiled, error) {
 	// is discarded in favor of the entry already published (keeping one
 	// canonical *Compiled per source maximizes sharing).
 	comp, err := compileSource(src)
+	if comp != nil {
+		// Pre-warm the register-bytecode form so every VM (including the
+		// first) finds it cached: lowering, like compilation, is paid
+		// once per distinct source.
+		comp.Lowered()
+	}
 
 	in.mu.Lock()
 	defer in.mu.Unlock()

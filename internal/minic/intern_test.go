@@ -214,10 +214,13 @@ func TestAllocBudgetExecuteBudget(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	// Budget: well under the PR 4 baseline of 84. The remaining allocs
-	// are per-run by design (VM + its Out/heapObjs slices and per-run
-	// guest-object bookkeeping), not per-call or per-access churn.
-	const budget = 40
+	// Budget: well under the PR 4 baseline of 84 and the pre-bytecode
+	// ceiling of 40. The register dispatch loop measures 13 allocs/run
+	// steady state (the stack walker needed 15 — its operand stack grew
+	// mid-run where register windows are sized up front); the remaining
+	// allocs are per-run by design (VM + its Out/heapObjs slices and
+	// per-run guest-object bookkeeping), not per-call or per-access churn.
+	const budget = 16
 	if allocs > budget {
 		t.Fatalf("ExecuteBudget steady state = %.1f allocs/run, budget %d", allocs, budget)
 	}

@@ -7,7 +7,6 @@ import (
 	"infat/internal/rt"
 )
 
-
 // TestTruncatedProgramsError: inputs cut off mid-construct must produce
 // syntax errors, never run the parser's cursor off the token slice
 // (found by FuzzRunC on the bare keyword "struct").

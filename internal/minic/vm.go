@@ -43,6 +43,13 @@ type VM struct {
 
 	steps    uint64
 	maxSteps uint64
+
+	// refOnly forces the reference stack walker even when a lowered form
+	// exists — the differential tests' side of the equivalence contract.
+	refOnly bool
+	// superHits counts dynamically retired lowered instructions per
+	// opcode (only the fused superinstructions are recorded).
+	superHits [lopCount]uint64
 }
 
 // value is one eval-stack entry: a 64-bit value with its bounds register.
@@ -134,14 +141,48 @@ func NewVM(c *Compiled, r *rt.Runtime) (*VM, error) {
 	return vm, nil
 }
 
-// Run executes main and returns its exit value.
+// Run executes main and returns its exit value. It rides the register
+// dispatch loop over the lowered bytecode whenever the program lowers
+// (every compiler-produced program does), falling back to the reference
+// stack walker otherwise — the two are observably identical: same output,
+// exit code, machine counters, trap lines, and teardown order, pinned by
+// the dispatch-equivalence suite and FuzzDispatchEquivalence.
 func (vm *VM) Run() (int64, error) {
+	if !vm.refOnly {
+		if l := vm.C.Lowered(); l != nil {
+			mainIdx := vm.C.FuncIdx["main"]
+			ret, err := vm.callReg(l, mainIdx, len(vm.stack), 0)
+			if err != nil {
+				return 0, err
+			}
+			return int64(ret.v), nil
+		}
+	}
+	return vm.RunReference()
+}
+
+// RunReference executes main on the reference stack walker, bypassing the
+// lowered bytecode. It is the differential baseline for the register
+// dispatch loop; production paths use Run.
+func (vm *VM) RunReference() (int64, error) {
 	mainIdx := vm.C.FuncIdx["main"]
 	ret, err := vm.call(mainIdx, len(vm.stack), 0)
 	if err != nil {
 		return 0, err
 	}
 	return int64(ret.v), nil
+}
+
+// SuperHits reports how many fused superinstructions the VM retired,
+// keyed by mnemonic. Zero-count entries are omitted.
+func (vm *VM) SuperHits() map[string]uint64 {
+	m := map[string]uint64{}
+	for op, n := range vm.superHits {
+		if n > 0 {
+			m[lopNames[LOp(op)]] = n
+		}
+	}
+	return m
 }
 
 // push appends one operand to the shared stack.
@@ -441,6 +482,350 @@ func (vm *VM) call(fnIdx, argBase, nargs int) (value, error) {
 	}
 }
 
+// ensureStack grows the shared operand arena to hold n values without
+// ever shrinking it (deeper frames may have raised the high-water mark;
+// the caller's register window must stay sliceable). New cells are left
+// as-is: the depth analysis proves every register is written before read,
+// so no zeroing is needed.
+func (vm *VM) ensureStack(n int) {
+	if n <= len(vm.stack) {
+		return
+	}
+	if n <= cap(vm.stack) {
+		vm.stack = vm.stack[:n]
+		return
+	}
+	ns := make([]value, n, 2*n)
+	copy(ns, vm.stack)
+	vm.stack = ns
+}
+
+// callReg is the register dispatch loop: vm.call's counterpart over the
+// lowered bytecode. Frame setup, argument binding, and teardown are
+// line-for-line the same as the reference walker (same frame record, same
+// deferred unwindTop, so pooled-VM teardown order is identical); only the
+// instruction loop differs. Operands live in a per-frame register window
+// overlaid on the shared operand arena (register k of this frame is
+// vm.stack[rb+k]), call arguments are passed by window overlap exactly
+// where the stack discipline puts them, and the fuel budget is charged
+// once per extended basic block at its LBlock header instead of per step.
+//
+// Every arm retires the same rt/machine calls in the same order as its
+// stack-IR components, which is what keeps machine.Counters byte-identical
+// between the two loops.
+func (vm *VM) callReg(l *Lowered, fnIdx, argBase, nargs int) (value, error) {
+	fn := vm.C.Funcs[fnIdx]
+	lf := l.Funcs[fnIdx]
+	slotBase := len(vm.slots)
+	vm.frames = append(vm.frames, frame{
+		slotBase: slotBase,
+		opBase:   vm.opBase,
+		mark:     vm.R.StackMark(),
+	})
+	myFrame := len(vm.frames) - 1
+	defer vm.unwindTop()
+	rb := argBase + nargs
+	vm.opBase = rb
+
+	// Allocate and register locals (IFP_Register for aggregates and
+	// address-taken scalars) — identical to the reference walker.
+	for _, li := range fn.Locals {
+		var obj rt.Obj
+		var err error
+		if li.Registered {
+			if li.Type.Kind == layout.KindScalar || li.Type.Kind == layout.KindPointer {
+				obj, err = vm.R.AllocLocalBytes(li.Type.Size())
+			} else {
+				obj, err = vm.R.AllocLocal(li.Type)
+			}
+		} else {
+			var addr uint64
+			addr, err = vm.R.StackRaw(li.Type.Size())
+			obj = rt.Obj{P: addr, Size: li.Type.Size(), Kind: rt.KindLegacy}
+		}
+		if err != nil {
+			return value{}, err
+		}
+		vm.slots = append(vm.slots, obj)
+	}
+	vm.frames[myFrame].framed = true
+
+	// Bind arguments (bounds passed in registers, §4.1.2: no promote for
+	// pointer arguments). The caller left them in its registers at
+	// argBase — the same cells the stack discipline would use.
+	for i := 0; i < nargs; i++ {
+		a := vm.stack[argBase+i]
+		li := fn.Locals[i]
+		slot := vm.slots[slotBase+i]
+		if li.Type.Kind == layout.KindPointer {
+			if err := vm.R.StorePtr(slot.P, slot.B, a.v, a.b); err != nil {
+				return value{}, err
+			}
+		} else {
+			if err := vm.R.Store(slot.P, a.v, int(li.Type.Size()), slot.B); err != nil {
+				return value{}, err
+			}
+		}
+	}
+
+	vm.ensureStack(rb + lf.MaxRegs)
+	regs := vm.stack[rb : rb+lf.MaxRegs]
+	code := lf.Code
+	pc := 0
+	for {
+		if pc < 0 || pc >= len(code) {
+			return value{}, fmt.Errorf("minic: pc %d out of range in %s", pc, fn.Name)
+		}
+		in := &code[pc]
+		pc++
+		switch in.Op {
+		case LBlock:
+			// Amortized accounting: the whole block's steps are charged
+			// and the fuel budget checked once, here. A taken branch can
+			// leave part of the charge unexecuted, so a fuel-limited run
+			// overshoots its budget by at most the current block — the
+			// one sanctioned divergence from the per-step reference.
+			vm.steps += uint64(in.Imm)
+			if err := vm.R.M.CheckFuel(); err != nil {
+				return value{}, &RunError{int(in.Line), err}
+			}
+			if vm.steps > vm.maxSteps {
+				return value{}, fmt.Errorf("minic: step budget exhausted (infinite loop?)")
+			}
+		case LConst:
+			vm.R.M.Tick(1)
+			regs[in.A] = value{v: uint64(in.Imm)}
+		case LStr:
+			vm.R.M.Tick(1)
+			s := vm.strings[in.Imm]
+			regs[in.A] = value{v: s.P, b: s.B}
+		case LLocal:
+			vm.R.M.Tick(1)
+			s := vm.slots[slotBase+int(in.Imm)]
+			regs[in.A] = value{v: s.P, b: s.B}
+		case LGlobal:
+			vm.R.M.Tick(1)
+			g := vm.globals[in.Imm]
+			regs[in.A] = value{v: g.P, b: g.B}
+		case LLoad:
+			a := regs[in.A]
+			v, err := vm.R.Load(a.v, int(in.Size), a.b)
+			if err != nil {
+				return value{}, &RunError{int(in.Line), err}
+			}
+			regs[in.A] = value{v: signExtend(v, int(in.Size))}
+		case LLoadP:
+			a := regs[in.A]
+			p, b, err := vm.R.LoadPtr(a.v, a.b)
+			if err != nil {
+				return value{}, &RunError{int(in.Line), err}
+			}
+			regs[in.A] = value{v: p, b: b}
+		case LStore:
+			a := regs[in.A]
+			v := regs[in.B]
+			if err := vm.R.Store(a.v, v.v, int(in.Size), a.b); err != nil {
+				return value{}, &RunError{int(in.Line), err}
+			}
+		case LStoreP:
+			a := regs[in.A]
+			v := regs[in.B]
+			if err := vm.R.StorePtr(a.v, a.b, v.v, v.b); err != nil {
+				return value{}, &RunError{int(in.Line), err}
+			}
+		case LGep:
+			a := regs[in.A]
+			regs[in.A] = value{v: vm.R.GEP(a.v, in.Imm, a.b), b: a.b}
+		case LGepDyn:
+			a := regs[in.A]
+			idx := regs[in.C]
+			vm.R.M.Tick(1) // index scaling multiply
+			p := vm.R.GEP(a.v, int64(idx.v)*in.Imm, a.b)
+			if in.Sub != SubKeep {
+				p = vm.R.SetSub(p, in.Sub)
+			}
+			regs[in.A] = value{v: p, b: a.b}
+		case LBnd:
+			a := regs[in.A]
+			regs[in.A] = value{v: a.v, b: vm.R.Bnd(a.v, uint64(in.Imm))}
+		case LAddr:
+			a := regs[in.A]
+			vm.R.M.Tick(1)
+			regs[in.A] = value{v: a.v & (1<<48 - 1)}
+		case LMov:
+			vm.R.M.Tick(1)
+			regs[in.A] = regs[in.B]
+		case LAlu:
+			lv := regs[in.A]
+			rv := regs[in.C]
+			vm.R.M.Tick(1)
+			res, err := alu(Op(in.Sub), lv.v, rv.v)
+			if err != nil {
+				return value{}, &RunError{int(in.Line), err}
+			}
+			regs[in.A] = value{v: res}
+		case LNeg:
+			a := regs[in.A]
+			vm.R.M.Tick(1)
+			regs[in.A] = value{v: uint64(-int64(a.v))}
+		case LNot:
+			a := regs[in.A]
+			vm.R.M.Tick(1)
+			if a.v == 0 {
+				regs[in.A] = value{v: 1}
+			} else {
+				regs[in.A] = value{v: 0}
+			}
+		case LBnot:
+			a := regs[in.A]
+			vm.R.M.Tick(1)
+			regs[in.A] = value{v: ^a.v}
+		case LJmp:
+			vm.R.M.Tick(1)
+			pc = int(in.Imm)
+		case LJz:
+			vm.R.M.Tick(1)
+			if regs[in.A].v == 0 {
+				pc = int(in.Imm)
+			}
+		case LJnz:
+			vm.R.M.Tick(1)
+			if regs[in.A].v != 0 {
+				pc = int(in.Imm)
+			}
+		case LCall:
+			vm.R.M.Tick(2) // call/ret overhead
+			ret, err := vm.callReg(l, int(in.Imm), rb+int(in.A), int(in.Sub))
+			if err != nil {
+				return value{}, err
+			}
+			// The callee may have grown (and reallocated) the shared
+			// arena; re-derive this frame's window before touching it.
+			regs = vm.stack[rb : rb+lf.MaxRegs]
+			if vm.C.Funcs[in.Imm].Ret != layout.Void {
+				regs[in.A] = ret
+			}
+		case LRet:
+			if in.Sub == 1 {
+				return regs[in.A], nil
+			}
+			return value{}, nil
+		case LMalloc:
+			size := regs[in.A]
+			var obj rt.Obj
+			var err error
+			if in.Imm >= 0 {
+				t := vm.C.MallocTypes[in.Imm]
+				n := size.v / t.Size()
+				if n == 0 {
+					n = 1
+				}
+				obj, err = vm.R.Malloc(t, n)
+			} else {
+				obj, err = vm.R.MallocBytes(size.v)
+			}
+			if err != nil {
+				return value{}, &RunError{int(in.Line), err}
+			}
+			vm.heapObjs = append(vm.heapObjs, obj)
+			regs[in.A] = value{v: obj.P, b: obj.B}
+		case LFree:
+			p := regs[in.A]
+			if err := vm.freeByPtr(p.v); err != nil {
+				return value{}, &RunError{int(in.Line), err}
+			}
+		case LMemset:
+			p := regs[in.A]
+			v := regs[in.B]
+			n := regs[in.C]
+			if err := vm.R.Memset(p.v, byte(v.v), n.v, p.b); err != nil {
+				return value{}, &RunError{int(in.Line), err}
+			}
+		case LMemcpy:
+			dst := regs[in.A]
+			src := regs[in.B]
+			n := regs[in.C]
+			if err := vm.R.Memcpy(dst.v, dst.b, src.v, src.b, n.v); err != nil {
+				return value{}, &RunError{int(in.Line), err}
+			}
+		case LPrint:
+			v := regs[in.A]
+			vm.R.M.Tick(1)
+			vm.Out = append(vm.Out, int64(v.v))
+
+		// Fused superinstructions. Component machine ops retire in
+		// source order; only the intermediate stack traffic is gone.
+		case LGepIdx:
+			// ifpadd + ifpidx (member derivation with tag update).
+			vm.superHits[LGepIdx]++
+			a := regs[in.A]
+			p := vm.R.GEP(a.v, in.Imm, a.b)
+			regs[in.A] = value{v: vm.R.SetSub(p, in.Sub), b: a.b}
+		case LGepIdxBnd:
+			// GEP (+ifpidx) + ifpbnd: subobject derivation, checked at
+			// member granularity immediately.
+			vm.superHits[LGepIdxBnd]++
+			a := regs[in.A]
+			p := vm.R.GEP(a.v, in.Imm, a.b)
+			if in.Sub != SubKeep {
+				p = vm.R.SetSub(p, in.Sub)
+			}
+			regs[in.A] = value{v: p, b: vm.R.Bnd(p, uint64(in.Imm2))}
+		case LLoadPChk:
+			// promote + ifpchk + load: the pointer-dereference chain.
+			vm.superHits[LLoadPChk]++
+			a := regs[in.A]
+			p, b, err := vm.R.LoadPtr(a.v, a.b)
+			if err != nil {
+				return value{}, &RunError{int(in.Line), err}
+			}
+			v, err := vm.R.Load(p, int(in.Size), b)
+			if err != nil {
+				return value{}, &RunError{int(in.Line2), err}
+			}
+			regs[in.A] = value{v: signExtend(v, int(in.Size))}
+		case LConstGepStore:
+			// const + scaled GEP + store: the constant index and the
+			// derived address stay virtual. Tick(2) = the const
+			// materialization plus the index-scaling multiply of the
+			// unfused sequence.
+			vm.superHits[LConstGepStore]++
+			base := regs[in.B]
+			val := regs[in.A]
+			vm.R.M.Tick(2)
+			p := vm.R.GEP(base.v, in.Imm*in.Imm2, base.b)
+			if in.Sub != SubKeep {
+				p = vm.R.SetSub(p, in.Sub)
+			}
+			if err := vm.R.Store(p, val.v, int(in.Size), base.b); err != nil {
+				return value{}, &RunError{int(in.Line2), err}
+			}
+		case LLocalLoad:
+			// slot address + load.
+			vm.superHits[LLocalLoad]++
+			s := vm.slots[slotBase+int(in.Imm)]
+			vm.R.M.Tick(1)
+			v, err := vm.R.Load(s.P, int(in.Size), s.B)
+			if err != nil {
+				return value{}, &RunError{int(in.Line2), err}
+			}
+			regs[in.A] = value{v: signExtend(v, int(in.Size))}
+		case LLocalLoadP:
+			// slot address + pointer load (promote).
+			vm.superHits[LLocalLoadP]++
+			s := vm.slots[slotBase+int(in.Imm)]
+			vm.R.M.Tick(1)
+			p, b, err := vm.R.LoadPtr(s.P, s.B)
+			if err != nil {
+				return value{}, &RunError{int(in.Line2), err}
+			}
+			regs[in.A] = value{v: p, b: b}
+		default:
+			return value{}, fmt.Errorf("minic: unknown lowered op %d in %s", in.Op, fn.Name)
+		}
+	}
+}
+
 // heapObjs tracks live heap allocations so free(ptr) can find its Obj.
 // (The runtime needs the Obj record; real code derives it from the tag.)
 func (vm *VM) freeByPtr(p uint64) error {
@@ -546,6 +931,24 @@ func Execute(src string, mode rt.Mode) (out []int64, exit int64, err error) {
 // VM never mutates the shared program — which the fresh-vs-interned
 // equivalence tests pin down.
 func ExecuteBudget(src string, mode rt.Mode, fuel uint64) (out []int64, exit int64, c machine.Counters, err error) {
+	return executeBudget(src, mode, fuel, false)
+}
+
+// ExecuteReference is Execute on the reference stack walker, bypassing
+// the lowered bytecode and its register dispatch loop. It exists for the
+// differential tests (dispatch equivalence, FuzzDispatchEquivalence);
+// production paths use Execute/ExecuteBudget.
+func ExecuteReference(src string, mode rt.Mode) (out []int64, exit int64, err error) {
+	out, exit, _, err = ExecuteBudgetReference(src, mode, 0)
+	return out, exit, err
+}
+
+// ExecuteBudgetReference is ExecuteBudget on the reference stack walker.
+func ExecuteBudgetReference(src string, mode rt.Mode, fuel uint64) (out []int64, exit int64, c machine.Counters, err error) {
+	return executeBudget(src, mode, fuel, true)
+}
+
+func executeBudget(src string, mode rt.Mode, fuel uint64, refOnly bool) (out []int64, exit int64, c machine.Counters, err error) {
 	comp, err := DefaultInterner.Get(src)
 	if err != nil {
 		return nil, 0, c, err
@@ -556,15 +959,25 @@ func ExecuteBudget(src string, mode rt.Mode, fuel uint64) (out []int64, exit int
 	if err != nil {
 		return nil, 0, r.M.C, err
 	}
+	vm.refOnly = refOnly
 	if fuel > 0 {
 		r.M.FuelLimit = fuel
 		// Every interpreted step costs at least half a cycle (the only
 		// tick-free op is OpPop, and it cannot appear back-to-back with
-		// itself), so raising the step backstop to 2*fuel guarantees the
-		// typed fuel trap fires first.
+		// itself), so a step backstop of 2*fuel guarantees the typed fuel
+		// trap fires first. The register dispatch loop charges steps per
+		// block and can over-charge skipped instructions by up to one
+		// block per taken branch (each costing at least one cycle), so
+		// its backstop additionally scales by the largest block.
+		scale := uint64(2)
+		if !refOnly {
+			if l := comp.Lowered(); l != nil {
+				scale = 2 * (l.MaxBlock + 1)
+			}
+		}
 		vm.maxSteps = ^uint64(0)
-		if fuel < 1<<62 {
-			vm.maxSteps = 2*fuel + 1_000_000
+		if fuel < (1<<62)/scale {
+			vm.maxSteps = scale*fuel + 1_000_000
 		}
 	}
 	exit, err = vm.Run()

@@ -90,6 +90,9 @@ type env struct {
 	fields map[*layout.Type]*typeFields
 	lastT  *layout.Type // fieldOf memo: kernels cluster accesses by type,
 	lastTF *typeFields  // so most lookups skip even the pointer-keyed map
+	lastT2 *layout.Type // second memo slot: kernels walking a linked
+	lastF2 *typeFields  // structure alternate node/payload types, which
+	// would thrash a single slot back to the map on every access
 	sum    uint64       // running checksum
 }
 
@@ -149,15 +152,33 @@ func (e *env) tick(n uint64) { e.r.M.Tick(n) }
 func (e *env) fieldOf(t *layout.Type, path string) field {
 	tf := e.lastTF
 	if t != e.lastT || tf == nil {
-		tf = e.fields[t]
-		if tf == nil {
-			tf = &typeFields{}
-			e.fields[t] = tf
+		if t == e.lastT2 && e.lastF2 != nil {
+			tf = e.lastF2
+			e.lastT, e.lastT2 = t, e.lastT
+			e.lastTF, e.lastF2 = tf, e.lastTF
+		} else {
+			tf = e.fields[t]
+			if tf == nil {
+				tf = &typeFields{}
+				e.fields[t] = tf
+			}
+			e.lastT2, e.lastF2 = e.lastT, e.lastTF
+			e.lastT, e.lastTF = t, tf
 		}
-		e.lastT, e.lastTF = t, tf
 	}
 	for i, s := range tf.paths {
 		if s == path {
+			// Transpose toward the front: hot paths migrate one slot per
+			// hit, so a kernel's inner-loop fields end up scanned first.
+			// Hits in the top two slots stay put — that way a pair of
+			// alternating hot paths settles at slots 0 and 1 with no
+			// further writes, instead of swapping on every lookup. Order
+			// is host-side cache state only — lookups are exact-match.
+			if i > 1 {
+				tf.paths[i-1], tf.paths[i] = tf.paths[i], tf.paths[i-1]
+				tf.fields[i-1], tf.fields[i] = tf.fields[i], tf.fields[i-1]
+				return tf.fields[i-1]
+			}
 			return tf.fields[i]
 		}
 	}
