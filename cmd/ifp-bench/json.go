@@ -15,6 +15,7 @@ import (
 	"infat/internal/juliet"
 	"infat/internal/machine"
 	"infat/internal/mem"
+	"infat/internal/memo"
 	"infat/internal/minic"
 	"infat/internal/netchaos"
 	"infat/internal/pool"
@@ -27,9 +28,10 @@ import (
 // benchSchema versions the -json output so downstream tooling can detect
 // format changes across BENCH_*.json files. v2 added grid_bench,
 // mem_bench, and intern; v3 added batch_bench; v4 added temporal_bench;
-// v5 added netchaos_bench; v6 adds dispatch_bench (all additive; the
-// deterministic workload cycles and overheads are unchanged from v1).
-const benchSchema = "ifp-bench/v6"
+// v5 added netchaos_bench; v6 added dispatch_bench; v7 adds memo_bench
+// (all additive; the deterministic workload cycles and overheads are
+// unchanged from v1).
+const benchSchema = "ifp-bench/v7"
 
 // benchJSON is the machine-readable benchmark summary -json emits: the
 // §5.2 per-workload cycle counts and geomean overheads, cold-vs-warm
@@ -55,6 +57,7 @@ type benchJSON struct {
 	TemporalBench temporalJSON `json:"temporal_bench"`
 	NetchaosBench netchaosJSON `json:"netchaos_bench"`
 	DispatchBench dispatchJSON `json:"dispatch_bench"`
+	MemoBench     memoJSON     `json:"memo_bench"`
 
 	Pool   map[string]uint64 `json:"pool"`
 	Intern map[string]int    `json:"intern"`
@@ -158,6 +161,25 @@ type dispatchProgJSON struct {
 	Name             string `json:"name"`
 	ReferenceNsPerOp int64  `json:"reference_ns_per_op"`
 	RegisterNsPerOp  int64  `json:"register_ns_per_op"`
+}
+
+// memoJSON compares one cold and one warm pass over a full report-grid
+// campaign (perf + memory cells, serial) through a content-addressed
+// memo store: the warm pass must reassemble the byte-identical report at
+// least 5x faster with every cell a hit, or the -json run fails — those
+// are the memoization acceptance gates, checked on every snapshot.
+// digest_ns_per_op times one canonical cell-digest composition (the cost
+// a miss adds over a plain run). Wall times are host timing; the reports
+// and hit counts are deterministic.
+type memoJSON struct {
+	Workloads     int     `json:"workloads"`
+	Cells         int     `json:"cells"`
+	ColdNsPerOp   int64   `json:"cold_ns_per_op"`
+	WarmNsPerOp   int64   `json:"warm_ns_per_op"`
+	Speedup       float64 `json:"speedup"`
+	WarmHitRate   float64 `json:"warm_hit_rate"`
+	DigestNsPerOp int64   `json:"digest_ns_per_op"`
+	ByteIdentical bool    `json:"byte_identical"`
 }
 
 // workloadJSON is one workload's cycle counts per configuration plus the
@@ -271,6 +293,11 @@ func writeBenchJSON(path string, results []exp.Result, scale, parallel int) erro
 		return err
 	}
 	out.DispatchBench = dispatch
+	memoBench, err := benchMemo(scale)
+	if err != nil {
+		return err
+	}
+	out.MemoBench = memoBench
 	ps := rt.DefaultPool.Stats()
 	out.Pool = map[string]uint64{
 		"hits":     ps.Hits,
@@ -496,6 +523,87 @@ func benchDispatch() (dispatchJSON, error) {
 		return out, lowerErr
 	}
 	out.LowerNsPerOp = lower.NsPerOp() / int64(len(benchDispatchPrograms))
+	return out, nil
+}
+
+// benchMemo runs the memo_bench campaign: a cold serial pass over the
+// full report plan of a fixed workload subset (populating a fresh memo
+// store), then a warm pass over the same plan (every cell replayed from
+// the store), both reassembled through the plan's Assembly. The gates
+// are the memoization acceptance contract: byte-identical reports, a
+// 100% warm hit rate, and at least a 5x warm speedup.
+func benchMemo(scale int) (memoJSON, error) {
+	var ws []workloads.Workload
+	for _, name := range benchBatchWorkloads {
+		w, ok := workloads.ByName(name)
+		if !ok {
+			return memoJSON{}, fmt.Errorf("memo bench: unknown workload %q", name)
+		}
+		ws = append(ws, w)
+	}
+	store := memo.NewStore(memo.DefaultEntries)
+	plan := exp.NewReportPlan(ws, scale, exp.MemScale).WithMemo(store)
+
+	pass := func() (string, time.Duration, error) {
+		a := plan.NewAssembly()
+		start := time.Now()
+		for i := 0; i < plan.NumCells(); i++ {
+			c, err := plan.RunCell(i)
+			if err != nil {
+				return "", 0, err
+			}
+			if err := a.Add(i, c); err != nil {
+				return "", 0, err
+			}
+		}
+		elapsed := time.Since(start)
+		rep, err := a.Report()
+		return rep, elapsed, err
+	}
+
+	coldRep, coldD, err := pass()
+	if err != nil {
+		return memoJSON{}, err
+	}
+	before := store.Stats()
+	warmRep, warmD, err := pass()
+	if err != nil {
+		return memoJSON{}, err
+	}
+	after := store.Stats()
+	if warmD <= 0 {
+		warmD = time.Nanosecond
+	}
+
+	cells := plan.NumCells()
+	hits := after.Hits - before.Hits
+	out := memoJSON{
+		Workloads:     len(ws),
+		Cells:         cells,
+		ColdNsPerOp:   coldD.Nanoseconds(),
+		WarmNsPerOp:   warmD.Nanoseconds(),
+		Speedup:       float64(coldD) / float64(warmD),
+		WarmHitRate:   float64(hits) / float64(cells),
+		ByteIdentical: coldRep == warmRep,
+	}
+	dig := testing.Benchmark(func(b *testing.B) {
+		var sink memo.Digest
+		for i := 0; i < b.N; i++ {
+			sink = plan.CellDigest(i % cells)
+		}
+		_ = sink
+	})
+	out.DigestNsPerOp = dig.NsPerOp()
+
+	switch {
+	case !out.ByteIdentical:
+		return out, fmt.Errorf("memo bench: warm report differs from cold report")
+	case hits != uint64(cells):
+		return out, fmt.Errorf("memo bench: warm pass hit %d of %d cells", hits, cells)
+	case out.Speedup < 5:
+		return out, fmt.Errorf("memo bench: warm speedup %.1fx below the 5x gate (cold %v, warm %v)",
+			out.Speedup, coldD, warmD)
+	}
 	return out, nil
 }
 

@@ -6,13 +6,19 @@
 // Usage:
 //
 //	ifp-bench [-scale N] [-parallel N] [-table4] [-fig10] [-fig11] [-fig12] [-bench name] [-chaos]
-//	          [-temporal] [-json path] [-cpuprofile path] [-memprofile path]
+//	          [-temporal] [-memo] [-memo-dir DIR] [-json path] [-cpuprofile path] [-memprofile path]
 //
 // With no selection flags, everything is printed. The (workload ×
 // configuration) grid fans out over -parallel worker goroutines (default:
 // the number of CPUs); every cell runs in its own isolated runtime and
 // results are collected deterministically, so the output is byte-identical
 // at any worker count. -parallel 1 restores the fully serial run.
+// -memo routes the main report grid through a content-addressed memo
+// store, so repeated cells within one invocation replay instead of
+// re-simulating; -memo-dir additionally loads the store's snapshot at
+// startup and saves it on exit, making repeated invocations warm (a
+// corrupt or version-skewed snapshot is discarded and recomputed, never
+// trusted). Reports are byte-identical with memoization on or off.
 // -cpuprofile and -memprofile write pprof-format host profiles of the
 // selected run, so perf work starts from a measurement instead of a guess.
 package main
@@ -27,6 +33,7 @@ import (
 	"infat/internal/baseline"
 	"infat/internal/chaos"
 	"infat/internal/exp"
+	"infat/internal/memo"
 	"infat/internal/rt"
 	"infat/internal/workloads"
 )
@@ -51,6 +58,8 @@ func run() int {
 	asic := flag.Bool("asic", false, "print the §5.2.4 ASIC extrapolation sweep")
 	related := flag.Bool("related", false, "print the related-work comparison")
 	temporal := flag.Bool("temporal", false, "print the temporal axis: generation-tagging overhead over the grid plus CWE-415/416 detection rates")
+	memoFlag := flag.Bool("memo", false, "memoize report-grid cells in a content-addressed store (byte-identical output, warm cells replayed)")
+	memoDir := flag.String("memo-dir", "", "load the memo snapshot from DIR at startup and save it on exit (implies -memo)")
 	jsonPath := flag.String("json", "", "write a machine-readable benchmark summary (cycles, overheads, serve/grid/mem timings, pool and interner stats) to this path")
 	noReuse := flag.Bool("no-reuse", false, "disable runtime pooling: construct a fresh simulator per cell")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path (pprof format)")
@@ -64,6 +73,25 @@ func run() int {
 	fail := func(err error) int {
 		fmt.Fprintln(os.Stderr, "ifp-bench:", err)
 		return 1
+	}
+
+	// The memo store (when enabled) backs the main report grid: warm
+	// cells replay instead of re-simulating. With -memo-dir the store
+	// round-trips through a snapshot file, so a second invocation starts
+	// warm; a bad snapshot is reported and recomputed from scratch.
+	var store *memo.Store
+	if *memoFlag || *memoDir != "" {
+		store = memo.NewStore(memo.DefaultEntries)
+		if *memoDir != "" {
+			if err := store.LoadSnapshot(*memoDir); err != nil {
+				fmt.Fprintln(os.Stderr, "ifp-bench: memo snapshot discarded:", err)
+			}
+			defer func() {
+				if err := store.SaveSnapshot(*memoDir); err != nil {
+					fmt.Fprintln(os.Stderr, "ifp-bench: memo snapshot save:", err)
+				}
+			}()
+		}
 	}
 
 	// Profiles bracket the whole run so a future perf PR starts from a
@@ -174,7 +202,7 @@ func run() int {
 
 	var results []exp.Result
 	if needPerf {
-		r, err := exp.RunSet(selected, *scale, *parallel)
+		r, err := exp.RunSetMemo(store, selected, *scale, *parallel)
 		if err != nil {
 			return fail(err)
 		}
@@ -182,7 +210,7 @@ func run() int {
 	}
 	var mem []exp.MemResult
 	if needMem {
-		m, err := exp.RunMemSet(selected, *scale**memScale, *parallel)
+		m, err := exp.RunMemSetMemo(store, selected, *scale**memScale, *parallel)
 		if err != nil {
 			return fail(err)
 		}

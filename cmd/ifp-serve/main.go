@@ -7,9 +7,9 @@
 //
 // Usage:
 //
-//	ifp-serve [-addr :8080] [-workers N] [-cache N] [-fuel CYCLES]
-//	          [-max-fuel CYCLES] [-timeout D] [-max-source BYTES]
-//	          [-pprof ADDR] [-selftest]
+//	ifp-serve [-addr :8080] [-workers N] [-cache N] [-memo-dir DIR]
+//	          [-fuel CYCLES] [-max-fuel CYCLES] [-timeout D]
+//	          [-max-source BYTES] [-pprof ADDR] [-selftest]
 //
 // Every run executes under a cycle fuel budget, so a submitted infinite
 // loop traps (class "fuel") instead of pinning a worker; request-chosen
@@ -41,7 +41,8 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "max concurrent simulations (0 = number of CPUs)")
-	cacheN := flag.Int("cache", server.DefaultCacheEntries, "run-result LRU capacity (entries)")
+	cacheN := flag.Int("cache", server.DefaultCacheEntries, "memo store capacity (entries; run results and campaign cells share it)")
+	memoDir := flag.String("memo-dir", "", "load the memo snapshot from DIR at startup and save it on graceful shutdown; empty keeps the store memory-only")
 	fuel := flag.Uint64("fuel", server.DefaultFuel, "default per-run cycle budget")
 	maxFuel := flag.Uint64("max-fuel", server.DefaultMaxFuel, "cap on request-chosen cycle budgets")
 	timeout := flag.Duration("timeout", server.DefaultRequestTimeout, "per-request deadline")
@@ -74,6 +75,7 @@ func main() {
 		Workers:        *workers,
 		RequestTimeout: *timeout,
 		CacheEntries:   *cacheN,
+		MemoDir:        *memoDir,
 		Fuel:           *fuel,
 		MaxFuel:        *maxFuel,
 		MaxSourceBytes: *maxSource,
@@ -112,6 +114,15 @@ func main() {
 	if err := srv.Shutdown(shutCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "ifp-serve: forced shutdown:", err)
 		os.Exit(1)
+	}
+	// Persist the memo store after the drain, so the snapshot includes
+	// everything the final requests computed.
+	if *memoDir != "" {
+		if err := app.SaveMemo(); err != nil {
+			fmt.Fprintln(os.Stderr, "ifp-serve: memo snapshot:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ifp-serve: memo snapshot saved to %s\n", *memoDir)
 	}
 }
 
@@ -236,6 +247,8 @@ func runSelftest(cfg server.Config) error {
 				return fmt.Errorf("run requests = %d, want >= 4", m.Requests["run"])
 			case m.Cache["hits"] < 1 || m.Cache["misses"] < 3:
 				return fmt.Errorf("cache counters %v", m.Cache)
+			case m.Memo["entries"] < 1 || m.Memo["bytes"] == 0:
+				return fmt.Errorf("memo counters %v", m.Memo)
 			case m.Traps["spatial"] < 1 || m.Traps["fuel"] < 1 || m.Traps["none"] < 1:
 				return fmt.Errorf("trap counters %v", m.Traps)
 			}

@@ -150,6 +150,12 @@ func (b Bucket) String() string {
 	return fmt.Sprintf("bucket(%d)", int(b))
 }
 
+// Version is the campaign-behaviour version folded into memoization
+// digests (internal/memo). Bump it whenever Run's observable outcome for
+// any (scheme, fault, seed) changes — new fault semantics, different
+// scenario construction — which invalidates every memoized chaos cell.
+const Version = "chaos/v1"
+
 // Outcome records one campaign cell.
 type Outcome struct {
 	Scheme Scheme

@@ -29,10 +29,12 @@ package exp
 //     ((si*len(Faults))+fi)*seeds + seed.
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 
 	"infat/internal/chaos"
+	"infat/internal/memo"
 	"infat/internal/workloads"
 )
 
@@ -96,8 +98,9 @@ func duplicateCell(seq int, format string, args ...any) error {
 type Plan struct {
 	ws       []workloads.Workload
 	scale    int
-	memScale int  // 0 = no memory cells
-	temporal bool // append the ifp-temporal configuration per workload
+	memScale int         // 0 = no memory cells
+	temporal bool        // append the ifp-temporal configuration per workload
+	memo     *memo.Store // nil = no memoization (WithMemo attaches one)
 }
 
 // NewPlan enumerates the perf grid only (the /v1/grid campaign):
@@ -201,26 +204,62 @@ type CellResult struct {
 
 // RunCell executes cell i in its own pooled runtime. Cells are pure
 // functions of the plan coordinates, so they can run on any process in
-// any order.
+// any order — which is also what makes them memoizable: a plan built
+// WithMemo consults the store first (LookupCell), and a hit returns the
+// shared cached result without touching rt.Pool (callers must not
+// mutate it).
 func (p Plan) RunCell(i int) (CellResult, error) {
-	if pc := p.perfCells(); i < pc {
-		cfgs := p.configs()
-		wi, ci := i/len(cfgs), i%len(cfgs)
-		cfg := cfgs[ci]
-		m, err := runOne(p.ws[wi], cfg.mode, cfg.noPromote, p.scale)
-		if err != nil {
-			return CellResult{}, err
-		}
-		return CellResult{Perf: &m}, nil
-	} else {
-		j := i - pc
-		wi, mi := j/len(memModes), j%len(memModes)
-		m, err := runOne(p.ws[wi], memModes[mi].mode, false, p.scale*p.memScale)
-		if err != nil {
-			return CellResult{}, err
-		}
-		return CellResult{Footprint: m.Footprint}, nil
+	if c, ok := p.LookupCell(i); ok {
+		return c, nil
 	}
+	return p.ComputeCell(i)
+}
+
+// LookupCell serves cell i from the plan's memo store. ok=false means a
+// miss (or no store attached) and the caller must ComputeCell. The hit
+// path is zero-allocation and never touches rt.Pool. Callers that split
+// lookup from compute themselves — the batch serving tier, which only
+// takes a worker slot for real computation — use this pair instead of
+// RunCell so misses are counted exactly once.
+func (p Plan) LookupCell(i int) (CellResult, bool) {
+	if p.memo == nil {
+		return CellResult{}, false
+	}
+	w, mode, noPromote, scale, perf := p.cellSpec(i)
+	v, ok := p.memo.GetKind(CellDigest(w, mode, noPromote, scale), memo.KindCell)
+	if !ok {
+		return CellResult{}, false
+	}
+	m := v.(*ModeResult)
+	if perf {
+		return CellResult{Perf: m}, true
+	}
+	return CellResult{Footprint: m.Footprint}, true
+}
+
+// ComputeCell executes cell i unconditionally and, when the plan carries
+// a store, publishes the result for the next identical cell. It never
+// reads the store, so pairing LookupCell + ComputeCell counts exactly
+// one miss.
+func (p Plan) ComputeCell(i int) (CellResult, error) {
+	w, mode, noPromote, scale, perf := p.cellSpec(i)
+	m, err := runOne(w, mode, noPromote, scale)
+	if err != nil {
+		// Errors are never memoized: a failed cell re-runs on every
+		// request, so a transient failure cannot poison the store.
+		return CellResult{}, err
+	}
+	if p.memo != nil {
+		enc, encErr := json.Marshal(&m)
+		if encErr != nil {
+			enc = nil // memory-only entry; snapshots just skip it
+		}
+		p.memo.Put(CellDigest(w, mode, noPromote, scale), memo.KindCell, &m, enc)
+	}
+	if perf {
+		return CellResult{Perf: &m}, nil
+	}
+	return CellResult{Footprint: m.Footprint}, nil
 }
 
 // Assembly folds cell results back into the slices a serial run
@@ -371,6 +410,7 @@ func PerfReport(results []Result) string {
 type ChaosPlan struct {
 	scale int
 	seeds int
+	memo  *memo.Store // nil = no memoization (WithMemo attaches one)
 }
 
 // NewChaosPlan enumerates the campaign at the given scale (scale < 1 is
@@ -410,10 +450,41 @@ func (p ChaosPlan) Key(i int) string {
 }
 
 // RunCell executes cell i. chaos.Run classifies every outcome (panics
-// included), so cells never fail at the harness level.
+// included), so cells never fail at the harness level. Plans built
+// WithMemo replay hits from the store instead of re-injecting the fault.
 func (p ChaosPlan) RunCell(i int) chaos.Outcome {
+	if o, ok := p.LookupCell(i); ok {
+		return o
+	}
+	return p.ComputeCell(i)
+}
+
+// LookupCell serves chaos cell i from the plan's memo store (ok=false:
+// miss, or no store). Zero-allocation, never touches rt.Pool.
+func (p ChaosPlan) LookupCell(i int) (chaos.Outcome, bool) {
+	if p.memo == nil {
+		return chaos.Outcome{}, false
+	}
 	s, f, seed := p.coords(i)
-	return chaos.Run(s, f, seed)
+	if v, ok := p.memo.GetKind(chaosCellDigest(s, f, seed), memo.KindChaos); ok {
+		return *(v.(*chaos.Outcome)), true
+	}
+	return chaos.Outcome{}, false
+}
+
+// ComputeCell injects chaos cell i's fault unconditionally and, when the
+// plan carries a store, publishes the outcome. It never reads the store.
+func (p ChaosPlan) ComputeCell(i int) chaos.Outcome {
+	s, f, seed := p.coords(i)
+	o := chaos.Run(s, f, seed)
+	if p.memo != nil {
+		enc, err := json.Marshal(&o)
+		if err != nil {
+			enc = nil
+		}
+		p.memo.Put(chaosCellDigest(s, f, seed), memo.KindChaos, &o, enc)
+	}
+	return o
 }
 
 // ChaosAssembly folds streamed chaos outcomes back into campaign order.

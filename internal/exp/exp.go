@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"infat/internal/machine"
+	"infat/internal/memo"
 	"infat/internal/pool"
 	"infat/internal/rt"
 	"infat/internal/stats"
@@ -126,6 +127,13 @@ func Run(w workloads.Workload, scale int) (Result, error) {
 // output is byte-identical at any worker count; a failed cell does not
 // abort the rest of the grid — all cell and checksum errors are joined.
 func RunSet(ws []workloads.Workload, scale, workers int) ([]Result, error) {
+	return RunSetMemo(nil, ws, scale, workers)
+}
+
+// RunSetMemo is RunSet through a memo store: warm cells replay from s
+// instead of simulating, cold cells publish their results (nil s is
+// plain RunSet). The output is byte-identical either way.
+func RunSetMemo(s *memo.Store, ws []workloads.Workload, scale, workers int) ([]Result, error) {
 	out := make([]Result, len(ws))
 	for i, w := range ws {
 		out[i].Name, out[i].Suite = w.Name, w.Suite
@@ -133,11 +141,11 @@ func RunSet(ws []workloads.Workload, scale, workers int) ([]Result, error) {
 	err := pool.Map(workers, len(ws)*len(cellConfigs), func(c int) error {
 		wi, ci := c/len(cellConfigs), c%len(cellConfigs)
 		cfg := cellConfigs[ci]
-		m, err := runOne(ws[wi], cfg.mode, cfg.noPromote, scale)
+		m, _, err := RunOneMemo(s, ws[wi], cfg.mode, cfg.noPromote, scale)
 		if err != nil {
 			return err
 		}
-		*cfg.dst(&out[wi]) = m
+		*cfg.dst(&out[wi]) = *m
 		return nil
 	})
 	if err != nil {
@@ -277,13 +285,20 @@ func RunMem(w workloads.Workload, scale int) (MemResult, error) {
 // (workload × mode) cells over at most workers goroutines with the same
 // deterministic collection scheme as RunSet.
 func RunMemSet(ws []workloads.Workload, scale, workers int) ([]MemResult, error) {
+	return RunMemSetMemo(nil, ws, scale, workers)
+}
+
+// RunMemSetMemo is RunMemSet through a memo store (nil s is plain
+// RunMemSet). Memory cells share digests with perf cells at the same
+// effective scale, so a warm grid also warms the footprint pass.
+func RunMemSetMemo(s *memo.Store, ws []workloads.Workload, scale, workers int) ([]MemResult, error) {
 	out := make([]MemResult, len(ws))
 	for i, w := range ws {
 		out[i].Name = w.Name
 	}
 	err := pool.Map(workers, len(ws)*len(memModes), func(c int) error {
 		wi, mi := c/len(memModes), c%len(memModes)
-		m, err := runOne(ws[wi], memModes[mi].mode, false, scale)
+		m, _, err := RunOneMemo(s, ws[wi], memModes[mi].mode, false, scale)
 		if err != nil {
 			return err
 		}

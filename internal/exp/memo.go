@@ -1,0 +1,187 @@
+package exp
+
+// Cell memoization: every campaign cell is a pure, byte-deterministic
+// function of its coordinates — (workload, mode, noPromote, scale) under
+// the machine cost model for grid cells, (scheme, fault, seed) for chaos
+// cells; the assembly- and dispatch-equivalence gates pin exactly that —
+// so a plan carrying a memo.Store (WithMemo) consults it before checking
+// a runtime out of rt.Pool and replays hits instead of recomputing.
+//
+// The hit path is zero-allocation and never touches the pool: digest
+// composition runs in a stack buffer, the store returns the shared
+// immutable *ModeResult, and RunCell hands it out without copying.
+// Callers must treat memoized results as read-only (every existing
+// consumer already copies on fold or marshals to JSON). A plan without a
+// store — the default — behaves byte-identically to the pre-memo
+// harness.
+
+import (
+	"encoding/json"
+
+	"infat/internal/chaos"
+	"infat/internal/machine"
+	"infat/internal/memo"
+	"infat/internal/rt"
+	"infat/internal/workloads"
+)
+
+func init() {
+	memo.RegisterKind(memo.KindCell, memo.Codec{Decode: func(p []byte) (any, error) {
+		var m ModeResult
+		if err := json.Unmarshal(p, &m); err != nil {
+			return nil, err
+		}
+		return &m, nil
+	}})
+	memo.RegisterKind(memo.KindChaos, memo.Codec{Decode: func(p []byte) (any, error) {
+		var o chaos.Outcome
+		if err := json.Unmarshal(p, &o); err != nil {
+			return nil, err
+		}
+		return &o, nil
+	}})
+}
+
+// cellDigestCost is the canonical grid-cell key: the workload's
+// content-address (name, suite, kernel version), the run mode, the
+// promote toggle, the effective scale, and every field of the machine
+// cost model (a recalibration changes cycle counts, so it must change
+// the key). The cost model is passed explicitly so tests can pin the
+// composition against a known calibration.
+func cellDigestCost(w workloads.Workload, mode rt.Mode, noPromote bool, scale int, cost machine.CostModel) memo.Digest {
+	var g memo.Digester
+	g.Init(memo.DomainCell)
+	g.Raw(memo.WorkloadDigest(w.Name, w.Suite, workloads.Version))
+	g.Str(mode.String())
+	g.Bool(noPromote)
+	g.U64(uint64(scale))
+	g.U64(cost.MissPenalty)
+	g.U64(cost.PromoteBase)
+	g.U64(cost.DivCycles)
+	g.U64(cost.SlotDivCycles)
+	g.U64(cost.MacCycles)
+	g.U64(cost.GenCheckCycles)
+	return g.Sum()
+}
+
+// CellDigest keys one grid cell under the standard calibration
+// (machine.DefaultCost) — what runOne executes.
+func CellDigest(w workloads.Workload, mode rt.Mode, noPromote bool, scale int) memo.Digest {
+	return cellDigestCost(w, mode, noPromote, scale, machine.DefaultCost)
+}
+
+// chaosCellDigest keys one fault-injection cell.
+func chaosCellDigest(s chaos.Scheme, f chaos.Fault, seed uint64) memo.Digest {
+	return memo.ChaosDigest(s.String(), f.String(), seed, chaos.Version)
+}
+
+// LookupOne serves one (workload, mode, noPromote, scale) cell from the
+// store (ok=false: miss, or nil store). The returned *ModeResult is the
+// shared cached value — read-only. Zero-allocation, never touches
+// rt.Pool. Callers that gate real computation behind admission control
+// (the unary /v1/workload endpoint) pair this with ComputeOne.
+func LookupOne(s *memo.Store, w workloads.Workload, mode rt.Mode, noPromote bool, scale int) (*ModeResult, bool) {
+	if s == nil {
+		return nil, false
+	}
+	if v, ok := s.GetKind(CellDigest(w, mode, noPromote, scale), memo.KindCell); ok {
+		return v.(*ModeResult), true
+	}
+	return nil, false
+}
+
+// ComputeOne executes the cell unconditionally via runOne and, when s is
+// non-nil, publishes the result for the next identical cell — wherever
+// it runs (batch stream, unary endpoint, bench grid). It never reads the
+// store, so a LookupOne + ComputeOne pair counts exactly one miss.
+func ComputeOne(s *memo.Store, w workloads.Workload, mode rt.Mode, noPromote bool, scale int) (*ModeResult, error) {
+	m, err := runOne(w, mode, noPromote, scale)
+	if err != nil {
+		// Errors are never memoized: a failed cell re-runs on every
+		// request, so a transient failure cannot poison the store.
+		return nil, err
+	}
+	if s != nil {
+		enc, encErr := json.Marshal(&m)
+		if encErr != nil {
+			enc = nil // memory-only entry; snapshots just skip it
+		}
+		s.Put(CellDigest(w, mode, noPromote, scale), memo.KindCell, &m, enc)
+	}
+	return &m, nil
+}
+
+// RunOneMemo is LookupOne-else-ComputeOne in one call; the bool reports
+// whether the result was replayed from the store.
+func RunOneMemo(s *memo.Store, w workloads.Workload, mode rt.Mode, noPromote bool, scale int) (*ModeResult, bool, error) {
+	if m, ok := LookupOne(s, w, mode, noPromote, scale); ok {
+		return m, true, nil
+	}
+	m, err := ComputeOne(s, w, mode, noPromote, scale)
+	return m, false, err
+}
+
+// WithMemo returns a copy of the plan whose RunCell consults the store
+// (nil reverts to plain execution). The store is not part of the plan's
+// enumeration identity: two plans differing only in store agree on every
+// seq, key, and digest.
+func (p Plan) WithMemo(s *memo.Store) Plan {
+	p.memo = s
+	return p
+}
+
+// Memo returns the plan's store (nil when memoization is off).
+func (p Plan) Memo() *memo.Store { return p.memo }
+
+// cellSpec resolves cell i to the runOne coordinates it executes:
+// (workload, mode, noPromote, effective scale), plus whether it is a
+// perf cell (false = memory cell, whose result is the footprint).
+func (p Plan) cellSpec(i int) (w workloads.Workload, mode rt.Mode, noPromote bool, scale int, perf bool) {
+	if pc := p.perfCells(); i < pc {
+		cfgs := p.configs()
+		wi, ci := i/len(cfgs), i%len(cfgs)
+		cfg := cfgs[ci]
+		return p.ws[wi], cfg.mode, cfg.noPromote, p.scale, true
+	}
+	j := i - p.perfCells()
+	wi, mi := j/len(memModes), j%len(memModes)
+	return p.ws[wi], memModes[mi].mode, false, p.scale * p.memScale, false
+}
+
+// CellDigest returns cell i's canonical memo key. Like Key, it is a pure
+// function of the cell's coordinates, not of this particular plan — a
+// perf cell and a memory cell at the same effective coordinates share a
+// digest (and therefore a memo entry), because they are the same
+// computation.
+func (p Plan) CellDigest(i int) memo.Digest {
+	w, mode, noPromote, scale, _ := p.cellSpec(i)
+	return CellDigest(w, mode, noPromote, scale)
+}
+
+// ProbeCell reports whether cell i would be served from the memo store,
+// with no counter effect — for warm-cell headers and diagnostics.
+func (p Plan) ProbeCell(i int) bool {
+	return p.memo != nil && p.memo.Peek(p.CellDigest(i))
+}
+
+// WithMemo returns a copy of the chaos plan whose RunCell consults the
+// store (nil reverts to plain execution).
+func (p ChaosPlan) WithMemo(s *memo.Store) ChaosPlan {
+	p.memo = s
+	return p
+}
+
+// Memo returns the plan's store (nil when memoization is off).
+func (p ChaosPlan) Memo() *memo.Store { return p.memo }
+
+// CellDigest returns chaos cell i's canonical memo key.
+func (p ChaosPlan) CellDigest(i int) memo.Digest {
+	s, f, seed := p.coords(i)
+	return chaosCellDigest(s, f, seed)
+}
+
+// ProbeCell reports whether chaos cell i would be served from the memo
+// store, with no counter effect.
+func (p ChaosPlan) ProbeCell(i int) bool {
+	return p.memo != nil && p.memo.Peek(p.CellDigest(i))
+}

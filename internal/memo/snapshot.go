@@ -1,0 +1,203 @@
+package memo
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot format (memo.snap inside -memo-dir), self-describing and
+// integrity-checked so a stale or damaged file can only cost warmth:
+//
+//	magic    [8]byte  "IFPMEMO\n"
+//	version  u32 LE   snapshotVersion
+//	count    u32 LE   number of entries
+//	entries  count ×:
+//	    kind    byte
+//	    digest  [32]byte   the store key
+//	    plen    u32 LE     payload length
+//	    payload [plen]byte canonical encoding (Codec-decodable)
+//	    check   [32]byte   sha256(kind || digest || payload)
+//
+// Every entry carries its own check hash, so a flipped bit anywhere in
+// an entry is detected without trusting file length alone; a bad header
+// or version is rejected before any entry is read. Unknown kinds (a
+// snapshot written by a newer binary with extra kinds) are skipped, not
+// fatal.
+
+const (
+	snapshotMagic   = "IFPMEMO\n"
+	snapshotVersion = uint32(1)
+	// SnapshotFile is the file name inside a -memo-dir.
+	SnapshotFile = "memo.snap"
+	// maxSnapshotEntry bounds one payload so a corrupt length field
+	// cannot drive a giant allocation.
+	maxSnapshotEntry = 16 << 20
+)
+
+// ErrSnapshotCorrupt reports a snapshot that failed structural or
+// per-entry integrity checks. The store falls back to recompute.
+var ErrSnapshotCorrupt = errors.New("memo: snapshot corrupt")
+
+// ErrSnapshotVersion reports a snapshot with the right magic but a
+// different format version. The store falls back to recompute.
+var ErrSnapshotVersion = errors.New("memo: snapshot version mismatch")
+
+// SnapshotPath returns the snapshot file path inside dir.
+func SnapshotPath(dir string) string { return filepath.Join(dir, SnapshotFile) }
+
+func entryCheck(kind byte, d Digest, payload []byte) Digest {
+	h := sha256.New()
+	h.Write([]byte{kind})
+	h.Write(d[:])
+	h.Write(payload)
+	var out Digest
+	h.Sum(out[:0])
+	return out
+}
+
+// SaveSnapshot writes every completed, kept entry that has a canonical
+// encoding to dir's snapshot file (temp file + rename, so a crash
+// mid-write never leaves a half snapshot for the next boot to trip on).
+// Entries without an encoding (enc == nil) are memory-only and skipped.
+func (s *Store) SaveSnapshot(dir string) error {
+	type rec struct {
+		kind    byte
+		digest  Digest
+		payload []byte
+	}
+	s.mu.Lock()
+	recs := make([]rec, 0, s.order.Len())
+	// Back-to-front: least recently used first, so on reload (which
+	// inserts in file order) the most recently used entries end up
+	// freshest in the LRU.
+	for el := s.order.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*Entry)
+		if e.done && e.keep && e.enc != nil {
+			recs = append(recs, rec{e.kind, e.digest, e.enc})
+		}
+	}
+	s.mu.Unlock()
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, SnapshotFile+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	w.WriteString(snapshotMagic)
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], snapshotVersion)
+	w.Write(u32[:])
+	binary.LittleEndian.PutUint32(u32[:], uint32(len(recs)))
+	w.Write(u32[:])
+	for _, r := range recs {
+		w.WriteByte(r.kind)
+		w.Write(r.digest[:])
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(r.payload)))
+		w.Write(u32[:])
+		w.Write(r.payload)
+		chk := entryCheck(r.kind, r.digest, r.payload)
+		w.Write(chk[:])
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), SnapshotPath(dir))
+}
+
+// LoadSnapshot reads dir's snapshot into the store. A missing file is
+// not an error (first run with a fresh dir). A corrupt or version-skewed
+// file returns ErrSnapshotCorrupt / ErrSnapshotVersion with the store
+// left holding whatever valid prefix was loaded — safe either way, since
+// every loaded entry passed its own integrity check; callers typically
+// log and continue cold. Entries of unregistered kinds or that fail
+// decoding are counted in Stats().Skipped and dropped.
+func (s *Store) LoadSnapshot(dir string) error {
+	f, err := os.Open(SnapshotPath(dir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return fmt.Errorf("%w: short header", ErrSnapshotCorrupt)
+	}
+	if string(magic[:]) != snapshotMagic {
+		return fmt.Errorf("%w: bad magic", ErrSnapshotCorrupt)
+	}
+	var u32 [4]byte
+	if _, err := io.ReadFull(r, u32[:]); err != nil {
+		return fmt.Errorf("%w: short header", ErrSnapshotCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(u32[:]); v != snapshotVersion {
+		return fmt.Errorf("%w: file v%d, binary v%d", ErrSnapshotVersion, v, snapshotVersion)
+	}
+	if _, err := io.ReadFull(r, u32[:]); err != nil {
+		return fmt.Errorf("%w: short header", ErrSnapshotCorrupt)
+	}
+	count := binary.LittleEndian.Uint32(u32[:])
+
+	for i := uint32(0); i < count; i++ {
+		kind, err := r.ReadByte()
+		if err != nil {
+			return fmt.Errorf("%w: entry %d truncated", ErrSnapshotCorrupt, i)
+		}
+		var d Digest
+		if _, err := io.ReadFull(r, d[:]); err != nil {
+			return fmt.Errorf("%w: entry %d truncated", ErrSnapshotCorrupt, i)
+		}
+		if _, err := io.ReadFull(r, u32[:]); err != nil {
+			return fmt.Errorf("%w: entry %d truncated", ErrSnapshotCorrupt, i)
+		}
+		plen := binary.LittleEndian.Uint32(u32[:])
+		if plen > maxSnapshotEntry {
+			return fmt.Errorf("%w: entry %d payload length %d", ErrSnapshotCorrupt, i, plen)
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return fmt.Errorf("%w: entry %d truncated", ErrSnapshotCorrupt, i)
+		}
+		var chk Digest
+		if _, err := io.ReadFull(r, chk[:]); err != nil {
+			return fmt.Errorf("%w: entry %d truncated", ErrSnapshotCorrupt, i)
+		}
+		if entryCheck(kind, d, payload) != chk {
+			return fmt.Errorf("%w: entry %d check mismatch", ErrSnapshotCorrupt, i)
+		}
+		c, ok := codecFor(kind)
+		if !ok {
+			s.skipped.Add(1)
+			continue
+		}
+		val, err := c.Decode(payload)
+		if err != nil {
+			s.skipped.Add(1)
+			continue
+		}
+		s.Put(d, kind, val, payload)
+		s.loaded.Add(1)
+	}
+	// Anything after the declared entries is trailing garbage.
+	if _, err := r.ReadByte(); err != io.EOF {
+		return fmt.Errorf("%w: trailing data", ErrSnapshotCorrupt)
+	}
+	return nil
+}

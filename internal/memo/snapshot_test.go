@@ -1,0 +1,181 @@
+package memo
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// Test-only kinds with registered codecs; high numbers keep clear of the
+// real registrations from exp/server init functions.
+const (
+	kindTestStr byte = 200
+	kindTestBad byte = 201 // registered with an always-failing decoder
+	kindUnknown byte = 202 // never registered
+)
+
+func init() {
+	RegisterKind(kindTestStr, Codec{Decode: func(p []byte) (any, error) { return string(p), nil }})
+	RegisterKind(kindTestBad, Codec{Decode: func(p []byte) (any, error) { return nil, errors.New("bad") }})
+}
+
+func TestSnapshotRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(16)
+	for i := 0; i < 5; i++ {
+		v := fmt.Sprintf("value-%d", i)
+		s.Put(dg(fmt.Sprintf("k%d", i)), kindTestStr, v, []byte(v))
+	}
+	// Memory-only entry (nil enc) must not be snapshotted.
+	s.Put(dg("memonly"), kindTestStr, "ram", nil)
+	if err := s.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := NewStore(16)
+	if err := s2.LoadSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		v, ok := s2.GetKind(dg(fmt.Sprintf("k%d", i)), kindTestStr)
+		if !ok || v.(string) != fmt.Sprintf("value-%d", i) {
+			t.Errorf("k%d: got %v %v", i, v, ok)
+		}
+	}
+	if _, ok := s2.GetKind(dg("memonly"), kindTestStr); ok {
+		t.Error("nil-enc entry leaked into the snapshot")
+	}
+	if st := s2.Stats(); st.Loaded != 5 || st.Skipped != 0 {
+		t.Errorf("loaded/skipped = %d/%d, want 5/0", st.Loaded, st.Skipped)
+	}
+}
+
+func TestSnapshotPreservesRecency(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(16)
+	for i := 0; i < 6; i++ {
+		v := fmt.Sprintf("v%d", i)
+		s.Put(dg(fmt.Sprintf("k%d", i)), kindTestStr, v, []byte(v))
+	}
+	s.GetKind(dg("k0"), kindTestStr) // k0 becomes most recently used
+	if err := s.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Reload into a store that only fits 2 entries: the freshest two
+	// (k0 and k5) must be the survivors.
+	s2 := NewStore(2)
+	if err := s2.LoadSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Peek(dg("k0")) || !s2.Peek(dg("k5")) {
+		t.Error("reload did not preserve LRU ordering")
+	}
+}
+
+func TestSnapshotMissingFileIsCold(t *testing.T) {
+	s := NewStore(16)
+	if err := s.LoadSnapshot(t.TempDir()); err != nil {
+		t.Fatalf("missing snapshot must be a cold start, got %v", err)
+	}
+}
+
+func writeTestSnapshot(t *testing.T, dir string) string {
+	t.Helper()
+	s := NewStore(16)
+	for i := 0; i < 3; i++ {
+		v := fmt.Sprintf("value-%d", i)
+		s.Put(dg(fmt.Sprintf("k%d", i)), kindTestStr, v, []byte(v))
+	}
+	if err := s.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	return SnapshotPath(dir)
+}
+
+func TestSnapshotCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestSnapshot(t, dir)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload bit past the header: the per-entry check must
+	// catch it regardless of where it lands.
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewStore(16).LoadSnapshot(dir); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("got %v, want ErrSnapshotCorrupt", err)
+	}
+}
+
+func TestSnapshotBadMagic(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestSnapshot(t, dir)
+	raw, _ := os.ReadFile(path)
+	raw[0] = 'X'
+	os.WriteFile(path, raw, 0o644)
+	if err := NewStore(16).LoadSnapshot(dir); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("got %v, want ErrSnapshotCorrupt", err)
+	}
+}
+
+func TestSnapshotVersionSkew(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestSnapshot(t, dir)
+	raw, _ := os.ReadFile(path)
+	binary.LittleEndian.PutUint32(raw[8:], snapshotVersion+1)
+	os.WriteFile(path, raw, 0o644)
+	if err := NewStore(16).LoadSnapshot(dir); !errors.Is(err, ErrSnapshotVersion) {
+		t.Fatalf("got %v, want ErrSnapshotVersion", err)
+	}
+}
+
+func TestSnapshotTruncated(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestSnapshot(t, dir)
+	raw, _ := os.ReadFile(path)
+	for _, cut := range []int{4, 13, len(raw) - 1} {
+		os.WriteFile(path, raw[:cut], 0o644)
+		if err := NewStore(16).LoadSnapshot(dir); !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Fatalf("truncated at %d: got %v, want ErrSnapshotCorrupt", cut, err)
+		}
+	}
+}
+
+func TestSnapshotTrailingGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := writeTestSnapshot(t, dir)
+	raw, _ := os.ReadFile(path)
+	os.WriteFile(path, append(raw, 0xEE), 0o644)
+	if err := NewStore(16).LoadSnapshot(dir); !errors.Is(err, ErrSnapshotCorrupt) {
+		t.Fatalf("got %v, want ErrSnapshotCorrupt", err)
+	}
+}
+
+func TestSnapshotUnknownAndUndecodableKindsSkipped(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(16)
+	s.Put(dg("good"), kindTestStr, "good", []byte("good"))
+	s.Put(dg("nocodec"), kindUnknown, "x", []byte("x"))
+	s.Put(dg("baddecode"), kindTestBad, "y", []byte("y"))
+	if err := s.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStore(16)
+	if err := s2.LoadSnapshot(dir); err != nil {
+		t.Fatalf("skippable entries must not fail the load: %v", err)
+	}
+	if v, ok := s2.GetKind(dg("good"), kindTestStr); !ok || v.(string) != "good" {
+		t.Errorf("good entry: got %v %v", v, ok)
+	}
+	if s2.Peek(dg("nocodec")) || s2.Peek(dg("baddecode")) {
+		t.Error("skippable entries must not be loaded")
+	}
+	if st := s2.Stats(); st.Loaded != 1 || st.Skipped != 2 {
+		t.Errorf("loaded/skipped = %d/%d, want 1/2", st.Loaded, st.Skipped)
+	}
+}

@@ -151,14 +151,25 @@ type BatchTrailer struct {
 }
 
 // campaign is a batch endpoint's enumerated cell plan. The two
-// implementations wrap exp.Plan and exp.ChaosPlan; the interface is what
-// lets one streaming handler serve all three endpoints.
+// implementations wrap exp.Plan and exp.ChaosPlan (carrying the server's
+// memo store); the interface is what lets one streaming handler serve
+// all three endpoints.
 type campaign interface {
 	numCells() int
 	// meta returns the cell's identity skeleton (Seq/Kind/Workload/Config).
 	meta(i int) BatchCell
-	// run executes the cell, filling the payload or Error on the skeleton.
+	// run executes the cell unconditionally (the memo miss path), filling
+	// the payload or Error on the skeleton and publishing the result to
+	// the store.
 	run(i int, cell *BatchCell)
+	// tryMemo serves the cell from the memo store: ok=true carries a
+	// complete line whose payload bytes are identical to a computed one.
+	// The caller skips the worker semaphore for hits — a replay costs no
+	// admission slot and no runtime checkout.
+	tryMemo(i int) (cell BatchCell, ok bool)
+	// warm reports (without counter effects) whether the cell is
+	// currently served from the store — the MemoHeader probe.
+	warm(i int) bool
 }
 
 type gridCampaign struct{ p exp.Plan }
@@ -171,13 +182,25 @@ func (g gridCampaign) meta(i int) BatchCell {
 }
 
 func (g gridCampaign) run(i int, cell *BatchCell) {
-	res, err := g.p.RunCell(i)
+	res, err := g.p.ComputeCell(i)
 	if err != nil {
 		cell.Error = err.Error()
 		return
 	}
 	cell.Result = &res
 }
+
+func (g gridCampaign) tryMemo(i int) (BatchCell, bool) {
+	res, ok := g.p.LookupCell(i)
+	if !ok {
+		return BatchCell{}, false
+	}
+	cell := g.meta(i)
+	cell.Result = &res
+	return cell, true
+}
+
+func (g gridCampaign) warm(i int) bool { return g.p.ProbeCell(i) }
 
 type chaosCampaign struct{ p exp.ChaosPlan }
 
@@ -189,9 +212,21 @@ func (c chaosCampaign) meta(i int) BatchCell {
 }
 
 func (c chaosCampaign) run(i int, cell *BatchCell) {
-	o := c.p.RunCell(i)
+	o := c.p.ComputeCell(i)
 	cell.Chaos = &o
 }
+
+func (c chaosCampaign) tryMemo(i int) (BatchCell, bool) {
+	o, ok := c.p.LookupCell(i)
+	if !ok {
+		return BatchCell{}, false
+	}
+	cell := c.meta(i)
+	cell.Chaos = &o
+	return cell, true
+}
+
+func (c chaosCampaign) warm(i int) bool { return c.p.ProbeCell(i) }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchRequest
@@ -209,7 +244,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.streamCampaign(w, r, gridCampaign{plan}, req.Cells)
+	s.streamCampaign(w, r, gridCampaign{plan.WithMemo(s.memo)}, req.Cells)
 }
 
 func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
@@ -228,7 +263,7 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.streamCampaign(w, r, gridCampaign{plan}, req.Cells)
+	s.streamCampaign(w, r, gridCampaign{plan.WithMemo(s.memo)}, req.Cells)
 }
 
 func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
@@ -243,7 +278,7 @@ func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.streamCampaign(w, r, chaosCampaign{req.Plan()}, req.Cells)
+	s.streamCampaign(w, r, chaosCampaign{req.Plan().WithMemo(s.memo)}, req.Cells)
 }
 
 // checkScale bounds campaign scales the same way /v1/workload bounds its
@@ -303,8 +338,20 @@ func (s *Server) streamCampaign(w http.ResponseWriter, r *http.Request, camp cam
 	s.metrics.batchStreams.Add(1)
 	ctx := r.Context()
 
+	// Count the cells already resident in the memo store before the first
+	// byte is written: the MemoHeader is a warm-set preview (Peek-based, no
+	// counter effects), not a promise — an entry can still be evicted
+	// between the probe and the cell's turn.
+	warm := 0
+	for _, i := range cells {
+		if camp.warm(i) {
+			warm++
+		}
+	}
+
 	w.Header().Set("Content-Type", NDJSONContentType)
 	w.Header().Set(CellsHeader, strconv.Itoa(len(cells)))
+	w.Header().Set(MemoHeader, strconv.Itoa(warm))
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
 
@@ -337,6 +384,16 @@ func (s *Server) streamCampaign(w http.ResponseWriter, r *http.Request, camp cam
 				k := int(next.Add(1) - 1)
 				if k >= len(cells) || ctx.Err() != nil {
 					return
+				}
+				// Memoized cells are replayed from the store without taking a
+				// semaphore slot: a hit is a map lookup plus a JSON encode —
+				// no simulation, no rt.Pool checkout — so it must not queue
+				// behind real work (or displace it from admission control).
+				if cell, ok := camp.tryMemo(cells[k]); ok {
+					s.metrics.batchCells.Add(1)
+					completed.Add(1)
+					emit(mustJSON(cell))
+					continue
 				}
 				// One semaphore slot per cell: batch cells queue behind the
 				// same admission control as every other simulation.

@@ -130,9 +130,9 @@ func TestBatchValidation(t *testing.T) {
 	_, c, done := newTestServer(t, Config{})
 	defer done()
 	for name, body := range map[string]string{
-		"unknown workload":   `{"workloads":["nope"]}`,
-		"duplicate workload": `{"workloads":["treeadd","treeadd"]}`,
-		"scale too large":    `{"scale":99}`,
+		"unknown workload":    `{"workloads":["nope"]}`,
+		"duplicate workload":  `{"workloads":["treeadd","treeadd"]}`,
+		"scale too large":     `{"scale":99}`,
 		"subset out of range": `{"cells":[12345]}`,
 		"duplicate cell":      `{"cells":[1,1]}`,
 		"unknown field":       `{"bogus":true}`,

@@ -1,7 +1,6 @@
 package server
 
 import (
-	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,8 +9,10 @@ import (
 	"strconv"
 	"time"
 
+	"infat/internal/exp"
 	"infat/internal/juliet"
 	"infat/internal/machine"
+	"infat/internal/memo"
 	"infat/internal/minic"
 	"infat/internal/rt"
 	"infat/internal/workloads"
@@ -31,6 +32,31 @@ const (
 // for a given (source, mode, fuel) are identical whether simulated or
 // replayed from cache — and identical to a local RunC of the same input.
 const CacheHeader = "X-Ifp-Cache"
+
+// MemoHeader carries the memo-store disposition of a response. Unary
+// endpoints send "hit" or "miss"; the streaming batch endpoints send the
+// number of requested cells already warm in the store at stream start.
+// Like CacheHeader it is a header, never a body field — payload bytes
+// are identical either way.
+const MemoHeader = "X-Ifp-Memo"
+
+// runResult is the memoized value of one /v1/run response: the HTTP
+// status and the exact body bytes, replayed verbatim on a hit. It
+// snapshots as JSON (Body base64-encodes under encoding/json).
+type runResult struct {
+	Status int    `json:"status"`
+	Body   []byte `json:"body"`
+}
+
+func init() {
+	memo.RegisterKind(memo.KindRun, memo.Codec{Decode: func(p []byte) (any, error) {
+		var r runResult
+		if err := json.Unmarshal(p, &r); err != nil {
+			return nil, err
+		}
+		return &r, nil
+	}})
+}
 
 // RunRequest is the POST /v1/run body: compile-and-run a MiniC program.
 type RunRequest struct {
@@ -180,11 +206,11 @@ func parseModeDefault(s string) (rt.Mode, error) {
 	return rt.ParseMode(s)
 }
 
-// runKey is the cache key: content hash of the program plus every knob
-// that changes the result.
-func runKey(job runJob) string {
-	h := sha256.Sum256([]byte(job.source))
-	return fmt.Sprintf("%x|%s|%d", h, job.mode, job.fuel)
+// runKey is the memo key: content hash of the program plus every knob
+// that changes the result — the same (sha256(source), mode, fuel) triple
+// the result LRU has always keyed on, in canonical digest form.
+func runKey(job runJob) memo.Digest {
+	return memo.RunDigest(memo.SourceDigest(job.source), job.mode.String(), job.fuel)
 }
 
 // classifyTrap maps a run error to its service trap class and machine
@@ -228,19 +254,22 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		job.fuel = s.cfg.MaxFuel
 	}
 
-	e, leader := s.cache.startOrJoin(runKey(job))
+	e, leader := s.memo.StartOrJoin(runKey(job), memo.KindRun)
 	if !leader {
-		// Coalesced: wait for the leader's published bytes (or give up
-		// at our own deadline — never re-simulate). Only a kept (cached,
-		// deterministic) result is reported as a hit; a coalesced error
-		// is passed through as a miss.
+		// Coalesced onto an in-flight identical submission — or joined an
+		// already-complete entry, whose Ready is pre-closed. Wait for the
+		// published bytes (or give up at our own deadline — never
+		// re-simulate). Only a kept (memoized, deterministic) result is
+		// reported as a hit; a coalesced error is passed through as a
+		// miss.
 		select {
-		case <-e.ready:
+		case <-e.Ready():
 			state := "miss"
-			if e.keep {
+			if e.Kept() {
 				state = "hit"
 			}
-			writeRaw(w, e.status, e.body, state)
+			res := e.Value().(*runResult)
+			writeRaw(w, res.Status, res.Body, state)
 		case <-r.Context().Done():
 			s.metrics.deadline.Add(1)
 			s.writeBusy(w, http.StatusGatewayTimeout,
@@ -250,23 +279,25 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	// Safety net: if this leader exits without publishing (a panic
 	// recovered by net/http), wake the followers with an error and free
-	// the key. A no-op on the normal paths below — finish is idempotent.
-	defer s.cache.finish(e, http.StatusInternalServerError,
-		errorBody("internal error: request abandoned"), false)
+	// the key. A no-op on the normal paths below — Finish is idempotent.
+	abandoned := &runResult{Status: http.StatusInternalServerError,
+		Body: errorBody("internal error: request abandoned")}
+	defer s.memo.Finish(e, abandoned, nil, false)
 
 	status, respBody, ok := s.dispatch(r.Context(), func() (int, []byte) {
 		return s.executeRun(job)
 	})
+	res := &runResult{Status: status, Body: respBody}
 	if !ok {
 		// Admission or deadline failure: non-deterministic, so publish
-		// to any waiting followers but drop the entry from the cache.
-		s.cache.finish(e, status, respBody, false)
+		// to any waiting followers but drop the entry from the store.
+		s.memo.Finish(e, res, nil, false)
 		s.writeBusy(w, status, respBody, "miss")
 		return
 	}
 	// Simulation results and compile verdicts are deterministic in
 	// (source, mode, fuel): keep them.
-	s.cache.finish(e, status, respBody, true)
+	s.memo.Finish(e, res, mustJSON(res), true)
 	writeRaw(w, status, respBody, "miss")
 }
 
@@ -374,31 +405,38 @@ func (s *Server) handleWorkload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown workload %q", req.Name))
 		return
 	}
-	status, body, ok := s.dispatch(r.Context(), func() (int, []byte) {
-		run := rt.Acquire(mode)
-		defer rt.Release(run)
-		run.M.NoPromote = req.NoPromote
-		sum, err := wl.Run(run, req.Scale)
-		if err != nil {
-			return http.StatusInternalServerError, errorBody(err.Error())
-		}
-		return http.StatusOK, mustJSON(WorkloadResponse{
+	renderResponse := func(m *exp.ModeResult) []byte {
+		return mustJSON(WorkloadResponse{
 			Name:      wl.Name,
 			Suite:     wl.Suite,
 			Mode:      mode.String(),
 			NoPromote: req.NoPromote,
 			Scale:     req.Scale,
-			Checksum:  sum,
-			Footprint: run.Footprint(),
-			L1DMisses: run.M.L1D.Stats().Misses,
-			Counters:  run.M.C,
+			Checksum:  m.Checksum,
+			Footprint: m.Footprint,
+			L1DMisses: m.L1DMisses,
+			Counters:  m.Counters,
 		})
-	})
-	if !ok {
-		s.writeBusy(w, status, body, "")
+	}
+	// A warm cell — computed by an earlier /v1/workload call or any batch
+	// stream, which share the same canonical cell digests — is served
+	// instantly: no worker slot, no runtime checkout.
+	if m, ok := exp.LookupOne(s.memo, wl, mode, req.NoPromote, req.Scale); ok {
+		writeRaw(w, http.StatusOK, renderResponse(m), "hit")
 		return
 	}
-	writeRaw(w, status, body, "")
+	status, body, ok := s.dispatch(r.Context(), func() (int, []byte) {
+		m, err := exp.ComputeOne(s.memo, wl, mode, req.NoPromote, req.Scale)
+		if err != nil {
+			return http.StatusInternalServerError, errorBody(err.Error())
+		}
+		return http.StatusOK, renderResponse(m)
+	})
+	if !ok {
+		s.writeBusy(w, status, body, "miss")
+		return
+	}
+	writeRaw(w, status, body, "miss")
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -463,11 +501,14 @@ func writeError(w http.ResponseWriter, status int, err error) {
 }
 
 // writeRaw sends pre-rendered JSON; cacheState, when non-empty, is
-// exposed via the CacheHeader.
+// exposed via both CacheHeader (the name clients have honoured since the
+// result LRU) and MemoHeader (the unified store's name) — one store, two
+// header aliases.
 func writeRaw(w http.ResponseWriter, status int, body []byte, cacheState string) {
 	w.Header().Set("Content-Type", "application/json")
 	if cacheState != "" {
 		w.Header().Set(CacheHeader, cacheState)
+		w.Header().Set(MemoHeader, cacheState)
 	}
 	w.WriteHeader(status)
 	w.Write(body)

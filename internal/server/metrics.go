@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"infat/internal/memo"
 	"infat/internal/rt"
 )
 
@@ -93,7 +94,14 @@ type MetricsSnapshot struct {
 	Requests  map[string]uint64 `json:"requests"` // per endpoint + "total"
 	InFlight  int64             `json:"in_flight"`
 	Admission map[string]uint64 `json:"admission"` // bad_request, rejected, deadline
-	Cache     map[string]uint64 `json:"cache"`     // hits, misses, evictions, entries
+	// Cache is the /v1/run slice of the memo store (KindRun only):
+	// hits, misses, evictions, entries — the same shape it had when the
+	// unary endpoint owned a private LRU, so PR 2/3 clients keep working.
+	Cache map[string]uint64 `json:"cache"`
+	// Memo is the whole content-addressed store across every kind (run
+	// responses, grid cells, chaos cells): hits, misses, evictions,
+	// entries, bytes, plus snapshot accounting (loaded, skipped).
+	Memo map[string]uint64 `json:"memo"`
 	// Batch covers the streaming campaign endpoints: streams, cells,
 	// cell_errors, cancelled.
 	Batch   map[string]uint64 `json:"batch"`
@@ -124,7 +132,8 @@ func (s *Server) snapshot() MetricsSnapshot {
 	}
 	req["total"] = total
 
-	hits, misses, evictions, entries := s.cache.stats()
+	runStats := s.memo.KindStats(memo.KindRun)
+	memoStats := s.memo.Stats()
 	lat := make(map[string]uint64, len(latencyLabels))
 	for i, label := range latencyLabels {
 		lat[label] = m.latency[i].Load()
@@ -140,10 +149,19 @@ func (s *Server) snapshot() MetricsSnapshot {
 			"internal_panics":     m.internalPanics.Load(),
 		},
 		Cache: map[string]uint64{
-			"hits":      hits,
-			"misses":    misses,
-			"evictions": evictions,
-			"entries":   entries,
+			"hits":      runStats.Hits,
+			"misses":    runStats.Misses,
+			"evictions": runStats.Evictions,
+			"entries":   runStats.Entries,
+		},
+		Memo: map[string]uint64{
+			"hits":      memoStats.Hits,
+			"misses":    memoStats.Misses,
+			"evictions": memoStats.Evictions,
+			"entries":   memoStats.Entries,
+			"bytes":     memoStats.Bytes,
+			"loaded":    memoStats.Loaded,
+			"skipped":   memoStats.Skipped,
 		},
 		Batch: map[string]uint64{
 			"streams":     m.batchStreams.Load(),

@@ -18,9 +18,15 @@
 //   - Request deadlines: each request gets a context deadline; if it
 //     expires the client receives 503/504 while the worker, bounded by
 //     fuel, finishes and frees its slot in the background.
-//   - Result cache: run responses are kept in a size-bounded LRU keyed
-//     by (sha256(source), mode, fuel); repeated and concurrent identical
-//     submissions are served from it without re-simulation.
+//   - Memoization: one content-addressed store (internal/memo) backs
+//     every repeated-work fast path. /v1/run responses are keyed by
+//     (sha256(source), mode, fuel) with request coalescing; workload and
+//     chaos cells — whether they arrive through /v1/workload or a batch
+//     stream — share cell entries keyed by their canonical coordinates,
+//     so a cell any endpoint has computed is replayed everywhere without
+//     re-simulation, a worker slot, or a runtime checkout. Hit state is
+//     surfaced only via headers (X-Ifp-Cache, X-Ifp-Memo) and /metrics,
+//     never in payload bytes.
 //
 // Endpoints: POST /v1/run, POST /v1/juliet (GET lists cases),
 // POST /v1/workload, GET /healthz, GET /metrics.
@@ -33,13 +39,18 @@ import (
 	"time"
 
 	"infat/internal/juliet"
+	"infat/internal/memo"
 	"infat/internal/pool"
 )
 
 // Defaults for Config zero values.
 const (
 	DefaultRequestTimeout = 30 * time.Second
-	DefaultCacheEntries   = 256
+	// DefaultCacheEntries bounds the unified memo store: sized for several
+	// full campaigns (the default batch plan is ~200 cells, the chaos
+	// campaign 216) plus a working set of /v1/run entries, so one batch
+	// request cannot evict another campaign's warm cells.
+	DefaultCacheEntries = 2048
 	// DefaultFuel is the per-run cycle budget when a request does not set
 	// its own: generous for every real program the repo runs (the whole
 	// Juliet suite stays far below it per case) while bounding an
@@ -71,8 +82,14 @@ type Config struct {
 	// RequestTimeout is the per-request context deadline (0 =
 	// DefaultRequestTimeout). It covers queueing and simulation.
 	RequestTimeout time.Duration
-	// CacheEntries bounds the run-result LRU (0 = DefaultCacheEntries).
+	// CacheEntries bounds the unified memo store — run results and
+	// memoized campaign cells share it (0 = DefaultCacheEntries).
 	CacheEntries int
+	// MemoDir, when non-empty, names a directory whose memo snapshot is
+	// loaded at construction and can be saved with SaveMemo — warm starts
+	// across restarts. A corrupt or version-skewed snapshot is detected
+	// and ignored (the server starts cold), never trusted.
+	MemoDir string
 	// Fuel is the cycle budget applied to runs that do not request their
 	// own (0 = DefaultFuel). The budget is what guarantees a guest
 	// infinite loop cannot hold a worker.
@@ -141,7 +158,7 @@ type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
 	sem     chan struct{}
-	cache   *resultCache
+	memo    *memo.Store
 	metrics metrics
 
 	julietNames []string
@@ -155,8 +172,13 @@ func New(cfg Config) *Server {
 		cfg:         cfg,
 		mux:         http.NewServeMux(),
 		sem:         make(chan struct{}, cfg.Workers),
-		cache:       newResultCache(cfg.CacheEntries),
+		memo:        memo.NewStore(cfg.CacheEntries),
 		julietCases: make(map[string]juliet.Case),
+	}
+	if cfg.MemoDir != "" {
+		// A bad snapshot can only cost warmth: log-free best effort, the
+		// store keeps whatever valid prefix loaded.
+		_ = s.memo.LoadSnapshot(cfg.MemoDir)
 	}
 	for _, c := range juliet.Generate() {
 		s.julietNames = append(s.julietNames, c.Name)
@@ -176,6 +198,18 @@ func New(cfg Config) *Server {
 
 // Config returns the effective (defaulted) configuration.
 func (s *Server) Config() Config { return s.cfg }
+
+// MemoStore returns the server's unified memo store (never nil).
+func (s *Server) MemoStore() *memo.Store { return s.memo }
+
+// SaveMemo persists the memo store to the configured MemoDir (no-op
+// without one) — called by ifp-serve on graceful shutdown.
+func (s *Server) SaveMemo() error {
+	if s.cfg.MemoDir == "" {
+		return nil
+	}
+	return s.memo.SaveSnapshot(s.cfg.MemoDir)
+}
 
 // ServeHTTP dispatches to the endpoint handlers.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }

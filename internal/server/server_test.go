@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"infat/internal/memo"
 	"infat/internal/minic"
 	"infat/internal/rt"
 )
@@ -173,8 +174,8 @@ func TestDeadlineExceeded(t *testing.T) {
 	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
 		t.Fatalf("err = %v, want 503 APIError", err)
 	}
-	if _, _, _, entries := s.cache.stats(); entries != 0 {
-		t.Fatalf("failed request left %d cache entries", entries)
+	if st := s.memo.KindStats(memo.KindRun); st.Entries != 0 {
+		t.Fatalf("failed request left %d cache entries", st.Entries)
 	}
 	if got := s.metrics.rejected.Load(); got != 1 {
 		t.Fatalf("rejected counter = %d, want 1", got)
@@ -213,9 +214,9 @@ func TestConcurrentDedup(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
-	hits, misses, _, _ := s.cache.stats()
-	if misses != 1 || hits != n-1 {
-		t.Fatalf("cache hits/misses = %d/%d, want %d/1", hits, misses, n-1)
+	st := s.memo.KindStats(memo.KindRun)
+	if st.Misses != 1 || st.Hits != n-1 {
+		t.Fatalf("cache hits/misses = %d/%d, want %d/1", st.Hits, st.Misses, n-1)
 	}
 	for i := 1; i < n; i++ {
 		if !bytes.Equal(bodies[0], bodies[i]) {

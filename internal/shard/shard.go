@@ -442,7 +442,7 @@ func (s *Shard) forward(w http.ResponseWriter, r *http.Request, b *backend, path
 	}
 	defer resp.Body.Close()
 	s.noteSuccess(b)
-	for _, h := range []string{"Content-Type", server.CacheHeader, server.RetryAfterHeader} {
+	for _, h := range []string{"Content-Type", server.CacheHeader, server.MemoHeader, server.RetryAfterHeader} {
 		if v := resp.Header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}
@@ -553,6 +553,7 @@ func mergeSnapshot(agg *server.MetricsSnapshot, snap *server.MetricsSnapshot) {
 	agg.Requests = sumMap(agg.Requests, snap.Requests)
 	agg.Admission = sumMap(agg.Admission, snap.Admission)
 	agg.Cache = sumMap(agg.Cache, snap.Cache)
+	agg.Memo = sumMap(agg.Memo, snap.Memo)
 	agg.Batch = sumMap(agg.Batch, snap.Batch)
 	agg.Traps = sumMap(agg.Traps, snap.Traps)
 	agg.Latency = sumMap(agg.Latency, snap.Latency)

@@ -550,4 +550,13 @@ func TestShardMetricsAggregation(t *testing.T) {
 	if m.Shard["proxied"] == 0 || m.Shard["backends_up"] != 2 {
 		t.Errorf("shard counters %v", m.Shard)
 	}
+	// The memo store is fleet-aggregated like every other counter map:
+	// the run above must appear as a miss (and an entry) somewhere in the
+	// fleet's unified stores.
+	if m.Aggregate.Memo == nil {
+		t.Fatal("aggregate missing memo section")
+	}
+	if m.Aggregate.Memo["misses"] == 0 || m.Aggregate.Memo["entries"] == 0 {
+		t.Errorf("aggregate memo %v, want misses and entries after a run", m.Aggregate.Memo)
+	}
 }

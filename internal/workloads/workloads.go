@@ -38,6 +38,12 @@ import (
 	"infat/internal/rt"
 )
 
+// Version is the kernel-behaviour version folded into memoization
+// digests (internal/memo). Bump it whenever any kernel's observable
+// behaviour changes — allocation mix, checksum, counter profile — which
+// invalidates every memoized cell computed from the old kernels.
+const Version = "workloads/v1"
+
 // Workload is one registered benchmark.
 type Workload struct {
 	Name  string
@@ -93,7 +99,7 @@ type env struct {
 	lastT2 *layout.Type // second memo slot: kernels walking a linked
 	lastF2 *typeFields  // structure alternate node/payload types, which
 	// would thrash a single slot back to the map on every access
-	sum    uint64       // running checksum
+	sum uint64 // running checksum
 }
 
 // typeFields caches the resolved member lookups of one type. Lookups scan
